@@ -1,0 +1,108 @@
+//! Colony benches: settling cost of each Fig. 1 model class on the same
+//! demand-tracking problem, with the settled allocation printed as the
+//! scientific anchor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sirtm_colony::{
+    ColonyModel, Environment, FixedThresholdColony, ForagingForWorkColony, ForagingParams,
+    InfoTransferColony, InfoTransferParams, MeanFieldColony, MeanFieldParams,
+    SelfReinforcementColony, SelfReinforcementParams, SocialInhibitionColony,
+    SocialInhibitionParams, ThresholdParams,
+};
+
+const DEMAND: [f64; 3] = [2.0, 1.0, 0.5];
+const AGENTS: usize = 150;
+const STEPS: u64 = 2000;
+
+fn build(class: &str, seed: u64) -> Box<dyn ColonyModel> {
+    let env = Environment::constant_demand(&DEMAND, 0.1);
+    match class {
+        "fixed-threshold" => Box::new(FixedThresholdColony::new(
+            AGENTS,
+            env,
+            ThresholdParams::default(),
+            seed,
+        )),
+        "info-transfer" => Box::new(InfoTransferColony::new(
+            AGENTS,
+            env,
+            InfoTransferParams::default(),
+            seed,
+        )),
+        "self-reinforcement" => Box::new(SelfReinforcementColony::new(
+            AGENTS,
+            env,
+            SelfReinforcementParams::default(),
+            seed,
+        )),
+        "social-inhibition" => Box::new(SocialInhibitionColony::new(
+            AGENTS,
+            env,
+            SocialInhibitionParams::default(),
+            seed,
+        )),
+        "foraging-for-work" => Box::new(ForagingForWorkColony::new(
+            AGENTS,
+            ForagingParams::default(),
+            seed,
+        )),
+        "mean-field" => Box::new(MeanFieldColony::new(MeanFieldParams {
+            n_agents: AGENTS,
+            demand: DEMAND.to_vec(),
+            ..MeanFieldParams::default()
+        })),
+        other => unreachable!("unknown class {other}"),
+    }
+}
+
+/// Settling cost per class, allocation anchors printed once.
+fn colony_settle(c: &mut Criterion) {
+    let classes = [
+        "fixed-threshold",
+        "info-transfer",
+        "self-reinforcement",
+        "social-inhibition",
+        "foraging-for-work",
+        "mean-field",
+    ];
+    let mut group = c.benchmark_group("colony_settle_2000_steps");
+    for class in classes {
+        let mut probe = build(class, 7);
+        for _ in 0..STEPS {
+            probe.step();
+        }
+        println!("[colony] {class}: settled allocation {:?}", probe.allocation());
+        group.bench_function(class, |b| {
+            b.iter(|| {
+                let mut colony = build(class, black_box(7));
+                for _ in 0..STEPS {
+                    colony.step();
+                }
+                black_box(colony.allocation())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Cost of the mass-death recovery cycle (kill a third, re-settle).
+fn colony_mass_death(c: &mut Criterion) {
+    c.bench_function("colony_kill_third_and_resettle", |b| {
+        b.iter(|| {
+            let mut colony = build("fixed-threshold", black_box(13));
+            for _ in 0..STEPS {
+                colony.step();
+            }
+            colony.kill_agents(AGENTS / 3);
+            for _ in 0..STEPS / 2 {
+                colony.step();
+            }
+            black_box(colony.allocation())
+        })
+    });
+}
+
+criterion_group!(benches, colony_settle, colony_mass_death);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Bench for Fig. 4's workload: the full 1000 ms fault-injection time
+//! series (5 and 42 faults at 500 ms) for each model. One iteration is
+//! one full figure trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sirtm_bench::{bench_config, bench_run, sink_rate};
+use sirtm_core::models::{FfwConfig, ModelKind, NiConfig};
+
+fn fig4_traces(c: &mut Criterion) {
+    let cfg = bench_config(1000.0, 500.0);
+    let mut group = c.benchmark_group("fig4_trace_1000ms");
+    group.sample_size(10);
+    for (name, model) in [
+        ("no_intelligence", ModelKind::NoIntelligence),
+        ("network_interaction", ModelKind::NetworkInteraction(NiConfig::default())),
+        ("foraging_for_work", ModelKind::ForagingForWork(FfwConfig::default())),
+    ] {
+        for faults in [5usize, 42] {
+            group.bench_with_input(
+                BenchmarkId::new(name, faults),
+                &faults,
+                |b, &faults| {
+                    b.iter(|| {
+                        let r = bench_run(model.clone(), faults, black_box(42), &cfg);
+                        black_box(sink_rate(&r))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4_traces);
+criterion_main!(benches);

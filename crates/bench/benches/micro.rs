@@ -1,0 +1,134 @@
+//! Micro-benchmarks of the SIRTM substrates: NoC cycle cost (idle and
+//! loaded), platform cycle cost, AIM scan cost (behavioural vs PicoBlaze
+//! firmware), raw PicoBlaze interpretation and assembly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sirtm_centurion::{Platform, PlatformConfig};
+use sirtm_core::io::MockAimIo;
+use sirtm_core::models::{FfwConfig, ModelKind, NiConfig};
+use sirtm_noc::{Mesh, NodeId, PacketKind, RouterConfig};
+use sirtm_picoblaze::vm::{Picoblaze, SparseIo};
+use sirtm_picoblaze::{asm, Condition, Instruction};
+use sirtm_rng::{Rng, Xoshiro256StarStar};
+use sirtm_taskgraph::{workloads, GridDims, Mapping, TaskId};
+
+fn mesh_cycle(c: &mut Criterion) {
+    let dims = GridDims::new(8, 16);
+    let mut group = c.benchmark_group("mesh_cycle");
+    group.bench_function("idle_128_routers", |b| {
+        let mut mesh = Mesh::new(dims, RouterConfig::default());
+        b.iter(|| {
+            mesh.step();
+            black_box(mesh.cycle())
+        });
+    });
+    group.bench_function("loaded_128_routers", |b| {
+        let mut mesh = Mesh::new(dims, RouterConfig::default());
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        b.iter(|| {
+            // Keep ~32 packets in flight.
+            if mesh.stats().in_flight() < 32 {
+                let src = NodeId::new(rng.range_u32(0..128) as u16);
+                let dst = NodeId::new(rng.range_u32(0..128) as u16);
+                mesh.inject(src, dst, TaskId::new(0), PacketKind::Data, 4);
+            }
+            mesh.step();
+            black_box(mesh.cycle())
+        });
+    });
+    group.finish();
+}
+
+fn platform_cycle(c: &mut Criterion) {
+    let cfg = PlatformConfig::default();
+    let graph = workloads::fork_join(&workloads::ForkJoinParams::default());
+    let mapping = Mapping::heuristic(&graph, cfg.dims);
+    let mut group = c.benchmark_group("platform_cycle");
+    group.bench_function("baseline_128_nodes", |b| {
+        let mut p = Platform::new(
+            graph.clone(),
+            &mapping,
+            &ModelKind::NoIntelligence,
+            cfg.clone(),
+        );
+        p.run_ms(20.0); // warm pipeline
+        b.iter(|| {
+            p.step();
+            black_box(p.now())
+        });
+    });
+    group.bench_function("ffw_128_nodes", |b| {
+        let mut p = Platform::new(
+            graph.clone(),
+            &mapping,
+            &ModelKind::ForagingForWork(FfwConfig::default()),
+            cfg.clone(),
+        );
+        p.run_ms(20.0);
+        b.iter(|| {
+            p.step();
+            black_box(p.now())
+        });
+    });
+    group.finish();
+}
+
+fn aim_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aim_scan");
+    let stimulate = |io: &mut MockAimIo, i: u64| {
+        io.routed = vec![(i % 3) as u32, 2, 1];
+        io.internal = vec![0, 1, 0];
+        io.feed = if i.is_multiple_of(4) { 60 } else { 0 };
+        io.oldest = i.is_multiple_of(5).then_some((TaskId::new(1), 400));
+    };
+    for (name, kind) in [
+        ("ni_behavioural", ModelKind::NetworkInteraction(NiConfig::default())),
+        ("ni_firmware", ModelKind::NetworkInteractionFirmware(NiConfig::default())),
+        ("ffw_behavioural", ModelKind::ForagingForWork(FfwConfig::default())),
+        ("ffw_firmware", ModelKind::ForagingForWorkFirmware(FfwConfig::default())),
+    ] {
+        group.bench_function(name, |b| {
+            let mut model = kind.build(3);
+            let mut io = MockAimIo::new(3);
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                stimulate(&mut io, i);
+                model.scan(&mut io);
+                black_box(io.local)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn picoblaze(c: &mut Criterion) {
+    let mut group = c.benchmark_group("picoblaze");
+    group.bench_function("interpret_alu_loop", |b| {
+        // A tight 4-instruction ALU loop.
+        let prog = vec![
+            Instruction::Add(sirtm_picoblaze::Register::new(0), sirtm_picoblaze::isa::Operand::Imm(1)),
+            Instruction::Xor(sirtm_picoblaze::Register::new(1), sirtm_picoblaze::isa::Operand::Reg(sirtm_picoblaze::Register::new(0))),
+            Instruction::Shift(sirtm_picoblaze::ShiftOp::Rl, sirtm_picoblaze::Register::new(2)),
+            Instruction::Jump(Condition::Always, 0),
+        ];
+        let mut cpu = Picoblaze::new(prog);
+        let mut io = SparseIo::new();
+        b.iter(|| {
+            cpu.step_n(64, &mut io).expect("runs");
+            black_box(cpu.instret())
+        });
+    });
+    group.bench_function("assemble_ffw_firmware", |b| {
+        b.iter(|| {
+            let prog = asm::assemble(black_box(sirtm_core::firmware::FFW_SOURCE)).expect("valid");
+            black_box(prog.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, mesh_cycle, platform_cycle, aim_scan, picoblaze);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench for Table I's workload: fault-free settling runs of the three
+//! models (scaled to 200 ms; `repro table1` produces the full numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sirtm_bench::{bench_config, bench_run, sink_rate};
+use sirtm_core::models::{FfwConfig, ModelKind, NiConfig};
+
+fn table1_models(c: &mut Criterion) {
+    let cfg = bench_config(200.0, 200.0);
+    let mut group = c.benchmark_group("table1_settle_200ms");
+    group.sample_size(10);
+    for (name, model) in [
+        ("no_intelligence", ModelKind::NoIntelligence),
+        ("network_interaction", ModelKind::NetworkInteraction(NiConfig::default())),
+        ("foraging_for_work", ModelKind::ForagingForWork(FfwConfig::default())),
+    ] {
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let r = bench_run(model.clone(), 0, black_box(seed), &cfg);
+                black_box(sink_rate(&r))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1_models);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Bench for Table II's workload: fault-recovery runs across the paper's
+//! fault sweep (scaled to 300 ms with injection at 150 ms; `repro table2`
+//! produces the full numbers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sirtm_bench::{bench_config, bench_run, sink_rate};
+use sirtm_core::models::{FfwConfig, ModelKind, NiConfig};
+
+fn table2_recovery(c: &mut Criterion) {
+    let cfg = bench_config(300.0, 150.0);
+    let mut group = c.benchmark_group("table2_recovery_300ms");
+    group.sample_size(10);
+    for (name, model) in [
+        ("no_intelligence", ModelKind::NoIntelligence),
+        ("network_interaction", ModelKind::NetworkInteraction(NiConfig::default())),
+        ("foraging_for_work", ModelKind::ForagingForWork(FfwConfig::default())),
+    ] {
+        for faults in [8usize, 32] {
+            group.bench_with_input(
+                BenchmarkId::new(name, faults),
+                &faults,
+                |b, &faults| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        let r = bench_run(model.clone(), faults, black_box(seed), &cfg);
+                        black_box(sink_rate(&r))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table2_recovery);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Thermal-substrate benches: the governor ablation (the scientifically
+//! interesting anchor is peak temperature and surviving throughput) and
+//! the raw cost of the physics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sirtm_centurion::{Platform, PlatformConfig};
+use sirtm_core::models::ModelKind;
+use sirtm_noc::NodeId;
+use sirtm_taskgraph::workloads::{fork_join, ForkJoinParams};
+use sirtm_taskgraph::{GridDims, Mapping};
+use sirtm_thermal::{GovernorConfig, ThermalConfig, ThermalGrid, ThermalLoop};
+
+fn stress_platform(dims: GridDims) -> Platform {
+    let cfg = PlatformConfig {
+        dims,
+        ..PlatformConfig::default()
+    };
+    let graph = fork_join(&ForkJoinParams {
+        generation_period: 40,
+        ..ForkJoinParams::default()
+    });
+    let mapping = Mapping::heuristic(&graph, cfg.dims);
+    let mut p = Platform::new(graph, &mapping, &ModelKind::NoIntelligence, cfg);
+    for i in 0..dims.len() {
+        p.set_frequency(NodeId::new(i as u16), 300);
+    }
+    p
+}
+
+/// Open vs closed loop on a saturated, overclocked 4×4 die.
+fn thermal_governor_ablation(c: &mut Criterion) {
+    let dims = GridDims::new(4, 4);
+    let thermal = ThermalConfig {
+        dims,
+        ..ThermalConfig::default()
+    };
+    let mut group = c.benchmark_group("thermal_governor");
+    group.sample_size(10);
+    for (name, enabled) in [("open_loop", false), ("closed_loop", true)] {
+        let run = |seed: u64| {
+            let mut sim = ThermalLoop::new(
+                stress_platform(dims),
+                thermal.clone(),
+                GovernorConfig {
+                    enabled,
+                    ..GovernorConfig::default()
+                },
+                seed,
+            );
+            sim.run_ms(500.0);
+            (
+                sim.trace().peak_temp_c(),
+                sim.trace().total_completions(),
+                sim.platform().alive_count(),
+            )
+        };
+        let (peak, done, alive) = run(1);
+        println!(
+            "[thermal] {name}: peak {peak:.1} C, {done} completions, {alive} alive"
+        );
+        group.bench_function(name, |b| b.iter(|| black_box(run(black_box(1)))));
+    }
+    group.finish();
+}
+
+/// Raw physics cost: one co-simulated millisecond of the full 8×16 die.
+fn thermal_cosim_step(c: &mut Criterion) {
+    let thermal = ThermalConfig::default();
+    let mut sim = ThermalLoop::new(
+        stress_platform(thermal.dims),
+        thermal,
+        GovernorConfig::default(),
+        3,
+    );
+    c.bench_function("thermal_cosim_ms_128_nodes", |b| {
+        b.iter(|| {
+            sim.run_ms(1.0);
+            black_box(sim.grid().max_temp())
+        })
+    });
+}
+
+/// The bare RC network without the platform: cost of the heat solver.
+fn thermal_grid_solver(c: &mut Criterion) {
+    let cfg = ThermalConfig::default();
+    let n = cfg.dims.len();
+    let mut grid = ThermalGrid::new(cfg);
+    let power = vec![0.25; n];
+    c.bench_function("thermal_grid_step_1ms_128_cells", |b| {
+        b.iter(|| {
+            grid.step(0.001, black_box(&power));
+            black_box(grid.mean_temp())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    thermal_governor_ablation,
+    thermal_cosim_step,
+    thermal_grid_solver
+);
+criterion_main!(benches);

@@ -1,0 +1,917 @@
+//! The Centurion platform: routers, processing elements, AIMs, gossip
+//! directories and the simulation loop that binds them.
+
+use sirtm_core::io::AimIo;
+use sirtm_core::models::{ModelKind, RtmModel};
+use sirtm_noc::{Cycle, Mesh, MeshStats, MulticastService, NodeId, Packet, PacketKind, Port, Router};
+use sirtm_taskgraph::{Mapping, TaskGraph, TaskId};
+
+use crate::config::PlatformConfig;
+use crate::directory::{gossip_round, Directory};
+use crate::pe::{Accept, PeStats, ProcessingElement};
+
+/// Platform-level counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlatformStats {
+    /// Packets sent to a resolved task instance.
+    pub sends: u64,
+    /// Emissions with no known instance of the target task; the packet is
+    /// self-addressed so the work stays visible to the local AIM.
+    pub send_failures: u64,
+    /// Mis-delivered packets re-injected towards another instance.
+    pub bounces: u64,
+    /// Packets dropped after exhausting their bounce budget.
+    pub bounce_drops: u64,
+    /// Task switches actually applied (task changed).
+    pub task_switches: u64,
+    /// Multicast fork waves sent (Multicast send policy only).
+    pub multicast_groups: u64,
+    /// Completions per task since construction.
+    pub completions_per_task: Vec<u64>,
+}
+
+/// Snapshot of one node, as read through the debug interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSnapshot {
+    /// The node.
+    pub node: NodeId,
+    /// Whether the PE is alive.
+    pub alive: bool,
+    /// Current task.
+    pub task: Option<TaskId>,
+    /// Work queue length in packets.
+    pub queue_len: usize,
+    /// Foreign buffer length in packets.
+    pub foreign_len: usize,
+    /// PE counters.
+    pub pe: PeStats,
+    /// DVFS frequency in MHz.
+    pub frequency_mhz: u16,
+    /// Cumulative cycles the PE spent executing work (activity integral;
+    /// thermal models difference this across windows for duty cycles).
+    pub busy_cycles: u64,
+}
+
+/// The assembled 128-node platform (grid size configurable).
+///
+/// # Examples
+///
+/// ```
+/// use sirtm_centurion::{Platform, PlatformConfig};
+/// use sirtm_core::models::{FfwConfig, ModelKind};
+/// use sirtm_rng::Xoshiro256StarStar;
+/// use sirtm_taskgraph::{workloads, Mapping};
+///
+/// let cfg = PlatformConfig::default();
+/// let graph = workloads::fork_join(&workloads::ForkJoinParams::default());
+/// let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+/// let mapping = Mapping::random_uniform(&graph, cfg.dims, &mut rng);
+/// let model = ModelKind::ForagingForWork(FfwConfig::default());
+/// let mut platform = Platform::new(graph, &mapping, &model, cfg);
+/// platform.run_ms(50.0);
+/// assert!(platform.completions_total() > 0);
+/// ```
+#[derive(Debug)]
+pub struct Platform {
+    cfg: PlatformConfig,
+    graph: TaskGraph,
+    n_tasks: usize,
+    mesh: Mesh,
+    pes: Vec<ProcessingElement>,
+    models: Vec<Box<dyn RtmModel>>,
+    dirs: Vec<Directory>,
+    neighbours: Vec<[Option<usize>; 4]>,
+    /// Present under `SendPolicy::Multicast`: the tree-distribution
+    /// service layered over the unicast fabric.
+    mcast: Option<MulticastService>,
+    cycle: Cycle,
+    stats: PlatformStats,
+}
+
+impl Platform {
+    /// Builds a platform running `model` on every node, with tasks
+    /// initially placed per `mapping`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping's grid differs from the configuration's, or
+    /// if the configuration is invalid.
+    pub fn new(graph: TaskGraph, mapping: &Mapping, model: &ModelKind, cfg: PlatformConfig) -> Self {
+        let n_tasks = graph.len();
+        let models = (0..cfg.dims.len()).map(|_| model.build(n_tasks)).collect();
+        Self::with_models(graph, mapping, models, model.is_adaptive(), cfg)
+    }
+
+    /// Builds a platform with an explicit per-node model vector
+    /// (heterogeneous colonies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models.len()` differs from the grid size, the mapping's
+    /// grid differs from the configuration's, or the configuration is
+    /// invalid.
+    pub fn with_models(
+        graph: TaskGraph,
+        mapping: &Mapping,
+        models: Vec<Box<dyn RtmModel>>,
+        adaptive: bool,
+        cfg: PlatformConfig,
+    ) -> Self {
+        cfg.validate();
+        assert_eq!(mapping.dims(), cfg.dims, "mapping grid mismatch");
+        assert_eq!(models.len(), cfg.dims.len(), "one model per node");
+        let n_tasks = graph.len();
+        let mut router_cfg = cfg.router.clone();
+        router_cfg.n_tasks = n_tasks;
+        router_cfg.opportunistic_delivery = cfg.opportunistic_delivery && adaptive;
+        let mut mesh = Mesh::new(cfg.dims, router_cfg);
+        let mut pes = Vec::with_capacity(cfg.dims.len());
+        for idx in 0..cfg.dims.len() {
+            let node = NodeId::new(idx as u16);
+            let mut pe =
+                ProcessingElement::new(node, cfg.nominal_mhz, cfg.queue_cap, cfg.foreign_cap);
+            if let Some(task) = mapping.task_of(idx) {
+                pe.switch_task(task, &graph, 0, false);
+                mesh.router_mut(node).settings_mut().local_task = Some(task);
+            }
+            pes.push(pe);
+        }
+        let neighbours = build_neighbours(cfg.dims);
+        let mut dirs: Vec<Directory> = (0..cfg.dims.len()).map(|_| Directory::new(n_tasks)).collect();
+        // Pre-warm the gossip directories: the loaded mapping is known to
+        // every node at t = 0, exactly as a freshly configured platform
+        // would be. Adaptation churn still updates them live afterwards.
+        let locals: Vec<Option<TaskId>> = pes.iter().map(ProcessingElement::task).collect();
+        for _ in 0..cfg.dir_dist_max {
+            dirs = gossip_round(&dirs, &locals, &neighbours, n_tasks, cfg.dir_dist_max);
+        }
+        let mcast = (cfg.send_policy == crate::config::SendPolicy::Multicast)
+            .then(|| MulticastService::new(cfg.dims));
+        Self {
+            stats: PlatformStats {
+                completions_per_task: vec![0; n_tasks],
+                ..PlatformStats::default()
+            },
+            mcast,
+            graph,
+            n_tasks,
+            mesh,
+            pes,
+            models,
+            dirs,
+            neighbours,
+            cycle: 0,
+            cfg,
+        }
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.cfg
+    }
+
+    /// The application task graph.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Current simulated time in milliseconds.
+    pub fn now_ms(&self) -> f64 {
+        self.cfg.cycles_to_ms(self.cycle)
+    }
+
+    /// Platform counters.
+    pub fn stats(&self) -> &PlatformStats {
+        &self.stats
+    }
+
+    /// NoC fabric counters.
+    pub fn mesh_stats(&self) -> MeshStats {
+        self.mesh.stats()
+    }
+
+    /// Immutable access to the fabric (for advanced inspection).
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Immutable access to a node's PE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is off-grid.
+    pub fn pe(&self, node: NodeId) -> &ProcessingElement {
+        &self.pes[node.index()]
+    }
+
+    /// Immutable access to a node's router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is off-grid.
+    pub fn router(&self, node: NodeId) -> &Router {
+        self.mesh.router(node)
+    }
+
+    /// Number of alive nodes currently mapped to each task.
+    pub fn task_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_tasks];
+        for pe in &self.pes {
+            if pe.is_alive() {
+                if let Some(t) = pe.task() {
+                    counts[t.index()] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Cumulative completions of `task`.
+    pub fn completions(&self, task: TaskId) -> u64 {
+        self.stats.completions_per_task[task.index()]
+    }
+
+    /// Cumulative completions across all tasks.
+    pub fn completions_total(&self) -> u64 {
+        self.stats.completions_per_task.iter().sum()
+    }
+
+    /// Number of alive nodes that completed work at or after `since` —
+    /// the paper's "Nodes Active" throughput proxy.
+    pub fn nodes_active_since(&self, since: Cycle) -> usize {
+        self.pes
+            .iter()
+            .filter(|pe| pe.is_alive() && pe.last_completion().is_some_and(|c| c >= since))
+            .count()
+    }
+
+    /// Total task switches applied since construction.
+    pub fn switches_total(&self) -> u64 {
+        self.stats.task_switches
+    }
+
+    /// Number of alive PEs.
+    pub fn alive_count(&self) -> usize {
+        self.pes.iter().filter(|pe| pe.is_alive()).count()
+    }
+
+    /// Reads one node's state through the debug interface (no NoC
+    /// traffic perturbation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is off-grid.
+    pub fn node_snapshot(&self, node: NodeId) -> NodeSnapshot {
+        let pe = &self.pes[node.index()];
+        NodeSnapshot {
+            node,
+            alive: pe.is_alive(),
+            task: pe.task(),
+            queue_len: pe.queue_len(),
+            foreign_len: pe.foreign_len(),
+            pe: pe.stats(),
+            frequency_mhz: pe.frequency_mhz(),
+            busy_cycles: pe.busy_cycles(),
+        }
+    }
+
+    /// Kills a node's processing element (the paper's node-fault model):
+    /// the PE stops, its AIM goes silent, the internal port closes, but
+    /// the router keeps routing through traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is off-grid.
+    pub fn kill_pe(&mut self, node: NodeId) {
+        self.pes[node.index()].kill();
+        let router = self.mesh.router_mut(node);
+        router.settings_mut().local_task = None;
+        router.settings_mut().port_enabled[Port::Internal.index()] = false;
+        self.dirs[node.index()].clear();
+    }
+
+    /// Kills the whole tile: PE and router (global-circuitry faults).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is off-grid.
+    pub fn kill_tile(&mut self, node: NodeId) {
+        self.kill_pe(node);
+        self.mesh.router_mut(node).kill();
+    }
+
+    /// Hangs the PE (clock gated, state retained): it stops processing
+    /// but still advertises its task — a lying fault, unlike a clean kill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is off-grid.
+    pub fn hang_pe(&mut self, node: NodeId) {
+        self.pes[node.index()].set_clock_enabled(false);
+    }
+
+    /// Resumes a hung PE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is off-grid.
+    pub fn resume_pe(&mut self, node: NodeId) {
+        self.pes[node.index()].set_clock_enabled(true);
+    }
+
+    /// DVFS knob: sets a node's clock, clamped to the platform range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is off-grid.
+    pub fn set_frequency(&mut self, node: NodeId, mhz: u16) {
+        let (lo, hi) = self.cfg.freq_range_mhz;
+        self.pes[node.index()].set_frequency_mhz(mhz.clamp(lo, hi));
+    }
+
+    /// Sends a configuration packet through the NoC to a router's RCAP
+    /// (the experiment controller's in-band path).
+    pub fn send_config(&mut self, from: NodeId, to: NodeId, cmd: sirtm_noc::RcapCommand) {
+        self.mesh.send_config(from, to, cmd);
+    }
+
+    /// Applies a configuration command directly (debug interface).
+    pub fn apply_config_direct(&mut self, node: NodeId, cmd: sirtm_noc::RcapCommand) {
+        self.mesh.apply_config_direct(node, cmd);
+    }
+
+    /// Randomises the generation phases of all source nodes — distinct
+    /// runs of the same mapping then differ, as unsynchronised hardware
+    /// clock domains would (the paper's 100 "randomly initialised" runs
+    /// include the fixed-mapping baseline).
+    pub fn randomize_phases<R: sirtm_rng::Rng>(&mut self, rng: &mut R) {
+        let now = self.cycle;
+        for (idx, pe) in self.pes.iter_mut().enumerate() {
+            if let Some(task) = pe.task() {
+                if let Some(period) = self.graph.spec(task).generation_period {
+                    let _ = idx;
+                    pe.set_generation_phase(now + 1 + rng.below_u64(period as u64));
+                }
+            }
+        }
+    }
+
+    /// Runs for `ms` milliseconds of simulated time.
+    pub fn run_ms(&mut self, ms: f64) {
+        let target = self.cycle + self.cfg.ms_to_cycles(ms);
+        while self.cycle < target {
+            self.step();
+        }
+    }
+
+    /// Runs for `cycles` cycles.
+    pub fn run_cycles(&mut self, cycles: Cycle) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Advances the platform by one cycle: deliveries → PE work and
+    /// emissions → staggered AIM scans → gossip → NoC.
+    pub fn step(&mut self) {
+        let now = self.cycle;
+        // 1. Deliveries from the fabric into the PEs.
+        for idx in 0..self.pes.len() {
+            let node = NodeId::new(idx as u16);
+            if self.mesh.router(node).delivered_len() == 0 {
+                continue;
+            }
+            for pkt in self.mesh.take_delivered(node) {
+                if let Some(svc) = self.mcast.as_mut() {
+                    // Pure relay stops forward the wave and consume the
+                    // copy; member stops fall through to PE delivery.
+                    if !svc.on_delivered(&mut self.mesh, node, &pkt) {
+                        continue;
+                    }
+                }
+                self.deliver(idx, pkt);
+            }
+        }
+        // 2. PE work; completions emit packets along the task graph.
+        for idx in 0..self.pes.len() {
+            if let Some(task) = self.pes[idx].step(now, &self.graph) {
+                self.stats.completions_per_task[task.index()] += 1;
+                self.emit_outputs(idx, task);
+            }
+        }
+        // 3. Phase-staggered AIM scans (unsynchronised hardware AIMs).
+        let period = self.cfg.aim_period as u64;
+        for idx in 0..self.pes.len() {
+            if (now + idx as u64 * 7).is_multiple_of(period) {
+                self.scan(idx, now);
+            }
+        }
+        // 4. Gossip directory round.
+        if now.is_multiple_of(self.cfg.gossip_period as u64) {
+            let locals: Vec<Option<TaskId>> = self
+                .pes
+                .iter()
+                .map(|pe| pe.is_alive().then(|| pe.task()).flatten())
+                .collect();
+            self.dirs = gossip_round(
+                &self.dirs,
+                &locals,
+                &self.neighbours,
+                self.n_tasks,
+                self.cfg.dir_dist_max,
+            );
+        }
+        // 5. Fabric cycle.
+        self.mesh.step();
+        self.cycle += 1;
+    }
+
+    fn deliver(&mut self, idx: usize, pkt: Packet) {
+        let (accept, displaced) = self.pes[idx].deliver(pkt);
+        match accept {
+            Accept::Overflow => {
+                if let Some(p) = displaced {
+                    self.bounce(idx, p);
+                }
+            }
+            Accept::Dead => {
+                // In-flight delivery raced a kill; the packet is lost, as
+                // it would be in hardware.
+            }
+            Accept::Queued | Accept::Consumed | Accept::Foreign => {}
+        }
+    }
+
+    /// Re-injects a mis-delivered packet towards another instance of its
+    /// task, or drops it when the bounce budget is spent / nobody else
+    /// runs the task.
+    fn bounce(&mut self, idx: usize, pkt: Packet) {
+        if pkt.bounces >= self.cfg.max_bounces {
+            self.stats.bounce_drops += 1;
+            return;
+        }
+        let node = NodeId::new(idx as u16);
+        let mut dest = None;
+        for _ in 0..crate::directory::SLOTS {
+            match self.dirs[idx].pick(pkt.task) {
+                Some(d) if d != node => {
+                    dest = Some(d);
+                    break;
+                }
+                Some(_) => continue,
+                None => break,
+            }
+        }
+        match dest {
+            Some(d) => {
+                self.mesh.reinject(node, pkt, d);
+                self.stats.bounces += 1;
+            }
+            None => self.stats.bounce_drops += 1,
+        }
+    }
+
+    /// Emits the output packets of a completed `task` work item at `idx`.
+    fn emit_outputs(&mut self, idx: usize, task: TaskId) {
+        let node = NodeId::new(idx as u16);
+        let edges: Vec<(TaskId, u8, u8, sirtm_taskgraph::EdgeKind)> = self
+            .graph
+            .outputs(task)
+            .map(|e| (e.to, e.count, e.payload_flits, e.kind))
+            .collect();
+        for (to, count, payload, kind) in edges {
+            let pkt_kind = match kind {
+                sirtm_taskgraph::EdgeKind::Data => PacketKind::Data,
+                sirtm_taskgraph::EdgeKind::Feedback => PacketKind::Ack,
+            };
+            // Multicast policy: a multi-packet data edge (the fork of
+            // Fig. 3) becomes one tree-distributed wave over distinct
+            // instances; shared path prefixes are traversed once.
+            if let Some(svc) = self.mcast.as_mut().filter(|_| count > 1 && pkt_kind == PacketKind::Data) {
+                let dests = self.dirs[idx].pick_distinct(to, count as usize);
+                if !dests.is_empty() {
+                    svc.send(&mut self.mesh, node, &dests, to, pkt_kind, payload);
+                    self.stats.multicast_groups += 1;
+                    self.stats.sends += dests.len() as u64;
+                    // Fewer known instances than fork branches: top the
+                    // wave up with unicasts so the join still fills.
+                    for _ in dests.len()..count as usize {
+                        match self.dirs[idx].pick(to) {
+                            Some(dest) => {
+                                self.mesh.inject(node, dest, to, pkt_kind, payload);
+                                self.stats.sends += 1;
+                            }
+                            None => {
+                                self.mesh.inject(node, node, to, pkt_kind, payload);
+                                self.stats.send_failures += 1;
+                            }
+                        }
+                    }
+                    continue;
+                }
+            }
+            for _ in 0..count {
+                // Data flows to the nearest instance (locality builds the
+                // spatial work gradients the models forage on); feedback
+                // acks round-robin over the known instances so the
+                // colony's success signal reaches the whole source
+                // population, not just the closest member.
+                let resolved = match (self.cfg.send_policy, pkt_kind) {
+                    (_, PacketKind::Ack) => self.dirs[idx].pick(to),
+                    (crate::config::SendPolicy::Nearest, _) => self.dirs[idx].pick_nearest(to),
+                    // Multicast handled multi-packet data edges above;
+                    // what reaches here falls back to round-robin.
+                    (crate::config::SendPolicy::RoundRobin | crate::config::SendPolicy::Multicast, _) => {
+                        self.dirs[idx].pick(to)
+                    }
+                };
+                match resolved {
+                    Some(dest) => {
+                        self.mesh.inject(node, dest, to, pkt_kind, payload);
+                        self.stats.sends += 1;
+                    }
+                    None => {
+                        // No known instance anywhere: address the packet
+                        // to ourselves so the unserved work remains
+                        // visible to the local AIM as foraging stimulus.
+                        self.mesh.inject(node, node, to, pkt_kind, payload);
+                        self.stats.send_failures += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One AIM scan of node `idx`.
+    fn scan(&mut self, idx: usize, now: Cycle) {
+        let node = NodeId::new(idx as u16);
+        // Remote AIM writes that arrived through RCAP.
+        for (reg, value) in self.mesh.router_mut(node).take_aim_writes() {
+            self.models[idx].configure(reg, value);
+        }
+        if !self.pes[idx].is_alive() {
+            return;
+        }
+        let mut nb = [None; 4];
+        for (d, slot) in nb.iter_mut().enumerate() {
+            if let Some(m) = self.neighbours[idx][d] {
+                if self.pes[m].is_alive() {
+                    *slot = self.pes[m].task();
+                }
+            }
+        }
+        // Work-proportional feed: data packets earn commitment scans
+        // proportional to their task's service time; acks rearm fully.
+        let feed = {
+            let (data, acks) = self.pes[idx].take_feed_counts();
+            let gain = self.pes[idx].task().map_or(1, |t| {
+                let service_scans =
+                    (self.graph.spec(t).service_cycles / self.cfg.aim_period).max(1);
+                service_scans * self.cfg.feed_gain_multiplier
+            });
+            data.saturating_mul(gain).saturating_add(acks.saturating_mul(255))
+        };
+        let mut io = NodeAimIo {
+            router: self.mesh.router_mut(node),
+            pe: &self.pes[idx],
+            neighbours: nb,
+            now,
+            period: self.cfg.aim_period as u64,
+            n_tasks: self.n_tasks,
+            recent_window: self.cfg.recent_demand_window,
+            feed,
+            switch_to: None,
+        };
+        self.models[idx].scan(&mut io);
+        let request = io.switch_to;
+        if let Some(task) = request {
+            self.apply_switch(idx, task, now);
+        }
+    }
+
+    fn apply_switch(&mut self, idx: usize, task: TaskId, now: Cycle) {
+        if !self.pes[idx].is_alive() || self.pes[idx].task() == Some(task) {
+            return;
+        }
+        self.stats.task_switches += 1;
+        let evicted = self.pes[idx].switch_task(task, &self.graph, now, true);
+        let node = NodeId::new(idx as u16);
+        self.mesh.router_mut(node).settings_mut().local_task = Some(task);
+        for pkt in evicted {
+            self.bounce(idx, pkt);
+        }
+    }
+}
+
+/// Per-node AIM view, assembled fresh for each scan.
+#[derive(Debug)]
+struct NodeAimIo<'a> {
+    router: &'a mut Router,
+    pe: &'a ProcessingElement,
+    neighbours: [Option<TaskId>; 4],
+    now: Cycle,
+    period: Cycle,
+    n_tasks: usize,
+    recent_window: Cycle,
+    feed: u32,
+    switch_to: Option<TaskId>,
+}
+
+impl AimIo for NodeAimIo<'_> {
+    fn n_tasks(&self) -> usize {
+        self.n_tasks
+    }
+
+    fn now(&self) -> Cycle {
+        self.now
+    }
+
+    fn scan_period(&self) -> Cycle {
+        self.period
+    }
+
+    fn read_routed(&mut self, buf: &mut [u32]) {
+        self.router.monitors_mut().take_routed_into(buf);
+    }
+
+    fn read_internal(&mut self, buf: &mut [u32]) {
+        self.router.monitors_mut().take_internal_into(buf);
+    }
+
+    fn oldest_waiting(&self) -> Option<(TaskId, Cycle)> {
+        let router_wait = self.router.oldest_waiting_app_packet(self.now);
+        let foreign_wait = self.pe.oldest_foreign(self.now);
+        match (router_wait, foreign_wait) {
+            (Some(a), Some(b)) => Some(if a.1 >= b.1 { a } else { b }),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn recent_demand(&self) -> Option<(TaskId, Cycle)> {
+        let (task, when) = self.router.monitors().recent_routed?;
+        let age = self.now.saturating_sub(when);
+        (age <= self.recent_window).then_some((task, age))
+    }
+
+    fn local_task(&self) -> Option<TaskId> {
+        self.pe.task()
+    }
+
+    fn neighbour_task(&self, dir: usize) -> Option<TaskId> {
+        self.neighbours[dir]
+    }
+
+    fn pe_busy(&self) -> bool {
+        self.pe.is_busy()
+    }
+
+    fn feed_amount(&mut self) -> u32 {
+        std::mem::take(&mut self.feed)
+    }
+
+    fn switch_task(&mut self, task: TaskId) {
+        self.switch_to = Some(task);
+    }
+}
+
+/// Builds the per-node neighbour index table (N, E, S, W).
+fn build_neighbours(dims: sirtm_taskgraph::GridDims) -> Vec<[Option<usize>; 4]> {
+    use sirtm_noc::Direction;
+    (0..dims.len())
+        .map(|i| {
+            let (x, y) = dims.xy(i);
+            let coord = sirtm_noc::Coord::new(x, y);
+            let mut nb = [None; 4];
+            for d in Direction::ALL {
+                nb[d.index()] = coord
+                    .neighbour(d, dims)
+                    .map(|c| c.node(dims).index());
+            }
+            nb
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirtm_core::models::{FfwConfig, NiConfig};
+    use sirtm_rng::Xoshiro256StarStar;
+    use sirtm_taskgraph::workloads::{fork_join, ForkJoinParams};
+    use sirtm_taskgraph::{GridDims, Mapping};
+
+    fn small_cfg() -> PlatformConfig {
+        PlatformConfig {
+            dims: GridDims::new(4, 4),
+            dir_dist_max: 12,
+            ..PlatformConfig::default()
+        }
+    }
+
+    fn graph() -> TaskGraph {
+        fork_join(&ForkJoinParams::default())
+    }
+
+    fn heuristic_platform(model: ModelKind) -> Platform {
+        let cfg = small_cfg();
+        let g = graph();
+        let mapping = Mapping::heuristic(&g, cfg.dims);
+        Platform::new(g, &mapping, &model, cfg)
+    }
+
+    #[test]
+    fn baseline_platform_processes_the_pipeline() {
+        let mut p = heuristic_platform(ModelKind::NoIntelligence);
+        p.run_ms(100.0);
+        // Sources fire every 4 ms; 16 nodes at ratio 1:3:1 hold ~3 sources.
+        let t1 = p.completions(TaskId::new(0));
+        assert!(t1 >= 60, "t1 completions {t1}");
+        let t2 = p.completions(TaskId::new(1));
+        assert!(t2 > 100, "t2 completions {t2}");
+        let t3 = p.completions(TaskId::new(2));
+        assert!(t3 > 30, "t3 joins {t3}");
+        assert_eq!(p.switches_total(), 0, "baseline never switches");
+    }
+
+    #[test]
+    fn baseline_counts_stay_static() {
+        let mut p = heuristic_platform(ModelKind::NoIntelligence);
+        let before = p.task_counts();
+        p.run_ms(60.0);
+        assert_eq!(p.task_counts(), before);
+    }
+
+    #[test]
+    fn ffw_platform_from_random_mapping_reaches_sink() {
+        let cfg = small_cfg();
+        let g = graph();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        let mapping = Mapping::random_uniform(&g, cfg.dims, &mut rng);
+        let model = ModelKind::ForagingForWork(FfwConfig::default());
+        let mut p = Platform::new(g, &mapping, &model, cfg);
+        p.run_ms(200.0);
+        assert!(
+            p.completions(TaskId::new(2)) > 10,
+            "sink completions {} (stats {:?})",
+            p.completions(TaskId::new(2)),
+            p.stats()
+        );
+    }
+
+    #[test]
+    fn ni_platform_switches_tasks() {
+        let cfg = small_cfg();
+        let g = graph();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let mapping = Mapping::random_uniform(&g, cfg.dims, &mut rng);
+        let model = ModelKind::NetworkInteraction(NiConfig::default());
+        let mut p = Platform::new(g, &mapping, &model, cfg);
+        p.run_ms(200.0);
+        assert!(p.switches_total() > 0, "NI must adapt the mapping");
+        assert!(p.completions(TaskId::new(2)) > 0);
+    }
+
+    #[test]
+    fn kill_pe_keeps_router_routing() {
+        let mut p = heuristic_platform(ModelKind::NoIntelligence);
+        p.run_ms(20.0);
+        let victim = NodeId::new(5);
+        p.kill_pe(victim);
+        assert!(!p.pe(victim).is_alive());
+        assert!(p.router(victim).settings().alive, "router survives PE death");
+        let before = p.completions_total();
+        p.run_ms(40.0);
+        assert!(p.completions_total() > before, "system keeps working");
+        assert_eq!(p.alive_count(), 15);
+    }
+
+    #[test]
+    fn nodes_active_tracks_recent_work() {
+        let mut p = heuristic_platform(ModelKind::NoIntelligence);
+        p.run_ms(50.0);
+        let since = p.now() - p.config().ms_to_cycles(10.0);
+        let active = p.nodes_active_since(since);
+        assert!(active > 4, "active nodes {active}");
+        assert!(active <= 16);
+    }
+
+    #[test]
+    fn snapshot_reflects_state() {
+        let mut p = heuristic_platform(ModelKind::NoIntelligence);
+        p.run_ms(30.0);
+        let snap = p.node_snapshot(NodeId::new(0));
+        assert!(snap.alive);
+        assert!(snap.task.is_some());
+        assert_eq!(snap.frequency_mhz, 100);
+    }
+
+    #[test]
+    fn dvfs_clamps_to_range() {
+        let mut p = heuristic_platform(ModelKind::NoIntelligence);
+        p.set_frequency(NodeId::new(0), 5);
+        assert_eq!(p.pe(NodeId::new(0)).frequency_mhz(), 10);
+        p.set_frequency(NodeId::new(0), 900);
+        assert_eq!(p.pe(NodeId::new(0)).frequency_mhz(), 300);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let cfg = small_cfg();
+            let g = graph();
+            let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+            let mapping = Mapping::random_uniform(&g, cfg.dims, &mut rng);
+            let model = ModelKind::ForagingForWork(FfwConfig::default());
+            let mut p = Platform::new(g, &mapping, &model, cfg);
+            p.run_ms(120.0);
+            (
+                p.completions_total(),
+                p.switches_total(),
+                p.task_counts(),
+                p.mesh_stats(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn multicast_policy_serves_the_pipeline_with_fewer_flit_hops() {
+        let run = |policy: crate::config::SendPolicy| {
+            let cfg = PlatformConfig {
+                dims: GridDims::new(4, 4),
+                dir_dist_max: 12,
+                send_policy: policy,
+                opportunistic_delivery: false,
+                ..PlatformConfig::default()
+            };
+            let g = graph();
+            let mapping = Mapping::heuristic(&g, cfg.dims);
+            let mut p = Platform::new(g, &mapping, &ModelKind::NoIntelligence, cfg);
+            p.run_ms(200.0);
+            (
+                p.completions(TaskId::new(2)),
+                p.mesh_stats().flit_hops,
+                p.stats().multicast_groups,
+            )
+        };
+        let (uni_sinks, uni_hops, uni_groups) = run(crate::config::SendPolicy::RoundRobin);
+        let (mc_sinks, mc_hops, mc_groups) = run(crate::config::SendPolicy::Multicast);
+        assert_eq!(uni_groups, 0);
+        assert!(mc_groups > 10, "fork waves went out as trees: {mc_groups}");
+        // The application behaves: the join stage still fills at a
+        // comparable rate.
+        assert!(
+            mc_sinks as f64 > uni_sinks as f64 * 0.8,
+            "multicast sinks {mc_sinks} vs unicast {uni_sinks}"
+        );
+        assert!(mc_sinks > 10);
+        // And the fabric carried measurably fewer flits per sink.
+        let uni_cost = uni_hops as f64 / uni_sinks as f64;
+        let mc_cost = mc_hops as f64 / mc_sinks as f64;
+        assert!(
+            mc_cost < uni_cost,
+            "tree distribution saves fabric work: {mc_cost:.1} vs {uni_cost:.1} hops/sink"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "opportunistic delivery disabled")]
+    fn multicast_with_opportunistic_delivery_rejected() {
+        let cfg = PlatformConfig {
+            send_policy: crate::config::SendPolicy::Multicast,
+            opportunistic_delivery: true,
+            ..PlatformConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn rcap_aim_write_reconfigures_model_in_flight() {
+        let mut p = heuristic_platform(ModelKind::NetworkInteraction(NiConfig {
+            threshold: 200,
+            ..NiConfig::default()
+        }));
+        // Remotely retune node 9 via config packets: drop its switch
+        // threshold AND clear its task-fixation gate so it follows the
+        // traffic stimulus immediately.
+        for (reg, value) in [
+            (sirtm_core::models::regs::NI_THRESHOLD, 2),
+            (sirtm_core::models::regs::NI_FIXATION, 0),
+        ] {
+            p.send_config(
+                NodeId::new(0),
+                NodeId::new(9),
+                sirtm_noc::RcapCommand::AimWrite { reg, value },
+            );
+        }
+        p.run_ms(100.0);
+        // With threshold 2 and no fixation, node 9 must have fired while
+        // the rest (threshold 200, fixated) did not.
+        assert!(p.switches_total() >= 1, "reconfigured node adapts");
+    }
+}

@@ -1,0 +1,195 @@
+//! Individual colony members.
+
+/// What an individual is doing right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AgentState {
+    /// Unengaged, sampling stimuli.
+    #[default]
+    Idle,
+    /// Performing the given task (index into the environment's tasks).
+    Performing(usize),
+}
+
+/// One colony member: current state, per-task response thresholds and
+/// lifetime task-time bookkeeping (the raw material of the
+/// division-of-labour metrics).
+///
+/// # Examples
+///
+/// ```
+/// use sirtm_colony::{Agent, AgentState};
+///
+/// let mut ant = Agent::new(vec![5.0, 5.0]);
+/// assert_eq!(ant.state(), AgentState::Idle);
+/// ant.engage(1);
+/// ant.record_step();
+/// ant.quit();
+/// assert_eq!(ant.time_on_task(1), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Agent {
+    state: AgentState,
+    thresholds: Vec<f64>,
+    time_per_task: Vec<u64>,
+    switches: u64,
+    alive: bool,
+}
+
+impl Agent {
+    /// Creates an idle, alive agent with the given per-task thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thresholds` is empty or contains a non-positive value.
+    pub fn new(thresholds: Vec<f64>) -> Self {
+        assert!(!thresholds.is_empty(), "agent needs at least one task");
+        assert!(
+            thresholds.iter().all(|t| t.is_finite() && *t > 0.0),
+            "thresholds must be positive and finite"
+        );
+        let n = thresholds.len();
+        Self {
+            state: AgentState::Idle,
+            thresholds,
+            time_per_task: vec![0; n],
+            switches: 0,
+            alive: true,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> AgentState {
+        self.state
+    }
+
+    /// The task being performed, if any.
+    pub fn task(&self) -> Option<usize> {
+        match self.state {
+            AgentState::Idle => None,
+            AgentState::Performing(t) => Some(t),
+        }
+    }
+
+    /// Whether this agent is alive.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Per-task response thresholds.
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+
+    /// Mutable thresholds (the learning models adapt them).
+    pub fn thresholds_mut(&mut self) -> &mut [f64] {
+        &mut self.thresholds
+    }
+
+    /// Steps spent on `task` over this agent's lifetime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    pub fn time_on_task(&self, task: usize) -> u64 {
+        self.time_per_task[task]
+    }
+
+    /// Lifetime task-time distribution.
+    pub fn task_times(&self) -> &[u64] {
+        &self.time_per_task
+    }
+
+    /// Lifetime engagements (idle → performing transitions).
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Starts performing `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range or the agent is dead.
+    pub fn engage(&mut self, task: usize) {
+        assert!(task < self.thresholds.len(), "task out of range");
+        assert!(self.alive, "dead agents cannot engage");
+        if self.state != AgentState::Performing(task) {
+            self.switches += 1;
+        }
+        self.state = AgentState::Performing(task);
+    }
+
+    /// Returns to idle.
+    pub fn quit(&mut self) {
+        self.state = AgentState::Idle;
+    }
+
+    /// Records one step of activity in the lifetime tally.
+    pub fn record_step(&mut self) {
+        if let AgentState::Performing(t) = self.state {
+            self.time_per_task[t] += 1;
+        }
+    }
+
+    /// Kills the agent (colony-level fault injection). A dead agent is
+    /// idle forever and invisible to the allocation.
+    pub fn kill(&mut self) {
+        self.alive = false;
+        self.state = AgentState::Idle;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engage_counts_switches_once_per_change() {
+        let mut a = Agent::new(vec![1.0, 1.0]);
+        a.engage(0);
+        a.engage(0); // no change
+        a.engage(1);
+        assert_eq!(a.switches(), 2);
+    }
+
+    #[test]
+    fn record_accumulates_only_while_performing() {
+        let mut a = Agent::new(vec![1.0, 1.0]);
+        a.record_step();
+        a.engage(1);
+        a.record_step();
+        a.record_step();
+        a.quit();
+        a.record_step();
+        assert_eq!(a.task_times(), &[0, 2]);
+    }
+
+    #[test]
+    fn killed_agent_idles_forever() {
+        let mut a = Agent::new(vec![1.0]);
+        a.engage(0);
+        a.kill();
+        assert!(!a.is_alive());
+        assert_eq!(a.state(), AgentState::Idle);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead agents")]
+    fn dead_agent_cannot_engage() {
+        let mut a = Agent::new(vec![1.0]);
+        a.kill();
+        a.engage(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "task out of range")]
+    fn out_of_range_task_rejected() {
+        let mut a = Agent::new(vec![1.0]);
+        a.engage(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn non_positive_threshold_rejected() {
+        Agent::new(vec![1.0, 0.0]);
+    }
+}

@@ -1,0 +1,350 @@
+//! The task environment: per-task stimulus driven by demand and eroded
+//! by work.
+
+/// How task demand evolves over time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DemandProfile {
+    /// Demand rates fixed for the whole run.
+    Constant(Vec<f64>),
+    /// Demand switches from `before` to `after` at step `at`.
+    Step {
+        /// Rates until the switch.
+        before: Vec<f64>,
+        /// Rates from the switch on.
+        after: Vec<f64>,
+        /// The switch instant, in steps.
+        at: u64,
+    },
+    /// Base demand with a transient surge on one task during a window
+    /// (build with [`DemandProfile::pulse`], which precomputes the
+    /// boosted vector).
+    Pulse {
+        /// Rates outside the surge window.
+        base: Vec<f64>,
+        /// Rates inside the surge window.
+        boosted: Vec<f64>,
+        /// First step of the surge (inclusive).
+        from: u64,
+        /// End of the surge (exclusive).
+        until: u64,
+    },
+}
+
+impl DemandProfile {
+    /// Builds a pulse profile: `base` demand everywhere, plus `extra`
+    /// on `task` during `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range, `extra` is negative or the
+    /// window is empty.
+    pub fn pulse(base: Vec<f64>, task: usize, extra: f64, from: u64, until: u64) -> Self {
+        assert!(task < base.len(), "pulse task out of range");
+        assert!(extra >= 0.0, "pulse extra must be non-negative");
+        assert!(from < until, "pulse window is empty");
+        let mut boosted = base.clone();
+        boosted[task] += extra;
+        DemandProfile::Pulse {
+            base,
+            boosted,
+            from,
+            until,
+        }
+    }
+
+    /// Number of tasks this profile describes.
+    pub fn n_tasks(&self) -> usize {
+        match self {
+            DemandProfile::Constant(rates) => rates.len(),
+            DemandProfile::Step { before, .. } => before.len(),
+            DemandProfile::Pulse { base, .. } => base.len(),
+        }
+    }
+
+    /// Demand rates at step `now`.
+    pub fn rates(&self, now: u64) -> &[f64] {
+        match self {
+            DemandProfile::Constant(rates) => rates,
+            DemandProfile::Step { before, after, at } => {
+                if now < *at {
+                    before
+                } else {
+                    after
+                }
+            }
+            DemandProfile::Pulse {
+                base,
+                boosted,
+                from,
+                until,
+            } => {
+                if (*from..*until).contains(&now) {
+                    boosted
+                } else {
+                    base
+                }
+            }
+        }
+    }
+
+    /// Validates the profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate vector is empty, has mismatched lengths, or
+    /// contains negative/non-finite rates.
+    pub fn validate(&self) {
+        let check = |rates: &[f64]| {
+            assert!(!rates.is_empty(), "demand profile needs at least one task");
+            assert!(
+                rates.iter().all(|r| r.is_finite() && *r >= 0.0),
+                "demand rates must be finite and non-negative"
+            );
+        };
+        match self {
+            DemandProfile::Constant(rates) => check(rates),
+            DemandProfile::Step { before, after, .. } => {
+                check(before);
+                check(after);
+                assert_eq!(before.len(), after.len(), "step profile length mismatch");
+            }
+            DemandProfile::Pulse {
+                base,
+                boosted,
+                from,
+                until,
+            } => {
+                check(base);
+                check(boosted);
+                assert_eq!(base.len(), boosted.len(), "pulse profile length mismatch");
+                assert!(from < until, "pulse window is empty");
+            }
+        }
+    }
+}
+
+/// Per-task stimulus dynamics: every step, stimulus `j` grows by its
+/// demand rate and shrinks by `work_rate` for each individual performing
+/// task `j`, clamped to `[0, s_max]`.
+///
+/// This is the standard environment of the response-threshold literature
+/// (Bonabeau et al. 1996): unattended tasks accumulate urgency, attended
+/// tasks are relieved of it.
+///
+/// # Examples
+///
+/// ```
+/// use sirtm_colony::Environment;
+///
+/// let mut env = Environment::constant_demand(&[1.0, 0.5], 0.2);
+/// env.step(&[0, 0]); // nobody working: both stimuli grow
+/// assert!(env.stimulus()[0] > env.stimulus()[1]);
+/// env.step(&[10, 0]); // ten workers on task 0 more than offset its demand
+/// assert!(env.stimulus()[0] < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Environment {
+    profile: DemandProfile,
+    stimulus: Vec<f64>,
+    work_rate: f64,
+    s_max: f64,
+    now: u64,
+}
+
+impl Environment {
+    /// Stimulus ceiling used by [`Environment::new`] callers that do not
+    /// override it; keeps unattended tasks from growing without bound,
+    /// as any physical queue or pheromone concentration would saturate.
+    pub const DEFAULT_S_MAX: f64 = 100.0;
+
+    /// Creates an environment with the given profile; all stimuli start
+    /// at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is invalid (see [`DemandProfile::validate`])
+    /// or `work_rate` is not positive.
+    pub fn new(profile: DemandProfile, work_rate: f64, s_max: f64) -> Self {
+        profile.validate();
+        assert!(work_rate > 0.0, "work rate must be positive");
+        assert!(s_max > 0.0, "stimulus ceiling must be positive");
+        let n = profile.n_tasks();
+        Self {
+            profile,
+            stimulus: vec![0.0; n],
+            work_rate,
+            s_max,
+            now: 0,
+        }
+    }
+
+    /// Convenience constructor for a constant-demand environment with
+    /// the default stimulus ceiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Environment::new`].
+    pub fn constant_demand(rates: &[f64], work_rate: f64) -> Self {
+        Self::new(
+            DemandProfile::Constant(rates.to_vec()),
+            work_rate,
+            Self::DEFAULT_S_MAX,
+        )
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.stimulus.len()
+    }
+
+    /// Current per-task stimulus.
+    pub fn stimulus(&self) -> &[f64] {
+        &self.stimulus
+    }
+
+    /// Current step count.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The demand rates in force right now.
+    pub fn current_rates(&self) -> &[f64] {
+        self.profile.rates(self.now)
+    }
+
+    /// The per-performer work rate.
+    pub fn work_rate(&self) -> f64 {
+        self.work_rate
+    }
+
+    /// Advances one step given `performers[j]` individuals working task
+    /// `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `performers.len()` differs from the task count.
+    pub fn step(&mut self, performers: &[usize]) {
+        assert_eq!(performers.len(), self.stimulus.len(), "performer vector size");
+        let rates = self.profile.rates(self.now);
+        for j in 0..self.stimulus.len() {
+            let delta = rates[j] - self.work_rate * performers[j] as f64;
+            self.stimulus[j] = (self.stimulus[j] + delta).clamp(0.0, self.s_max);
+        }
+        self.now += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unattended_stimulus_grows_with_demand() {
+        let mut env = Environment::constant_demand(&[0.5], 0.1);
+        for _ in 0..10 {
+            env.step(&[0]);
+        }
+        assert!((env.stimulus()[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workers_erode_stimulus() {
+        let mut env = Environment::constant_demand(&[0.5], 0.1);
+        for _ in 0..10 {
+            env.step(&[0]);
+        }
+        // 10 workers remove 1.0/step against 0.5/step demand.
+        for _ in 0..20 {
+            env.step(&[10]);
+        }
+        assert_eq!(env.stimulus()[0], 0.0, "floor at zero");
+    }
+
+    #[test]
+    fn stimulus_saturates_at_ceiling() {
+        let mut env = Environment::new(DemandProfile::Constant(vec![10.0]), 1.0, 25.0);
+        for _ in 0..100 {
+            env.step(&[0]);
+        }
+        assert_eq!(env.stimulus()[0], 25.0);
+    }
+
+    #[test]
+    fn step_profile_switches_rates() {
+        let mut env = Environment::new(
+            DemandProfile::Step {
+                before: vec![1.0, 0.0],
+                after: vec![0.0, 1.0],
+                at: 5,
+            },
+            0.1,
+            100.0,
+        );
+        for _ in 0..5 {
+            env.step(&[0, 0]);
+        }
+        assert_eq!(env.stimulus(), &[5.0, 0.0]);
+        for _ in 0..5 {
+            env.step(&[0, 0]);
+        }
+        assert_eq!(env.stimulus(), &[5.0, 5.0], "post-switch only task 1 grows");
+    }
+
+    #[test]
+    fn pulse_profile_surges_and_relaxes() {
+        let profile = DemandProfile::pulse(vec![0.5, 0.5], 1, 2.0, 10, 20);
+        let mut env = Environment::new(profile, 0.1, 100.0);
+        for _ in 0..10 {
+            env.step(&[0, 0]);
+        }
+        let before = env.stimulus().to_vec();
+        assert_eq!(before[0], before[1], "symmetric before the pulse");
+        for _ in 0..10 {
+            env.step(&[0, 0]);
+        }
+        let during = env.stimulus().to_vec();
+        assert!(
+            during[1] - during[0] > 15.0,
+            "task 1 surges during the pulse: {during:?}"
+        );
+        for _ in 0..5 {
+            env.step(&[0, 0]);
+        }
+        // After the window both grow at the base rate again.
+        let after = env.stimulus().to_vec();
+        assert!((after[1] - during[1] - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "pulse window is empty")]
+    fn empty_pulse_window_rejected() {
+        DemandProfile::pulse(vec![1.0], 0, 1.0, 5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "pulse task out of range")]
+    fn pulse_task_out_of_range_rejected() {
+        DemandProfile::pulse(vec![1.0], 3, 1.0, 0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_step_profile_rejected() {
+        Environment::new(
+            DemandProfile::Step {
+                before: vec![1.0],
+                after: vec![1.0, 2.0],
+                at: 1,
+            },
+            0.1,
+            100.0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "performer vector")]
+    fn wrong_performer_length_panics() {
+        let mut env = Environment::constant_demand(&[1.0, 1.0], 0.1);
+        env.step(&[0]);
+    }
+}

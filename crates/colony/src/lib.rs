@@ -1,0 +1,62 @@
+//! Agent-based social-insect colony models — the biology behind the
+//! embedded intelligence.
+//!
+//! Fig. 1 of the paper catalogues six classes of division-of-labour
+//! model from the entomology literature (Beshers & Fewell 2001), each
+//! defined by what information an individual uses to choose its task.
+//! The embedded NI/FFW engines in `sirtm-core` are hardware
+//! specialisations of classes 2 and 5; this crate provides the *full*
+//! taxonomy as plain, substrate-free algorithms, so the biological
+//! behaviour each hardware model is supposed to inherit can be studied,
+//! regression-tested and compared directly:
+//!
+//! | Fig. 1 class | Type |
+//! |---|---|
+//! | 1. Response thresholds | [`FixedThresholdColony`] |
+//! | 2. Integrated information transfer | [`InfoTransferColony`] |
+//! | 3. Self-reinforcement | [`SelfReinforcementColony`] |
+//! | 4. Social inhibition | [`SocialInhibitionColony`] |
+//! | 5. Foraging for work | [`ForagingForWorkColony`] |
+//! | 6. Network task allocation (differential equations) | [`MeanFieldColony`] |
+//!
+//! All stochastic colonies implement [`ColonyModel`]; the deterministic
+//! mean-field model (class 6) doubles as the analytic cross-check that
+//! the agent-based classes converge to (law of large numbers).
+//!
+//! The emergent properties the paper builds on — demand-proportional
+//! task allocation with no central coordinator, and re-allocation after
+//! a third of the colony dies — are asserted as integration tests in
+//! `tests/behaviour.rs`.
+//!
+//! # Examples
+//!
+//! ```
+//! use sirtm_colony::{ColonyModel, Environment, FixedThresholdColony, ThresholdParams};
+//!
+//! // Two tasks with demand in a 2:1 ratio.
+//! let env = Environment::constant_demand(&[2.0, 1.0], 0.1);
+//! let mut colony = FixedThresholdColony::new(120, env, ThresholdParams::default(), 7);
+//! for _ in 0..600 {
+//!     colony.step();
+//! }
+//! let alloc = colony.allocation();
+//! assert!(alloc[0] > alloc[1], "more workers on the higher-demand task");
+//! ```
+
+pub mod agent;
+pub mod env;
+pub mod metrics;
+pub mod model;
+pub mod models;
+pub mod response;
+
+pub use agent::{Agent, AgentState};
+pub use env::{DemandProfile, Environment};
+pub use metrics::{allocation_error, mean_individual_entropy, specialisation_index};
+pub use model::ColonyModel;
+pub use models::fixed_threshold::{FixedThresholdColony, ThresholdParams};
+pub use models::foraging::{ForagingForWorkColony, ForagingParams};
+pub use models::info_transfer::{InfoTransferColony, InfoTransferParams};
+pub use models::mean_field::{MeanFieldColony, MeanFieldParams};
+pub use models::self_reinforcement::{SelfReinforcementColony, SelfReinforcementParams};
+pub use models::social_inhibition::{SocialInhibitionColony, SocialInhibitionParams};

@@ -1,0 +1,73 @@
+//! The common interface over all agent-based colony models.
+
+use std::fmt;
+
+/// A steppable colony: the shared surface of the Fig. 1 model classes.
+///
+/// Every implementation owns its agents, its environment and its RNG, so
+/// a colony constructed with the same parameters and seed replays
+/// bit-identically.
+pub trait ColonyModel: fmt::Debug {
+    /// Short stable name used in reports ("fixed-threshold", "ffw", …).
+    fn name(&self) -> &'static str;
+
+    /// Number of tasks.
+    fn n_tasks(&self) -> usize;
+
+    /// Number of agents still alive.
+    fn alive_agents(&self) -> usize;
+
+    /// Advances the colony by one time step.
+    fn step(&mut self);
+
+    /// Number of alive agents currently performing each task.
+    fn allocation(&self) -> Vec<usize>;
+
+    /// The per-task stimulus the colony currently perceives (for the
+    /// work-conserving models this is queue depth expressed as stimulus).
+    fn stimulus(&self) -> Vec<f64>;
+
+    /// Total work completed so far, in work units (model-specific scale;
+    /// comparable within a model across configurations).
+    fn work_done(&self) -> f64;
+
+    /// Kills `count` agents chosen by the colony's own RNG — the
+    /// colony-level analogue of the paper's node-fault injection.
+    /// Killing more agents than are alive kills them all.
+    fn kill_agents(&mut self, count: usize);
+}
+
+/// Runs `colony` for `steps` steps and returns the allocation history
+/// sampled every `sample_every` steps (a convenience for experiments and
+/// plots).
+///
+/// # Panics
+///
+/// Panics if `sample_every` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use sirtm_colony::{model::run_sampled, ColonyModel, Environment, FixedThresholdColony,
+///     ThresholdParams};
+///
+/// let env = Environment::constant_demand(&[1.0], 0.1);
+/// let mut colony = FixedThresholdColony::new(20, env, ThresholdParams::default(), 1);
+/// let history = run_sampled(&mut colony, 100, 10);
+/// assert_eq!(history.len(), 10);
+/// ```
+pub fn run_sampled(
+    colony: &mut dyn ColonyModel,
+    steps: u64,
+    sample_every: u64,
+) -> Vec<Vec<usize>> {
+    assert!(sample_every > 0, "sample interval must be non-zero");
+    let mut history = Vec::new();
+    for i in 1..=steps {
+        colony.step();
+        if i.is_multiple_of(sample_every) {
+            history.push(colony.allocation());
+        }
+    }
+    history
+}

@@ -1,0 +1,273 @@
+//! Class 1: fixed response thresholds (Bonabeau et al. 1996).
+
+use sirtm_rng::{Rng, Xoshiro256StarStar};
+
+use crate::agent::Agent;
+use crate::env::Environment;
+use crate::model::ColonyModel;
+use crate::response::response_probability;
+
+/// Parameters of the fixed-threshold colony.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdParams {
+    /// Mean response threshold.
+    pub theta_mean: f64,
+    /// Half-width of the uniform per-agent threshold jitter, as a
+    /// fraction of the mean (0.2 = ±20 %). Zero makes identical agents.
+    pub theta_jitter: f64,
+    /// Probability per step that a performing agent spontaneously quits.
+    pub p_quit: f64,
+}
+
+impl Default for ThresholdParams {
+    fn default() -> Self {
+        Self {
+            theta_mean: 10.0,
+            theta_jitter: 0.2,
+            p_quit: 0.05,
+        }
+    }
+}
+
+impl ThresholdParams {
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive mean, jitter outside `[0, 1)` or a quit
+    /// probability outside `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.theta_mean > 0.0, "theta mean must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.theta_jitter),
+            "jitter must be in [0, 1)"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.p_quit),
+            "quit probability must be in [0, 1]"
+        );
+    }
+
+    /// Draws one agent's threshold vector.
+    pub(crate) fn draw_thresholds<R: Rng>(&self, n_tasks: usize, rng: &mut R) -> Vec<f64> {
+        (0..n_tasks)
+            .map(|_| {
+                let jitter = (rng.unit_f64() * 2.0 - 1.0) * self.theta_jitter;
+                self.theta_mean * (1.0 + jitter)
+            })
+            .collect()
+    }
+}
+
+/// The class-1 colony: individuals engage a uniformly sampled task with
+/// probability `s²/(s²+θ²)` and quit spontaneously.
+///
+/// See the [crate docs](crate) for a runnable example.
+#[derive(Debug, Clone)]
+pub struct FixedThresholdColony {
+    env: Environment,
+    agents: Vec<Agent>,
+    params: ThresholdParams,
+    rng: Xoshiro256StarStar,
+    work_done: f64,
+}
+
+impl FixedThresholdColony {
+    /// Creates a colony of `n_agents` with thresholds drawn from
+    /// `params`, seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_agents` is zero or `params` are invalid.
+    pub fn new(n_agents: usize, env: Environment, params: ThresholdParams, seed: u64) -> Self {
+        params.validate();
+        assert!(n_agents > 0, "colony needs at least one agent");
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let n_tasks = env.n_tasks();
+        let agents = (0..n_agents)
+            .map(|_| Agent::new(params.draw_thresholds(n_tasks, &mut rng)))
+            .collect();
+        Self {
+            env,
+            agents,
+            params,
+            rng,
+            work_done: 0.0,
+        }
+    }
+
+    /// The agents (for the division-of-labour metrics).
+    pub fn agents(&self) -> &[Agent] {
+        &self.agents
+    }
+
+    /// The environment.
+    pub fn environment(&self) -> &Environment {
+        &self.env
+    }
+}
+
+impl ColonyModel for FixedThresholdColony {
+    fn name(&self) -> &'static str {
+        "fixed-threshold"
+    }
+
+    fn n_tasks(&self) -> usize {
+        self.env.n_tasks()
+    }
+
+    fn alive_agents(&self) -> usize {
+        self.agents.iter().filter(|a| a.is_alive()).count()
+    }
+
+    fn step(&mut self) {
+        let alloc = self.allocation();
+        self.work_done += alloc.iter().sum::<usize>() as f64 * self.env.work_rate();
+        self.env.step(&alloc);
+        let stim = self.env.stimulus().to_vec();
+        let n_tasks = stim.len();
+        for agent in &mut self.agents {
+            if !agent.is_alive() {
+                continue;
+            }
+            match agent.task() {
+                Some(_) => {
+                    if self.rng.chance(self.params.p_quit) {
+                        agent.quit();
+                    }
+                }
+                None => {
+                    let j = self.rng.below_u64(n_tasks as u64) as usize;
+                    let p = response_probability(stim[j], agent.thresholds()[j]);
+                    if self.rng.chance(p) {
+                        agent.engage(j);
+                    }
+                }
+            }
+            agent.record_step();
+        }
+    }
+
+    fn allocation(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.env.n_tasks()];
+        for a in &self.agents {
+            if a.is_alive() {
+                if let Some(t) = a.task() {
+                    counts[t] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    fn stimulus(&self) -> Vec<f64> {
+        self.env.stimulus().to_vec()
+    }
+
+    fn work_done(&self) -> f64 {
+        self.work_done
+    }
+
+    fn kill_agents(&mut self, count: usize) {
+        let alive: Vec<usize> = (0..self.agents.len())
+            .filter(|&i| self.agents[i].is_alive())
+            .collect();
+        let k = count.min(alive.len());
+        for idx in self.rng.sample_indices(alive.len(), k) {
+            self.agents[alive[idx]].kill();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn colony(n: usize, rates: &[f64], seed: u64) -> FixedThresholdColony {
+        FixedThresholdColony::new(
+            n,
+            Environment::constant_demand(rates, 0.1),
+            ThresholdParams::default(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn colony_engages_under_demand() {
+        let mut c = colony(50, &[1.0], 1);
+        for _ in 0..200 {
+            c.step();
+        }
+        assert!(c.allocation()[0] > 0, "demand recruits workers");
+        assert!(c.work_done() > 0.0);
+    }
+
+    #[test]
+    fn allocation_never_exceeds_alive_agents() {
+        let mut c = colony(30, &[1.0, 2.0, 0.5], 2);
+        for _ in 0..300 {
+            c.step();
+            let total: usize = c.allocation().iter().sum();
+            assert!(total <= c.alive_agents());
+        }
+    }
+
+    #[test]
+    fn higher_demand_recruits_more_workers() {
+        let mut c = colony(150, &[2.0, 0.4], 3);
+        for _ in 0..800 {
+            c.step();
+        }
+        // Average over a window to smooth stochastic wobble.
+        let mut sums = [0usize; 2];
+        for _ in 0..200 {
+            c.step();
+            let a = c.allocation();
+            sums[0] += a[0];
+            sums[1] += a[1];
+        }
+        assert!(
+            sums[0] > sums[1],
+            "task 0 (5x demand) holds more workers: {sums:?}"
+        );
+    }
+
+    #[test]
+    fn kill_agents_reduces_alive_count() {
+        let mut c = colony(40, &[1.0], 4);
+        c.kill_agents(15);
+        assert_eq!(c.alive_agents(), 25);
+        c.kill_agents(1000);
+        assert_eq!(c.alive_agents(), 0);
+        // A dead colony still steps without panicking.
+        c.step();
+        assert_eq!(c.allocation(), vec![0]);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut c = colony(60, &[1.0, 1.0], 9);
+            for _ in 0..400 {
+                c.step();
+            }
+            (c.allocation(), c.work_done().to_bits())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_demand_colony_stays_idle() {
+        let mut c = colony(30, &[0.0, 0.0], 5);
+        for _ in 0..100 {
+            c.step();
+        }
+        assert_eq!(c.allocation(), vec![0, 0], "no stimulus, no engagement");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one agent")]
+    fn empty_colony_rejected() {
+        colony(0, &[1.0], 1);
+    }
+}

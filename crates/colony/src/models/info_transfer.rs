@@ -1,0 +1,292 @@
+//! Class 2: integrated information transfer (response thresholds plus
+//! contact-based information exchange between individuals).
+//!
+//! An idle individual no longer senses only the raw environmental
+//! stimulus: it also samples a few nestmates and blends what they are
+//! working on into its perceived stimulus (recruitment by contact — the
+//! tandem-running/antennation channel of real ants). In the hardware
+//! mapping this is exactly the Network Interaction model's monitored
+//! packet stream: traffic *is* the contact information.
+
+use sirtm_rng::{Rng, Xoshiro256StarStar};
+
+use crate::agent::Agent;
+use crate::env::Environment;
+use crate::model::ColonyModel;
+use crate::models::fixed_threshold::ThresholdParams;
+use crate::response::response_probability;
+
+/// Parameters of the information-transfer colony.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InfoTransferParams {
+    /// The underlying response-threshold parameters.
+    pub base: ThresholdParams,
+    /// Nestmates sampled per decision.
+    pub contacts: usize,
+    /// Blend weight of social information in the perceived stimulus
+    /// (0 = pure class 1, 1 = pure hearsay).
+    pub social_weight: f64,
+    /// Stimulus value a unanimous contact sample is worth.
+    pub social_gain: f64,
+}
+
+impl Default for InfoTransferParams {
+    fn default() -> Self {
+        Self {
+            base: ThresholdParams::default(),
+            contacts: 3,
+            social_weight: 0.4,
+            social_gain: 20.0,
+        }
+    }
+}
+
+impl InfoTransferParams {
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base parameters are invalid, `contacts` is zero, or
+    /// the weight is outside `[0, 1]`.
+    pub fn validate(&self) {
+        self.base.validate();
+        assert!(self.contacts > 0, "need at least one contact");
+        assert!(
+            (0.0..=1.0).contains(&self.social_weight),
+            "social weight must be in [0, 1]"
+        );
+        assert!(self.social_gain >= 0.0, "social gain must be non-negative");
+    }
+}
+
+/// The class-2 colony.
+///
+/// # Examples
+///
+/// ```
+/// use sirtm_colony::{ColonyModel, Environment, InfoTransferColony, InfoTransferParams};
+///
+/// let env = Environment::constant_demand(&[1.0, 1.0], 0.1);
+/// let mut colony = InfoTransferColony::new(60, env, InfoTransferParams::default(), 3);
+/// for _ in 0..300 {
+///     colony.step();
+/// }
+/// assert!(colony.allocation().iter().sum::<usize>() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InfoTransferColony {
+    env: Environment,
+    agents: Vec<Agent>,
+    params: InfoTransferParams,
+    rng: Xoshiro256StarStar,
+    work_done: f64,
+}
+
+impl InfoTransferColony {
+    /// Creates a colony of `n_agents`, seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_agents` is zero or `params` are invalid.
+    pub fn new(n_agents: usize, env: Environment, params: InfoTransferParams, seed: u64) -> Self {
+        params.validate();
+        assert!(n_agents > 0, "colony needs at least one agent");
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let n_tasks = env.n_tasks();
+        let agents = (0..n_agents)
+            .map(|_| Agent::new(params.base.draw_thresholds(n_tasks, &mut rng)))
+            .collect();
+        Self {
+            env,
+            agents,
+            params,
+            rng,
+            work_done: 0.0,
+        }
+    }
+
+    /// The agents (for the division-of-labour metrics).
+    pub fn agents(&self) -> &[Agent] {
+        &self.agents
+    }
+
+    /// Perceived stimulus of task `j` for an agent whose contact sample
+    /// found `hits` of `contacts` nestmates performing `j`.
+    fn perceived(&self, raw: f64, hits: usize) -> f64 {
+        let social = self.params.social_gain * hits as f64 / self.params.contacts as f64;
+        (1.0 - self.params.social_weight) * raw + self.params.social_weight * social
+    }
+}
+
+impl ColonyModel for InfoTransferColony {
+    fn name(&self) -> &'static str {
+        "info-transfer"
+    }
+
+    fn n_tasks(&self) -> usize {
+        self.env.n_tasks()
+    }
+
+    fn alive_agents(&self) -> usize {
+        self.agents.iter().filter(|a| a.is_alive()).count()
+    }
+
+    fn step(&mut self) {
+        let alloc = self.allocation();
+        self.work_done += alloc.iter().sum::<usize>() as f64 * self.env.work_rate();
+        self.env.step(&alloc);
+        let stim = self.env.stimulus().to_vec();
+        let n_tasks = stim.len();
+        let n_agents = self.agents.len();
+        for i in 0..n_agents {
+            if !self.agents[i].is_alive() {
+                continue;
+            }
+            match self.agents[i].task() {
+                Some(_) => {
+                    if self.rng.chance(self.params.base.p_quit) {
+                        self.agents[i].quit();
+                    }
+                }
+                None => {
+                    let j = self.rng.below_u64(n_tasks as u64) as usize;
+                    // Contact sample: who of `contacts` random nestmates
+                    // is performing j right now?
+                    let mut hits = 0;
+                    for _ in 0..self.params.contacts {
+                        let other = self.rng.below_u64(n_agents as u64) as usize;
+                        if other != i && self.agents[other].task() == Some(j) {
+                            hits += 1;
+                        }
+                    }
+                    let s = self.perceived(stim[j], hits);
+                    let p = response_probability(s, self.agents[i].thresholds()[j]);
+                    if self.rng.chance(p) {
+                        self.agents[i].engage(j);
+                    }
+                }
+            }
+            self.agents[i].record_step();
+        }
+    }
+
+    fn allocation(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.env.n_tasks()];
+        for a in &self.agents {
+            if a.is_alive() {
+                if let Some(t) = a.task() {
+                    counts[t] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    fn stimulus(&self) -> Vec<f64> {
+        self.env.stimulus().to_vec()
+    }
+
+    fn work_done(&self) -> f64 {
+        self.work_done
+    }
+
+    fn kill_agents(&mut self, count: usize) {
+        let alive: Vec<usize> = (0..self.agents.len())
+            .filter(|&i| self.agents[i].is_alive())
+            .collect();
+        let k = count.min(alive.len());
+        for idx in self.rng.sample_indices(alive.len(), k) {
+            self.agents[alive[idx]].kill();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recruits_like_class_one_under_demand() {
+        let env = Environment::constant_demand(&[1.5, 0.3], 0.1);
+        let mut c = InfoTransferColony::new(100, env, InfoTransferParams::default(), 11);
+        for _ in 0..600 {
+            c.step();
+        }
+        let mut sums = [0usize; 2];
+        for _ in 0..200 {
+            c.step();
+            let a = c.allocation();
+            sums[0] += a[0];
+            sums[1] += a[1];
+        }
+        assert!(sums[0] > sums[1], "demand ordering preserved: {sums:?}");
+    }
+
+    #[test]
+    fn social_channel_amplifies_recruitment() {
+        // With zero raw weight on the environment, recruitment can only
+        // spread through contacts: seed one performer, watch it amplify.
+        let env = Environment::constant_demand(&[0.0], 0.1);
+        let params = InfoTransferParams {
+            social_weight: 1.0,
+            base: ThresholdParams {
+                p_quit: 0.0,
+                ..ThresholdParams::default()
+            },
+            ..InfoTransferParams::default()
+        };
+        let mut c = InfoTransferColony::new(60, env, params, 5);
+        // Nobody can start from hearsay alone without a seed performer.
+        for _ in 0..50 {
+            c.step();
+        }
+        assert_eq!(c.allocation()[0], 0, "no seed, no recruitment");
+        c.agents[0].engage(0);
+        for _ in 0..400 {
+            c.step();
+        }
+        assert!(
+            c.allocation()[0] > 10,
+            "one seed recruits through contacts alone: {:?}",
+            c.allocation()
+        );
+    }
+
+    #[test]
+    fn perceived_blends_raw_and_social() {
+        let env = Environment::constant_demand(&[1.0], 0.1);
+        let c = InfoTransferColony::new(10, env, InfoTransferParams::default(), 1);
+        let none = c.perceived(10.0, 0);
+        let all = c.perceived(10.0, c.params.contacts);
+        assert!((none - 6.0).abs() < 1e-12, "raw-only term");
+        assert!((all - (6.0 + 8.0)).abs() < 1e-12, "full social term");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let env = Environment::constant_demand(&[1.0, 1.0], 0.1);
+            let mut c = InfoTransferColony::new(40, env, InfoTransferParams::default(), 2);
+            for _ in 0..300 {
+                c.step();
+            }
+            c.allocation()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "social weight")]
+    fn out_of_range_weight_rejected() {
+        let env = Environment::constant_demand(&[1.0], 0.1);
+        InfoTransferColony::new(
+            10,
+            env,
+            InfoTransferParams {
+                social_weight: 1.5,
+                ..InfoTransferParams::default()
+            },
+            1,
+        );
+    }
+}

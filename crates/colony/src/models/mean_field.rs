@@ -1,0 +1,289 @@
+//! Class 6: network task allocation via differential equations
+//! (Gordon, Goodwin & Trainor 1992).
+//!
+//! The colony is abstracted into per-task *fractions*: a deterministic
+//! mean-field of the stochastic response-threshold dynamics. With
+//! matching parameters, a large class-1 colony's allocation converges
+//! to this model's trajectory (law of large numbers) — which makes it
+//! both the sixth Fig. 1 class and the analytic cross-check for the
+//! other five.
+//!
+//! The state is `(n_j, s_j)` for each task `j`:
+//!
+//! ```text
+//! dn_j/dt = (1 − Σ_k n_k) · T(s_j; θ) / m  −  p_quit · n_j
+//! ds_j/dt = δ_j − α · n_j · N
+//! ```
+//!
+//! where `m` is the task count (idle individuals sample one task per
+//! step), `T` the response function, `N` the colony size and `α` the
+//! per-performer work rate — exactly the expectations of the agent
+//! rules in [`FixedThresholdColony`].
+//!
+//! [`FixedThresholdColony`]: crate::FixedThresholdColony
+
+use crate::model::ColonyModel;
+use crate::response::response_probability;
+
+/// Parameters of the mean-field colony.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeanFieldParams {
+    /// Colony size `N` (sets the stimulus erosion scale).
+    pub n_agents: usize,
+    /// The shared response threshold θ (the mean-field of a jittered
+    /// population is well-approximated by its mean for small jitter).
+    pub theta: f64,
+    /// Quit probability per step.
+    pub p_quit: f64,
+    /// Per-task demand rates δ_j.
+    pub demand: Vec<f64>,
+    /// Per-performer work rate α.
+    pub work_rate: f64,
+    /// Stimulus ceiling.
+    pub s_max: f64,
+}
+
+impl Default for MeanFieldParams {
+    fn default() -> Self {
+        Self {
+            n_agents: 100,
+            theta: 10.0,
+            p_quit: 0.05,
+            demand: vec![1.0, 1.0],
+            work_rate: 0.1,
+            s_max: 100.0,
+        }
+    }
+}
+
+impl MeanFieldParams {
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty colony or demand vector, a non-positive θ,
+    /// work rate or ceiling, or a quit probability outside `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.n_agents > 0, "colony needs at least one agent");
+        assert!(self.theta > 0.0, "theta must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.p_quit),
+            "quit probability must be in [0, 1]"
+        );
+        assert!(!self.demand.is_empty(), "need at least one task");
+        assert!(
+            self.demand.iter().all(|d| d.is_finite() && *d >= 0.0),
+            "demand rates must be finite and non-negative"
+        );
+        assert!(self.work_rate > 0.0, "work rate must be positive");
+        assert!(self.s_max > 0.0, "stimulus ceiling must be positive");
+    }
+}
+
+/// The class-6 colony: deterministic fractions instead of individuals.
+///
+/// # Examples
+///
+/// ```
+/// use sirtm_colony::{ColonyModel, MeanFieldColony, MeanFieldParams};
+///
+/// let mut ode = MeanFieldColony::new(MeanFieldParams {
+///     demand: vec![2.0, 1.0],
+///     ..MeanFieldParams::default()
+/// });
+/// for _ in 0..2000 {
+///     ode.step();
+/// }
+/// let frac = ode.fractions();
+/// assert!(frac[0] > frac[1], "allocation follows demand");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeanFieldColony {
+    params: MeanFieldParams,
+    fractions: Vec<f64>,
+    stimulus: Vec<f64>,
+    /// Current effective colony size (kills shrink it).
+    n_alive: f64,
+    work_done: f64,
+    now: u64,
+}
+
+impl MeanFieldColony {
+    /// Creates the colony at all-idle, zero-stimulus initial conditions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are invalid
+    /// (see [`MeanFieldParams::validate`]).
+    pub fn new(params: MeanFieldParams) -> Self {
+        params.validate();
+        let m = params.demand.len();
+        Self {
+            fractions: vec![0.0; m],
+            stimulus: vec![0.0; m],
+            n_alive: params.n_agents as f64,
+            work_done: 0.0,
+            now: 0,
+            params,
+        }
+    }
+
+    /// The performing fraction per task.
+    pub fn fractions(&self) -> &[f64] {
+        &self.fractions
+    }
+
+    /// The idle fraction.
+    pub fn idle_fraction(&self) -> f64 {
+        (1.0 - self.fractions.iter().sum::<f64>()).max(0.0)
+    }
+}
+
+impl ColonyModel for MeanFieldColony {
+    fn name(&self) -> &'static str {
+        "mean-field"
+    }
+
+    fn n_tasks(&self) -> usize {
+        self.params.demand.len()
+    }
+
+    fn alive_agents(&self) -> usize {
+        self.n_alive.round() as usize
+    }
+
+    fn step(&mut self) {
+        let m = self.params.demand.len();
+        self.work_done += self.fractions.iter().sum::<f64>() * self.n_alive
+            * self.params.work_rate;
+        // Stimulus field first (as the agent models do), then decisions.
+        for j in 0..m {
+            let delta =
+                self.params.demand[j] - self.params.work_rate * self.fractions[j] * self.n_alive;
+            self.stimulus[j] = (self.stimulus[j] + delta).clamp(0.0, self.params.s_max);
+        }
+        let idle = self.idle_fraction();
+        for j in 0..m {
+            let recruit =
+                idle * response_probability(self.stimulus[j], self.params.theta) / m as f64;
+            let quit = self.params.p_quit * self.fractions[j];
+            self.fractions[j] = (self.fractions[j] + recruit - quit).clamp(0.0, 1.0);
+        }
+        self.now += 1;
+    }
+
+    fn allocation(&self) -> Vec<usize> {
+        self.fractions
+            .iter()
+            .map(|f| (f * self.n_alive).round() as usize)
+            .collect()
+    }
+
+    fn stimulus(&self) -> Vec<f64> {
+        self.stimulus.clone()
+    }
+
+    fn work_done(&self) -> f64 {
+        self.work_done
+    }
+
+    fn kill_agents(&mut self, count: usize) {
+        // Uniform kills remove performers and idlers proportionally: the
+        // fractions are unchanged, the scale shrinks.
+        self.n_alive = (self.n_alive - count as f64).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_stay_normalised() {
+        let mut c = MeanFieldColony::new(MeanFieldParams {
+            demand: vec![5.0, 5.0, 5.0],
+            ..MeanFieldParams::default()
+        });
+        for _ in 0..5000 {
+            c.step();
+            let total: f64 = c.fractions().iter().sum();
+            assert!((0.0..=1.0 + 1e-9).contains(&total), "Σn = {total}");
+        }
+    }
+
+    #[test]
+    fn allocation_tracks_demand_ratio() {
+        let mut c = MeanFieldColony::new(MeanFieldParams {
+            demand: vec![2.0, 1.0],
+            n_agents: 200,
+            ..MeanFieldParams::default()
+        });
+        for _ in 0..5000 {
+            c.step();
+        }
+        let a = c.allocation();
+        // Steady state of the coupled system: workforce absorbs demand,
+        // so n_0·α·N → δ_0 where stimulus settles; the ratio follows.
+        let ratio = a[0] as f64 / a[1] as f64;
+        assert!(
+            (1.5..=2.5).contains(&ratio),
+            "2:1 demand gives ~2:1 allocation, got {ratio} ({a:?})"
+        );
+    }
+
+    #[test]
+    fn workforce_absorbs_demand_at_steady_state() {
+        let params = MeanFieldParams {
+            demand: vec![1.5],
+            n_agents: 300,
+            ..MeanFieldParams::default()
+        };
+        let mut c = MeanFieldColony::new(params.clone());
+        for _ in 0..10_000 {
+            c.step();
+        }
+        // If stimulus is interior (not clamped), production = consumption:
+        // α·n·N = δ.
+        let absorbed = params.work_rate * c.fractions()[0] * params.n_agents as f64;
+        assert!(
+            (absorbed - 1.5).abs() < 0.1,
+            "workforce absorbs 1.5 demand/step, absorbs {absorbed}"
+        );
+    }
+
+    #[test]
+    fn kills_preserve_fractions_but_shrink_scale() {
+        let mut c = MeanFieldColony::new(MeanFieldParams::default());
+        for _ in 0..2000 {
+            c.step();
+        }
+        let frac_before = c.fractions().to_vec();
+        let alloc_before = c.allocation();
+        c.kill_agents(50);
+        assert_eq!(c.fractions(), frac_before.as_slice());
+        assert_eq!(c.alive_agents(), 50);
+        let alloc_after = c.allocation();
+        assert!(alloc_after.iter().sum::<usize>() < alloc_before.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn deterministic_by_construction() {
+        let run = || {
+            let mut c = MeanFieldColony::new(MeanFieldParams::default());
+            for _ in 0..1000 {
+                c.step();
+            }
+            c.fractions().iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn empty_demand_rejected() {
+        MeanFieldColony::new(MeanFieldParams {
+            demand: vec![],
+            ..MeanFieldParams::default()
+        });
+    }
+}

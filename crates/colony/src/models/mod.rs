@@ -1,0 +1,14 @@
+//! The six Fig. 1 division-of-labour model classes.
+//!
+//! Classes 1–4 share the response-threshold engine and differ in what
+//! an individual perceives (class 2), how its thresholds move (class 3)
+//! and how crowding gates engagement (class 4). Class 5 replaces
+//! stimulus fields with a spatial production line, and class 6 abstracts
+//! the colony into mean-field differential equations.
+
+pub mod fixed_threshold;
+pub mod foraging;
+pub mod info_transfer;
+pub mod mean_field;
+pub mod self_reinforcement;
+pub mod social_inhibition;

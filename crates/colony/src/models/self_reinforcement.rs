@@ -1,0 +1,308 @@
+//! Class 3: self-reinforcement (Theraulaz, Bonabeau & Deneubourg 1998).
+//!
+//! Thresholds are no longer fixed: performing a task lowers the
+//! individual's threshold for it (learning), while every task an
+//! individual is *not* performing drifts back up (forgetting). Over time
+//! the positive feedback splits the colony into low-threshold
+//! specialists and high-threshold reserves — the balance of specialists
+//! vs. generalists the paper's Fig. 1 attributes to "experience".
+
+use sirtm_rng::{Rng, Xoshiro256StarStar};
+
+use crate::agent::Agent;
+use crate::env::Environment;
+use crate::model::ColonyModel;
+use crate::models::fixed_threshold::ThresholdParams;
+use crate::response::response_probability;
+
+/// Parameters of the self-reinforcement colony.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelfReinforcementParams {
+    /// The underlying response-threshold parameters (initial thresholds).
+    pub base: ThresholdParams,
+    /// Threshold decrease per step of performing a task (learning ξ).
+    pub learn: f64,
+    /// Threshold increase per step of not performing a task
+    /// (forgetting φ).
+    pub forget: f64,
+    /// Lower threshold clamp (full specialists).
+    pub theta_min: f64,
+    /// Upper threshold clamp (complete reserves).
+    pub theta_max: f64,
+}
+
+impl Default for SelfReinforcementParams {
+    fn default() -> Self {
+        Self {
+            base: ThresholdParams::default(),
+            learn: 0.20,
+            forget: 0.03,
+            theta_min: 1.0,
+            theta_max: 30.0,
+        }
+    }
+}
+
+impl SelfReinforcementParams {
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base parameters are invalid, the rates are
+    /// negative, or the clamp interval is empty or non-positive.
+    pub fn validate(&self) {
+        self.base.validate();
+        assert!(self.learn >= 0.0, "learning rate must be non-negative");
+        assert!(self.forget >= 0.0, "forgetting rate must be non-negative");
+        assert!(
+            self.theta_min > 0.0 && self.theta_min < self.theta_max,
+            "threshold clamps must satisfy 0 < min < max"
+        );
+    }
+}
+
+/// The class-3 colony.
+///
+/// # Examples
+///
+/// ```
+/// use sirtm_colony::{
+///     mean_individual_entropy, ColonyModel, Environment, SelfReinforcementColony,
+///     SelfReinforcementParams,
+/// };
+///
+/// let env = Environment::constant_demand(&[1.0, 1.0], 0.1);
+/// let mut colony = SelfReinforcementColony::new(80, env, SelfReinforcementParams::default(), 5);
+/// for _ in 0..2000 {
+///     colony.step();
+/// }
+/// // Experience feedback produces specialists: individuals concentrate
+/// // their lifetime on few tasks.
+/// assert!(mean_individual_entropy(colony.agents()) < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SelfReinforcementColony {
+    env: Environment,
+    agents: Vec<Agent>,
+    params: SelfReinforcementParams,
+    rng: Xoshiro256StarStar,
+    work_done: f64,
+}
+
+impl SelfReinforcementColony {
+    /// Creates a colony of `n_agents`, seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_agents` is zero or `params` are invalid.
+    pub fn new(
+        n_agents: usize,
+        env: Environment,
+        params: SelfReinforcementParams,
+        seed: u64,
+    ) -> Self {
+        params.validate();
+        assert!(n_agents > 0, "colony needs at least one agent");
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let n_tasks = env.n_tasks();
+        let agents = (0..n_agents)
+            .map(|_| Agent::new(params.base.draw_thresholds(n_tasks, &mut rng)))
+            .collect();
+        Self {
+            env,
+            agents,
+            params,
+            rng,
+            work_done: 0.0,
+        }
+    }
+
+    /// The agents (for the division-of-labour metrics).
+    pub fn agents(&self) -> &[Agent] {
+        &self.agents
+    }
+
+    /// Applies one step of learning/forgetting to `agent`.
+    fn adapt(params: &SelfReinforcementParams, agent: &mut Agent) {
+        let performing = agent.task();
+        for (j, theta) in agent.thresholds_mut().iter_mut().enumerate() {
+            if performing == Some(j) {
+                *theta = (*theta - params.learn).max(params.theta_min);
+            } else {
+                *theta = (*theta + params.forget).min(params.theta_max);
+            }
+        }
+    }
+}
+
+impl ColonyModel for SelfReinforcementColony {
+    fn name(&self) -> &'static str {
+        "self-reinforcement"
+    }
+
+    fn n_tasks(&self) -> usize {
+        self.env.n_tasks()
+    }
+
+    fn alive_agents(&self) -> usize {
+        self.agents.iter().filter(|a| a.is_alive()).count()
+    }
+
+    fn step(&mut self) {
+        let alloc = self.allocation();
+        self.work_done += alloc.iter().sum::<usize>() as f64 * self.env.work_rate();
+        self.env.step(&alloc);
+        let stim = self.env.stimulus().to_vec();
+        let n_tasks = stim.len();
+        for agent in &mut self.agents {
+            if !agent.is_alive() {
+                continue;
+            }
+            match agent.task() {
+                Some(_) => {
+                    if self.rng.chance(self.params.base.p_quit) {
+                        agent.quit();
+                    }
+                }
+                None => {
+                    let j = self.rng.below_u64(n_tasks as u64) as usize;
+                    let p = response_probability(stim[j], agent.thresholds()[j]);
+                    if self.rng.chance(p) {
+                        agent.engage(j);
+                    }
+                }
+            }
+            Self::adapt(&self.params, agent);
+            agent.record_step();
+        }
+    }
+
+    fn allocation(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.env.n_tasks()];
+        for a in &self.agents {
+            if a.is_alive() {
+                if let Some(t) = a.task() {
+                    counts[t] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    fn stimulus(&self) -> Vec<f64> {
+        self.env.stimulus().to_vec()
+    }
+
+    fn work_done(&self) -> f64 {
+        self.work_done
+    }
+
+    fn kill_agents(&mut self, count: usize) {
+        let alive: Vec<usize> = (0..self.agents.len())
+            .filter(|&i| self.agents[i].is_alive())
+            .collect();
+        let k = count.min(alive.len());
+        for idx in self.rng.sample_indices(alive.len(), k) {
+            self.agents[alive[idx]].kill();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_stay_clamped() {
+        let env = Environment::constant_demand(&[2.0, 2.0], 0.1);
+        let params = SelfReinforcementParams::default();
+        let (lo, hi) = (params.theta_min, params.theta_max);
+        let mut c = SelfReinforcementColony::new(40, env, params, 3);
+        for _ in 0..3000 {
+            c.step();
+        }
+        for a in c.agents() {
+            for &t in a.thresholds() {
+                assert!((lo..=hi).contains(&t), "threshold {t} escaped clamps");
+            }
+        }
+    }
+
+    #[test]
+    fn specialists_emerge() {
+        // The same environment, with and without experience feedback:
+        // learning must concentrate individual lifetimes.
+        let env = Environment::constant_demand(&[1.0, 1.0], 0.1);
+        let mut learned =
+            SelfReinforcementColony::new(80, env.clone(), SelfReinforcementParams::default(), 7);
+        let mut fixed = SelfReinforcementColony::new(
+            80,
+            env,
+            SelfReinforcementParams {
+                learn: 0.0,
+                forget: 0.0,
+                ..SelfReinforcementParams::default()
+            },
+            7,
+        );
+        for _ in 0..4000 {
+            learned.step();
+            fixed.step();
+        }
+        let h_learned = crate::metrics::mean_individual_entropy(learned.agents());
+        let h_fixed = crate::metrics::mean_individual_entropy(fixed.agents());
+        assert!(
+            h_learned < h_fixed - 0.05,
+            "learning lowers individual entropy: {h_learned} vs {h_fixed}"
+        );
+    }
+
+    #[test]
+    fn learned_specialists_have_split_thresholds() {
+        let env = Environment::constant_demand(&[1.0, 1.0], 0.1);
+        let params = SelfReinforcementParams::default();
+        let mut c = SelfReinforcementColony::new(60, env, params.clone(), 13);
+        for _ in 0..4000 {
+            c.step();
+        }
+        // Agents with meaningful work history should have pushed one
+        // threshold towards the floor and the other towards the ceiling.
+        let split = c
+            .agents()
+            .iter()
+            .filter(|a| a.task_times().iter().sum::<u64>() > 0)
+            .filter(|a| {
+                let t = a.thresholds();
+                let lo = t.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = t.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                lo < params.theta_min + 2.0 && hi > params.base.theta_mean
+            })
+            .count();
+        assert!(split > 10, "{split} agents show split thresholds");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let env = Environment::constant_demand(&[1.0], 0.1);
+            let mut c =
+                SelfReinforcementColony::new(30, env, SelfReinforcementParams::default(), 2);
+            for _ in 0..500 {
+                c.step();
+            }
+            (c.allocation(), c.work_done().to_bits())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < min < max")]
+    fn empty_clamp_interval_rejected() {
+        SelfReinforcementParams {
+            theta_min: 5.0,
+            theta_max: 5.0,
+            ..SelfReinforcementParams::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,281 @@
+//! Class 4: social inhibition — "large numbers of experienced
+//! specialists inhibit more take up".
+//!
+//! An idle individual's effective threshold for a task rises with the
+//! fraction of the colony already performing it, capping each task's
+//! workforce without any central counter: crowding itself is the signal.
+
+use sirtm_rng::{Rng, Xoshiro256StarStar};
+
+use crate::agent::Agent;
+use crate::env::Environment;
+use crate::model::ColonyModel;
+use crate::models::fixed_threshold::ThresholdParams;
+use crate::response::response_probability;
+
+/// Parameters of the social-inhibition colony.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocialInhibitionParams {
+    /// The underlying response-threshold parameters.
+    pub base: ThresholdParams,
+    /// Inhibition gain γ: the effective threshold for task `j` is
+    /// `θ · (1 + γ · n_j / N)` with `n_j` current performers of `j` and
+    /// `N` the alive colony size.
+    pub gamma: f64,
+}
+
+impl Default for SocialInhibitionParams {
+    fn default() -> Self {
+        Self {
+            base: ThresholdParams::default(),
+            gamma: 8.0,
+        }
+    }
+}
+
+impl SocialInhibitionParams {
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base parameters are invalid or `gamma` is negative.
+    pub fn validate(&self) {
+        self.base.validate();
+        assert!(self.gamma >= 0.0, "inhibition gain must be non-negative");
+    }
+}
+
+/// The class-4 colony.
+///
+/// # Examples
+///
+/// ```
+/// use sirtm_colony::{ColonyModel, Environment, SocialInhibitionColony, SocialInhibitionParams};
+///
+/// let env = Environment::constant_demand(&[5.0], 0.1);
+/// let mut colony = SocialInhibitionColony::new(100, env, SocialInhibitionParams::default(), 2);
+/// for _ in 0..500 {
+///     colony.step();
+/// }
+/// // Even under heavy demand, crowding inhibits unlimited take-up.
+/// assert!(colony.allocation()[0] < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SocialInhibitionColony {
+    env: Environment,
+    agents: Vec<Agent>,
+    params: SocialInhibitionParams,
+    rng: Xoshiro256StarStar,
+    work_done: f64,
+}
+
+impl SocialInhibitionColony {
+    /// Creates a colony of `n_agents`, seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_agents` is zero or `params` are invalid.
+    pub fn new(
+        n_agents: usize,
+        env: Environment,
+        params: SocialInhibitionParams,
+        seed: u64,
+    ) -> Self {
+        params.validate();
+        assert!(n_agents > 0, "colony needs at least one agent");
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let n_tasks = env.n_tasks();
+        let agents = (0..n_agents)
+            .map(|_| Agent::new(params.base.draw_thresholds(n_tasks, &mut rng)))
+            .collect();
+        Self {
+            env,
+            agents,
+            params,
+            rng,
+            work_done: 0.0,
+        }
+    }
+
+    /// The agents (for the division-of-labour metrics).
+    pub fn agents(&self) -> &[Agent] {
+        &self.agents
+    }
+}
+
+impl ColonyModel for SocialInhibitionColony {
+    fn name(&self) -> &'static str {
+        "social-inhibition"
+    }
+
+    fn n_tasks(&self) -> usize {
+        self.env.n_tasks()
+    }
+
+    fn alive_agents(&self) -> usize {
+        self.agents.iter().filter(|a| a.is_alive()).count()
+    }
+
+    fn step(&mut self) {
+        let alloc = self.allocation();
+        self.work_done += alloc.iter().sum::<usize>() as f64 * self.env.work_rate();
+        self.env.step(&alloc);
+        let stim = self.env.stimulus().to_vec();
+        let n_tasks = stim.len();
+        let alive = self.alive_agents().max(1) as f64;
+        // Inhibition uses the allocation at the start of the sweep: every
+        // individual sees the same crowding signal, as a pheromone or
+        // encounter-rate cue would provide.
+        let crowding: Vec<f64> = alloc
+            .iter()
+            .map(|&n| 1.0 + self.params.gamma * n as f64 / alive)
+            .collect();
+        for agent in &mut self.agents {
+            if !agent.is_alive() {
+                continue;
+            }
+            match agent.task() {
+                Some(_) => {
+                    if self.rng.chance(self.params.base.p_quit) {
+                        agent.quit();
+                    }
+                }
+                None => {
+                    let j = self.rng.below_u64(n_tasks as u64) as usize;
+                    let theta_eff = agent.thresholds()[j] * crowding[j];
+                    let p = response_probability(stim[j], theta_eff);
+                    if self.rng.chance(p) {
+                        agent.engage(j);
+                    }
+                }
+            }
+            agent.record_step();
+        }
+    }
+
+    fn allocation(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.env.n_tasks()];
+        for a in &self.agents {
+            if a.is_alive() {
+                if let Some(t) = a.task() {
+                    counts[t] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    fn stimulus(&self) -> Vec<f64> {
+        self.env.stimulus().to_vec()
+    }
+
+    fn work_done(&self) -> f64 {
+        self.work_done
+    }
+
+    fn kill_agents(&mut self, count: usize) {
+        let alive: Vec<usize> = (0..self.agents.len())
+            .filter(|&i| self.agents[i].is_alive())
+            .collect();
+        let k = count.min(alive.len());
+        for idx in self.rng.sample_indices(alive.len(), k) {
+            self.agents[alive[idx]].kill();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Mean workforce on task 0 over a 300-step window after settling,
+    /// under unbounded demand (stimulus pinned at its ceiling) and brisk
+    /// quitting — the regime where engagement, not demand absorption,
+    /// limits the workforce and inhibition is measurable.
+    fn settled_mean(gamma: f64, seed: u64) -> f64 {
+        let env = Environment::constant_demand(&[50.0], 0.1);
+        let mut c = SocialInhibitionColony::new(
+            120,
+            env,
+            SocialInhibitionParams {
+                gamma,
+                base: ThresholdParams {
+                    p_quit: 0.25,
+                    ..ThresholdParams::default()
+                },
+            },
+            seed,
+        );
+        for _ in 0..700 {
+            c.step();
+        }
+        let mut sum = 0usize;
+        for _ in 0..300 {
+            c.step();
+            sum += c.allocation()[0];
+        }
+        sum as f64 / 300.0
+    }
+
+    #[test]
+    fn inhibition_caps_the_workforce() {
+        let uninhibited = settled_mean(0.0, 4);
+        let inhibited = settled_mean(50.0, 4);
+        assert!(
+            inhibited < uninhibited * 0.8,
+            "γ=50 caps take-up: {inhibited:.1} vs {uninhibited:.1}"
+        );
+        assert!(inhibited > 0.0, "inhibition throttles, never kills work");
+    }
+
+    #[test]
+    fn stronger_gamma_stronger_cap() {
+        let weak = settled_mean(2.0, 6);
+        let strong = settled_mean(20.0, 6);
+        assert!(strong < weak, "cap tightens with γ: {strong:.1} vs {weak:.1}");
+    }
+
+    #[test]
+    fn zero_gamma_matches_class_one_dynamics() {
+        // γ=0 degenerates to the fixed-threshold rule; crowding factors
+        // are all exactly 1.
+        let env = Environment::constant_demand(&[1.0, 1.0], 0.1);
+        let mut c = SocialInhibitionColony::new(
+            50,
+            env,
+            SocialInhibitionParams {
+                gamma: 0.0,
+                ..SocialInhibitionParams::default()
+            },
+            8,
+        );
+        for _ in 0..300 {
+            c.step();
+        }
+        assert!(c.allocation().iter().sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let env = Environment::constant_demand(&[2.0], 0.1);
+            let mut c =
+                SocialInhibitionColony::new(40, env, SocialInhibitionParams::default(), 3);
+            for _ in 0..400 {
+                c.step();
+            }
+            (c.allocation(), c.work_done().to_bits())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_gamma_rejected() {
+        SocialInhibitionParams {
+            gamma: -1.0,
+            ..SocialInhibitionParams::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,81 @@
+//! The stimulus–threshold response function shared by the threshold
+//! model classes.
+
+/// The Bonabeau–Theraulaz response probability
+/// `T(s; θ) = s² / (s² + θ²)`: the chance per decision opportunity that
+/// an individual with threshold `θ` engages a task whose stimulus is
+/// `s`. Low thresholds make sensitive specialists, high thresholds make
+/// reluctant reserves.
+///
+/// # Examples
+///
+/// ```
+/// use sirtm_colony::response::response_probability;
+///
+/// // At s == θ the response chance is exactly one half.
+/// assert!((response_probability(4.0, 4.0) - 0.5).abs() < 1e-12);
+/// // Stronger stimulus, higher chance.
+/// assert!(response_probability(8.0, 4.0) > response_probability(2.0, 4.0));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `theta` is not positive or `stimulus` is negative —
+/// thresholds of zero would respond to the empty stimulus.
+pub fn response_probability(stimulus: f64, theta: f64) -> f64 {
+    assert!(theta > 0.0, "threshold must be positive");
+    assert!(stimulus >= 0.0, "stimulus must be non-negative");
+    let s2 = stimulus * stimulus;
+    s2 / (s2 + theta * theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_stimulus_never_responds() {
+        assert_eq!(response_probability(0.0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn half_response_at_threshold() {
+        for theta in [0.5, 1.0, 7.0, 42.0] {
+            assert!((response_probability(theta, theta) - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn monotone_in_stimulus() {
+        let mut last = -1.0;
+        for s in 0..20 {
+            let p = response_probability(s as f64, 5.0);
+            assert!(p > last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn antitone_in_threshold() {
+        let mut last = 2.0;
+        for theta in 1..20 {
+            let p = response_probability(5.0, theta as f64);
+            assert!(p < last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn saturates_below_one() {
+        // (At stimulus/threshold ratios beyond ~2^26 the f64 sum rounds
+        // to exactly 1.0, which is fine for a probability.)
+        assert!(response_probability(1e3, 1.0) < 1.0);
+        assert!(response_probability(1e3, 1.0) > 0.999_999);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_rejected() {
+        response_probability(1.0, 0.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Cross-model integration tests: the emergent colony-level properties
+//! the paper's Section II claims for social-insect task allocation —
+//! demand tracking without central control, adaptation to demand
+//! changes, and graceful re-allocation after losing a third of the
+//! colony.
+
+use sirtm_colony::{
+    allocation_error, ColonyModel, DemandProfile, Environment, FixedThresholdColony,
+    ForagingForWorkColony, ForagingParams, InfoTransferColony, InfoTransferParams,
+    MeanFieldColony, MeanFieldParams, SelfReinforcementColony, SelfReinforcementParams,
+    SocialInhibitionColony, SocialInhibitionParams, ThresholdParams,
+};
+
+/// Mean allocation over `window` steps (smooths stochastic wobble).
+fn mean_allocation(colony: &mut dyn ColonyModel, window: u64) -> Vec<f64> {
+    let mut sums = vec![0.0; colony.n_tasks()];
+    for _ in 0..window {
+        colony.step();
+        for (s, a) in sums.iter_mut().zip(colony.allocation()) {
+            *s += a as f64;
+        }
+    }
+    for s in &mut sums {
+        *s /= window as f64;
+    }
+    sums
+}
+
+fn threshold_colonies(seed: u64) -> Vec<Box<dyn ColonyModel>> {
+    let demand = [2.0, 1.0, 0.5];
+    let env = Environment::constant_demand(&demand, 0.1);
+    vec![
+        Box::new(FixedThresholdColony::new(
+            150,
+            env.clone(),
+            ThresholdParams::default(),
+            seed,
+        )),
+        Box::new(InfoTransferColony::new(
+            150,
+            env.clone(),
+            InfoTransferParams::default(),
+            seed,
+        )),
+        Box::new(SelfReinforcementColony::new(
+            150,
+            env.clone(),
+            SelfReinforcementParams::default(),
+            seed,
+        )),
+        Box::new(SocialInhibitionColony::new(
+            150,
+            env,
+            SocialInhibitionParams::default(),
+            seed,
+        )),
+    ]
+}
+
+#[test]
+fn every_threshold_class_tracks_demand_ordering() {
+    for mut colony in threshold_colonies(42) {
+        for _ in 0..1500 {
+            colony.step();
+        }
+        let mean = mean_allocation(colony.as_mut(), 300);
+        assert!(
+            mean[0] > mean[1] && mean[1] > mean[2],
+            "{}: allocation follows the 4:2:1 demand, got {mean:?}",
+            colony.name()
+        );
+    }
+}
+
+#[test]
+fn every_threshold_class_reallocates_after_mass_death() {
+    for mut colony in threshold_colonies(17) {
+        for _ in 0..1500 {
+            colony.step();
+        }
+        let before = mean_allocation(colony.as_mut(), 300);
+        colony.kill_agents(50); // a third of 150, the paper's big fault case
+        for _ in 0..1500 {
+            colony.step();
+        }
+        let after = mean_allocation(colony.as_mut(), 300);
+        assert_eq!(colony.alive_agents(), 100, "{}", colony.name());
+        // The surviving colony still covers every task, in demand order.
+        assert!(
+            after[0] > after[1] && after[1] > 0.5,
+            "{}: survivors still cover the demand profile: {after:?} (was {before:?})",
+            colony.name()
+        );
+    }
+}
+
+#[test]
+fn demand_step_change_is_followed() {
+    // Demand flips from favouring task 0 to favouring task 1 mid-run.
+    let env = Environment::new(
+        DemandProfile::Step {
+            before: vec![2.0, 0.2],
+            after: vec![0.2, 2.0],
+            at: 2000,
+        },
+        0.1,
+        100.0,
+    );
+    let mut colony = FixedThresholdColony::new(150, env, ThresholdParams::default(), 5);
+    for _ in 0..1700 {
+        colony.step();
+    }
+    let before = mean_allocation(&mut colony, 300); // steps 1700..2000
+    for _ in 0..1700 {
+        colony.step();
+    }
+    let after = mean_allocation(&mut colony, 300);
+    assert!(
+        before[0] > before[1],
+        "pre-switch allocation favours task 0: {before:?}"
+    );
+    assert!(
+        after[1] > after[0],
+        "post-switch allocation flips to task 1: {after:?}"
+    );
+}
+
+#[test]
+fn agent_based_allocation_converges_to_mean_field() {
+    // Law of large numbers: a big, jitter-free class-1 colony must track
+    // the class-6 ODE trajectory.
+    let demand = vec![1.5, 0.75];
+    let n = 400;
+    let env = Environment::constant_demand(&demand, 0.1);
+    let mut agents = FixedThresholdColony::new(
+        n,
+        env,
+        ThresholdParams {
+            theta_jitter: 0.0,
+            ..ThresholdParams::default()
+        },
+        23,
+    );
+    let mut ode = MeanFieldColony::new(MeanFieldParams {
+        n_agents: n,
+        demand,
+        ..MeanFieldParams::default()
+    });
+    for _ in 0..4000 {
+        agents.step();
+        ode.step();
+    }
+    let stochastic = mean_allocation(&mut agents, 500);
+    // The ODE is already settled; read its point allocation.
+    let deterministic = ode.allocation();
+    for (j, (&s, &d)) in stochastic.iter().zip(&deterministic).enumerate() {
+        let d = d as f64;
+        assert!(
+            (s - d).abs() <= (0.15 * d).max(6.0),
+            "task {j}: agent-based {s:.1} vs mean-field {d:.1}"
+        );
+    }
+}
+
+#[test]
+fn self_reinforcement_is_the_most_specialised_class() {
+    let env = Environment::constant_demand(&[1.0, 1.0], 0.1);
+    let mut plain = FixedThresholdColony::new(100, env.clone(), ThresholdParams::default(), 31);
+    let mut learned =
+        SelfReinforcementColony::new(100, env, SelfReinforcementParams::default(), 31);
+    for _ in 0..5000 {
+        plain.step();
+        learned.step();
+    }
+    let s_plain = sirtm_colony::specialisation_index(plain.agents());
+    let s_learned = sirtm_colony::specialisation_index(learned.agents());
+    assert!(
+        s_learned > s_plain + 0.05,
+        "experience feedback divides labour: {s_learned:.3} vs {s_plain:.3}"
+    );
+}
+
+#[test]
+fn foraging_line_tracks_arrival_rate() {
+    // Throughput of the spatial class-5 line tracks offered load, and a
+    // faster line needs more foragers at the head.
+    let slow = {
+        let mut c = ForagingForWorkColony::new(
+            30,
+            ForagingParams {
+                arrival_p: 0.3,
+                ..ForagingParams::default()
+            },
+            3,
+        );
+        for _ in 0..4000 {
+            c.step();
+        }
+        c.completed() as f64 / 4000.0
+    };
+    let fast = {
+        let mut c = ForagingForWorkColony::new(
+            30,
+            ForagingParams {
+                arrival_p: 0.9,
+                ..ForagingParams::default()
+            },
+            3,
+        );
+        for _ in 0..4000 {
+            c.step();
+        }
+        c.completed() as f64 / 4000.0
+    };
+    assert!(
+        (slow - 0.3).abs() < 0.05,
+        "slow line throughput ≈ offered 0.3, got {slow:.3}"
+    );
+    assert!(
+        (fast - 0.9).abs() < 0.1,
+        "fast line throughput ≈ offered 0.9, got {fast:.3}"
+    );
+}
+
+#[test]
+fn settled_colonies_mirror_demand() {
+    // Whatever the demand ratio, the settled time-averaged workforce
+    // mirrors it: the colony solves the allocation problem with no
+    // coordinator (normalised L1 error well under the 2.0 worst case).
+    for (seed, demand) in [(77u64, [2.0, 1.0]), (78, [1.0, 3.0]), (79, [1.0, 1.0])] {
+        let env = Environment::constant_demand(&demand, 0.1);
+        let mut colony = FixedThresholdColony::new(200, env, ThresholdParams::default(), seed);
+        for _ in 0..4000 {
+            colony.step();
+        }
+        let mut mean = vec![0.0; 2];
+        for _ in 0..300 {
+            colony.step();
+            for (m, a) in mean.iter_mut().zip(colony.allocation()) {
+                *m += a as f64 / 300.0;
+            }
+        }
+        let rounded: Vec<usize> = mean.iter().map(|&m| m.round() as usize).collect();
+        let err = allocation_error(&rounded, &demand);
+        assert!(
+            err < 0.35,
+            "demand {demand:?}: settled error {err:.3} (allocation {mean:?})"
+        );
+    }
+}

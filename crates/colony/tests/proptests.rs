@@ -1,0 +1,153 @@
+//! Property-based tests of colony invariants under arbitrary parameters
+//! and histories.
+
+use proptest::prelude::*;
+
+use sirtm_colony::{
+    ColonyModel, Environment, FixedThresholdColony, ForagingForWorkColony, ForagingParams,
+    MeanFieldColony, MeanFieldParams, SelfReinforcementColony, SelfReinforcementParams,
+    ThresholdParams,
+};
+
+proptest! {
+    /// Stimulus never leaves `[0, s_max]` and allocation never exceeds
+    /// the alive population, for arbitrary demand vectors and horizons.
+    #[test]
+    fn threshold_colony_invariants(
+        demand in proptest::collection::vec(0.0f64..5.0, 1..5),
+        n_agents in 1usize..120,
+        steps in 1u64..400,
+        seed in 0u64..500,
+    ) {
+        let env = Environment::constant_demand(&demand, 0.1);
+        let mut c = FixedThresholdColony::new(n_agents, env, ThresholdParams::default(), seed);
+        for _ in 0..steps {
+            c.step();
+            let total: usize = c.allocation().iter().sum();
+            prop_assert!(total <= c.alive_agents());
+            for &s in &c.stimulus() {
+                prop_assert!((0.0..=Environment::DEFAULT_S_MAX).contains(&s));
+            }
+        }
+    }
+
+    /// Killing any number of agents at any time leaves a colony that
+    /// still steps without panicking and never resurrects anyone.
+    #[test]
+    fn kills_are_monotone_and_safe(
+        kills in proptest::collection::vec(0usize..40, 1..6),
+        seed in 0u64..500,
+    ) {
+        let env = Environment::constant_demand(&[1.0, 1.0], 0.1);
+        let mut c = FixedThresholdColony::new(60, env, ThresholdParams::default(), seed);
+        let mut last_alive = c.alive_agents();
+        for k in kills {
+            for _ in 0..50 {
+                c.step();
+            }
+            c.kill_agents(k);
+            let alive = c.alive_agents();
+            prop_assert!(alive <= last_alive, "no resurrections");
+            prop_assert_eq!(alive, last_alive.saturating_sub(k));
+            last_alive = alive;
+        }
+        for _ in 0..50 {
+            c.step();
+        }
+    }
+
+    /// Self-reinforcement thresholds never escape their clamps, whatever
+    /// the learning/forgetting rates.
+    #[test]
+    fn reinforcement_thresholds_clamped(
+        learn in 0.0f64..2.0,
+        forget in 0.0f64..2.0,
+        steps in 1u64..300,
+        seed in 0u64..200,
+    ) {
+        let params = SelfReinforcementParams {
+            learn,
+            forget,
+            ..SelfReinforcementParams::default()
+        };
+        let env = Environment::constant_demand(&[2.0, 2.0], 0.1);
+        let mut c = SelfReinforcementColony::new(30, env, params.clone(), seed);
+        for _ in 0..steps {
+            c.step();
+        }
+        for a in c.agents() {
+            for &t in a.thresholds() {
+                prop_assert!((params.theta_min..=params.theta_max).contains(&t));
+            }
+        }
+    }
+
+    /// Mean-field fractions stay normalised and stimuli bounded for any
+    /// demand profile.
+    #[test]
+    fn mean_field_fractions_normalised(
+        demand in proptest::collection::vec(0.0f64..10.0, 1..5),
+        steps in 1u64..2000,
+    ) {
+        let mut c = MeanFieldColony::new(MeanFieldParams {
+            demand,
+            ..MeanFieldParams::default()
+        });
+        for _ in 0..steps {
+            c.step();
+        }
+        let total: f64 = c.fractions().iter().sum();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&total));
+        for &s in &c.stimulus() {
+            prop_assert!((0.0..=100.0).contains(&s));
+        }
+    }
+
+    /// The foraging line conserves foragers: zone memberships always sum
+    /// to the alive population, and completions never decrease.
+    #[test]
+    fn foraging_conserves_foragers(
+        n in 1usize..50,
+        arrival in 0.0f64..=1.0,
+        steps in 1u64..500,
+        seed in 0u64..300,
+    ) {
+        let mut c = ForagingForWorkColony::new(
+            n,
+            ForagingParams {
+                arrival_p: arrival,
+                ..ForagingParams::default()
+            },
+            seed,
+        );
+        let mut last_completed = 0;
+        for _ in 0..steps {
+            c.step();
+            let members: usize = c.allocation().iter().sum();
+            prop_assert_eq!(members, c.alive_agents(), "foragers conserved");
+            prop_assert!(c.completed() >= last_completed);
+            last_completed = c.completed();
+        }
+    }
+
+    /// Same seed, same trajectory — for every stochastic model class.
+    #[test]
+    fn replay_determinism(seed in 0u64..1000) {
+        let env = Environment::constant_demand(&[1.0, 2.0], 0.1);
+        let runs: Vec<Vec<usize>> = (0..2)
+            .map(|_| {
+                let mut c = FixedThresholdColony::new(
+                    40,
+                    env.clone(),
+                    ThresholdParams::default(),
+                    seed,
+                );
+                for _ in 0..200 {
+                    c.step();
+                }
+                c.allocation()
+            })
+            .collect();
+        prop_assert_eq!(&runs[0], &runs[1]);
+    }
+}

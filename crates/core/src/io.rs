@@ -1,0 +1,259 @@
+//! The AIM's sensing/actuation surface: monitors in, knobs out.
+//!
+//! Fig. 2a of the paper shows the embedded intelligence wired to monitors
+//! and knobs spread over the node: router control, router settings, the
+//! MicroBlaze node interface and the FPGA fabric. [`AimIo`] is the software
+//! equivalent — the platform implements it per node, and every
+//! task-allocation model (behavioural or PicoBlaze firmware) senses and
+//! acts exclusively through it.
+
+use sirtm_taskgraph::TaskId;
+
+/// Simulation time in NoC cycles (the same underlying type as the NoC
+/// crate's `Cycle`; kept primitive so `sirtm-core` stays independent of
+/// the NoC crate).
+pub type Cycle = u64;
+
+/// Neighbour slots in N, E, S, W order (matches the four link ports).
+pub const N_NEIGHBOURS: usize = 4;
+
+/// Monitor/knob interface between one node's AIM and its surroundings.
+///
+/// All `read_*` methods with per-task buffers are **reset-on-read**: they
+/// model the impulse counters of Fig. 2b, which the AIM consumes on each
+/// scan. Buffer-based signatures keep the per-scan hot path allocation
+/// free.
+pub trait AimIo {
+    /// Number of application tasks (sizes all per-task banks).
+    fn n_tasks(&self) -> usize;
+
+    /// Current cycle.
+    fn now(&self) -> Cycle;
+
+    /// Cycles between AIM scans (the activation period).
+    fn scan_period(&self) -> Cycle;
+
+    /// Reads and clears the per-task counts of packets *routed through*
+    /// this node's router since the last scan.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `buf.len() != self.n_tasks()`.
+    fn read_routed(&mut self, buf: &mut [u32]);
+
+    /// Reads and clears the per-task counts of packets *delivered to* this
+    /// node (routed internally) since the last scan.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `buf.len() != self.n_tasks()`.
+    fn read_internal(&mut self, buf: &mut [u32]);
+
+    /// Task and age (in cycles) of the oldest application packet waiting
+    /// at a head-of-line position in the local router — FFW's "next packet
+    /// in the routing queue".
+    fn oldest_waiting(&self) -> Option<(TaskId, Cycle)>;
+
+    /// Task and age (in cycles) of the most recent application packet the
+    /// local router forwarded — latched demand evidence used by FFW when
+    /// nothing is actually queued at scan time (a transit network is fast;
+    /// the "routing queue" is often momentarily empty). Implementations
+    /// bound the freshness; stale demand reads as `None`.
+    fn recent_demand(&self) -> Option<(TaskId, Cycle)>;
+
+    /// The task the local processing element currently runs.
+    fn local_task(&self) -> Option<TaskId>;
+
+    /// Task run by the neighbour in slot `dir` (0=N, 1=E, 2=S, 3=W);
+    /// `None` when there is no neighbour, it is dead, or idle. This is the
+    /// "signals from intelligence modules of neighbouring nodes" monitor.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `dir >= N_NEIGHBOURS`.
+    fn neighbour_task(&self, dir: usize) -> Option<TaskId>;
+
+    /// Whether the processing element is currently busy with work.
+    fn pe_busy(&self) -> bool;
+
+    /// Commitment earned since the last scan, in scans (reset-on-read) —
+    /// the FFW watchdog's food. The platform computes it from work
+    /// *accepted for processing*: each data packet earns scans
+    /// proportional to its task's service time (so an under-utilised node
+    /// starves even if trickle-fed), and feedback/ack packets fully rearm
+    /// (255 saturates any timeout).
+    fn feed_amount(&mut self) -> u32;
+
+    /// Knob: retask the local processing element.
+    fn switch_task(&mut self, task: TaskId);
+}
+
+/// A scriptable [`AimIo`] for unit-testing models without a platform.
+///
+/// # Examples
+///
+/// ```
+/// use sirtm_core::io::{AimIo, MockAimIo};
+/// use sirtm_taskgraph::TaskId;
+///
+/// let mut io = MockAimIo::new(3);
+/// io.routed = vec![0, 5, 0];
+/// let mut buf = vec![0; 3];
+/// io.read_routed(&mut buf);
+/// assert_eq!(buf, [0, 5, 0]);
+/// io.read_routed(&mut buf);
+/// assert_eq!(buf, [0, 0, 0], "reset on read");
+/// io.switch_task(TaskId::new(1));
+/// assert_eq!(io.switches, vec![TaskId::new(1)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MockAimIo {
+    /// Per-task routed impulse counts delivered on the next read.
+    pub routed: Vec<u32>,
+    /// Per-task internal-delivery impulse counts for the next read.
+    pub internal: Vec<u32>,
+    /// Value returned by [`AimIo::oldest_waiting`].
+    pub oldest: Option<(TaskId, Cycle)>,
+    /// Value returned by [`AimIo::recent_demand`].
+    pub recent: Option<(TaskId, Cycle)>,
+    /// Commitment scans returned (and cleared) by the next
+    /// [`AimIo::feed_amount`] call.
+    pub feed: u32,
+    /// Value returned by [`AimIo::local_task`]; updated by `switch_task`.
+    pub local: Option<TaskId>,
+    /// Neighbour tasks (N, E, S, W).
+    pub neighbours: [Option<TaskId>; N_NEIGHBOURS],
+    /// Value returned by [`AimIo::pe_busy`].
+    pub busy: bool,
+    /// Simulated clock; advance manually between scans.
+    pub clock: Cycle,
+    /// Reported scan period.
+    pub period: Cycle,
+    /// Every task switch requested by the model, in order.
+    pub switches: Vec<TaskId>,
+    n_tasks: usize,
+}
+
+impl MockAimIo {
+    /// Creates a mock with `n_tasks` tasks and all signals quiet.
+    pub fn new(n_tasks: usize) -> Self {
+        Self {
+            routed: vec![0; n_tasks],
+            internal: vec![0; n_tasks],
+            oldest: None,
+            recent: None,
+            feed: 0,
+            local: None,
+            neighbours: [None; N_NEIGHBOURS],
+            busy: false,
+            clock: 0,
+            period: 10,
+            switches: Vec::new(),
+            n_tasks,
+        }
+    }
+
+    /// Advances the mock clock by one scan period.
+    pub fn tick(&mut self) {
+        self.clock += self.period;
+    }
+}
+
+impl AimIo for MockAimIo {
+    fn n_tasks(&self) -> usize {
+        self.n_tasks
+    }
+
+    fn now(&self) -> Cycle {
+        self.clock
+    }
+
+    fn scan_period(&self) -> Cycle {
+        self.period
+    }
+
+    fn read_routed(&mut self, buf: &mut [u32]) {
+        assert_eq!(buf.len(), self.n_tasks);
+        for (b, r) in buf.iter_mut().zip(self.routed.iter_mut()) {
+            *b = std::mem::take(r);
+        }
+    }
+
+    fn read_internal(&mut self, buf: &mut [u32]) {
+        assert_eq!(buf.len(), self.n_tasks);
+        for (b, r) in buf.iter_mut().zip(self.internal.iter_mut()) {
+            *b = std::mem::take(r);
+        }
+    }
+
+    fn oldest_waiting(&self) -> Option<(TaskId, Cycle)> {
+        self.oldest
+    }
+
+    fn recent_demand(&self) -> Option<(TaskId, Cycle)> {
+        self.recent
+    }
+
+    fn local_task(&self) -> Option<TaskId> {
+        self.local
+    }
+
+    fn neighbour_task(&self, dir: usize) -> Option<TaskId> {
+        self.neighbours[dir]
+    }
+
+    fn pe_busy(&self) -> bool {
+        self.busy
+    }
+
+    fn feed_amount(&mut self) -> u32 {
+        std::mem::take(&mut self.feed)
+    }
+
+    fn switch_task(&mut self, task: TaskId) {
+        self.local = Some(task);
+        self.switches.push(task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mock_reset_on_read() {
+        let mut io = MockAimIo::new(2);
+        io.internal = vec![3, 1];
+        let mut buf = [0u32; 2];
+        io.read_internal(&mut buf);
+        assert_eq!(buf, [3, 1]);
+        io.read_internal(&mut buf);
+        assert_eq!(buf, [0, 0]);
+    }
+
+    #[test]
+    fn mock_switch_records_and_applies() {
+        let mut io = MockAimIo::new(2);
+        io.switch_task(TaskId::new(1));
+        io.switch_task(TaskId::new(0));
+        assert_eq!(io.local, Some(TaskId::new(0)));
+        assert_eq!(io.switches.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mock_rejects_wrong_buffer_size() {
+        let mut io = MockAimIo::new(3);
+        let mut buf = [0u32; 2];
+        io.read_routed(&mut buf);
+    }
+
+    #[test]
+    fn mock_clock_ticks_by_period() {
+        let mut io = MockAimIo::new(1);
+        io.period = 25;
+        io.tick();
+        io.tick();
+        assert_eq!(io.now(), 50);
+    }
+}

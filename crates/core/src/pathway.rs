@@ -1,0 +1,384 @@
+//! Declarative sense→decide→act pathways (the Fig. 2b framework).
+//!
+//! The paper implements intelligence models "by tying these functions
+//! together to produce a response-threshold decision pathway from the
+//! monitors through to the knobs". This module offers exactly that: wire
+//! monitor-derived impulse sources into named [`ThresholdUnit`]s (with
+//! excitatory or inhibitory polarity) and attach knob actions that run
+//! when a unit fires. The built-in NI/FFW models are hand-written for
+//! firmware parity; `PathwayModel` is the extensible way to build *new*
+//! colony behaviours from the same primitives.
+
+use sirtm_taskgraph::TaskId;
+
+use crate::io::{AimIo, N_NEIGHBOURS};
+use crate::models::RtmModel;
+use crate::stimulus::ThresholdUnit;
+
+/// An impulse source derived from the node's monitors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Source {
+    /// Packets routed through this node for task `t` since the last scan.
+    RoutedTask(u8),
+    /// Packets delivered to this node for task `t` since the last scan.
+    InternalTask(u8),
+    /// All packets delivered to this node since the last scan.
+    InternalTotal,
+    /// One impulse per scan (a clock).
+    EveryScan,
+    /// One impulse per scan while the processing element is idle.
+    PeIdle,
+    /// One impulse per scan per neighbour currently running task `t`.
+    NeighboursRunning(u8),
+}
+
+/// Impulse polarity into a threshold unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// Impulses raise the counter.
+    Excite,
+    /// Impulses lower the counter.
+    Inhibit,
+}
+
+/// A knob action executed when a unit fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Switch the node to a fixed task.
+    SwitchTask(TaskId),
+    /// Switch the node to the task of the oldest packet waiting in the
+    /// local router (the FFW absorption move).
+    SwitchToOldestWaiting,
+}
+
+#[derive(Debug, Clone)]
+struct Wire {
+    source: Source,
+    unit: usize,
+    polarity: Polarity,
+}
+
+#[derive(Debug, Clone)]
+struct UnitEntry {
+    name: String,
+    unit: ThresholdUnit,
+    action: Option<Action>,
+    reset_on_fire: bool,
+}
+
+/// Builder for [`PathwayModel`] (see module docs).
+///
+/// # Examples
+///
+/// A "help the busiest neighbour" pathway: switch to task 1 when lots of
+/// task-1 traffic passes by *and* the PE has been idle a while.
+///
+/// ```
+/// use sirtm_core::pathway::{Action, PathwayBuilder, Polarity, Source};
+/// use sirtm_core::stimulus::ThresholdUnit;
+/// use sirtm_taskgraph::TaskId;
+///
+/// let model = PathwayBuilder::new("helper")
+///     .unit("t1-pressure", ThresholdUnit::new(20).with_leak(1))
+///     .wire(Source::RoutedTask(1), "t1-pressure", Polarity::Excite)
+///     .wire(Source::InternalTotal, "t1-pressure", Polarity::Inhibit)
+///     .on_fire("t1-pressure", Action::SwitchTask(TaskId::new(1)))
+///     .build();
+/// assert_eq!(model.unit_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PathwayBuilder {
+    name: &'static str,
+    units: Vec<UnitEntry>,
+    wires: Vec<Wire>,
+}
+
+impl PathwayBuilder {
+    /// Starts a pathway with a report name.
+    pub fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            units: Vec::new(),
+            wires: Vec::new(),
+        }
+    }
+
+    /// Adds a named threshold unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn unit(mut self, name: impl Into<String>, unit: ThresholdUnit) -> Self {
+        let name = name.into();
+        assert!(
+            self.units.iter().all(|u| u.name != name),
+            "duplicate unit name `{name}`"
+        );
+        self.units.push(UnitEntry {
+            name,
+            unit,
+            action: None,
+            reset_on_fire: true,
+        });
+        self
+    }
+
+    fn unit_index(&self, name: &str) -> usize {
+        self.units
+            .iter()
+            .position(|u| u.name == name)
+            .unwrap_or_else(|| panic!("unknown unit `{name}`"))
+    }
+
+    /// Wires an impulse source into a unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit name is unknown.
+    pub fn wire(mut self, source: Source, unit: &str, polarity: Polarity) -> Self {
+        let unit = self.unit_index(unit);
+        self.wires.push(Wire {
+            source,
+            unit,
+            polarity,
+        });
+        self
+    }
+
+    /// Attaches the action taken when `unit` fires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit name is unknown.
+    pub fn on_fire(mut self, unit: &str, action: Action) -> Self {
+        let i = self.unit_index(unit);
+        self.units[i].action = Some(action);
+        self
+    }
+
+    /// Keeps the counter value after firing instead of resetting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit name is unknown.
+    pub fn keep_count_on_fire(mut self, unit: &str) -> Self {
+        let i = self.unit_index(unit);
+        self.units[i].reset_on_fire = false;
+        self
+    }
+
+    /// Builds the runnable model.
+    pub fn build(self) -> PathwayModel {
+        PathwayModel {
+            name: self.name,
+            units: self.units,
+            wires: self.wires,
+            routed: Vec::new(),
+            internal: Vec::new(),
+        }
+    }
+}
+
+/// A runnable pathway: an [`RtmModel`] assembled from declarative parts.
+#[derive(Debug, Clone)]
+pub struct PathwayModel {
+    name: &'static str,
+    units: Vec<UnitEntry>,
+    wires: Vec<Wire>,
+    routed: Vec<u32>,
+    internal: Vec<u32>,
+}
+
+impl PathwayModel {
+    /// Number of threshold units in the pathway.
+    pub fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Current counter value of the named unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is unknown.
+    pub fn count_of(&self, name: &str) -> u32 {
+        self.units
+            .iter()
+            .find(|u| u.name == name)
+            .unwrap_or_else(|| panic!("unknown unit `{name}`"))
+            .unit
+            .count()
+    }
+
+    fn impulses(&self, source: Source, io: &dyn AimIo) -> u32 {
+        match source {
+            Source::RoutedTask(t) => self.routed.get(t as usize).copied().unwrap_or(0),
+            Source::InternalTask(t) => self.internal.get(t as usize).copied().unwrap_or(0),
+            Source::InternalTotal => self.internal.iter().sum(),
+            Source::EveryScan => 1,
+            Source::PeIdle => (!io.pe_busy()) as u32,
+            Source::NeighboursRunning(t) => (0..N_NEIGHBOURS)
+                .filter(|&d| io.neighbour_task(d) == Some(TaskId::new(t)))
+                .count() as u32,
+        }
+    }
+}
+
+impl RtmModel for PathwayModel {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn scan(&mut self, io: &mut dyn AimIo) {
+        let n = io.n_tasks();
+        self.routed.resize(n, 0);
+        self.internal.resize(n, 0);
+        io.read_routed(&mut self.routed);
+        io.read_internal(&mut self.internal);
+        // Apply all wires, then leak, then evaluate in declaration order.
+        for w in &self.wires {
+            let impulses = self.impulses(w.source, io);
+            let unit = &mut self.units[w.unit].unit;
+            match w.polarity {
+                Polarity::Excite => unit.excite(impulses),
+                Polarity::Inhibit => unit.inhibit(impulses),
+            }
+        }
+        for entry in &mut self.units {
+            entry.unit.tick();
+        }
+        for i in 0..self.units.len() {
+            if self.units[i].unit.fired() {
+                if let Some(action) = self.units[i].action {
+                    match action {
+                        Action::SwitchTask(t) => io.switch_task(t),
+                        Action::SwitchToOldestWaiting => {
+                            if let Some((t, _)) = io.oldest_waiting() {
+                                io.switch_task(t);
+                            }
+                        }
+                    }
+                }
+                if self.units[i].reset_on_fire {
+                    self.units[i].unit.reset();
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        for entry in &mut self.units {
+            entry.unit.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::MockAimIo;
+
+    #[test]
+    fn excitation_accumulates_and_fires_action() {
+        let mut m = PathwayBuilder::new("p")
+            .unit("u", ThresholdUnit::new(6))
+            .wire(Source::RoutedTask(0), "u", Polarity::Excite)
+            .on_fire("u", Action::SwitchTask(TaskId::new(0)))
+            .build();
+        let mut io = MockAimIo::new(2);
+        io.routed = vec![3, 0];
+        m.scan(&mut io);
+        assert!(io.switches.is_empty());
+        io.routed = vec![3, 0];
+        m.scan(&mut io);
+        assert_eq!(io.switches, vec![TaskId::new(0)]);
+        assert_eq!(m.count_of("u"), 0, "unit resets after firing");
+    }
+
+    #[test]
+    fn inhibition_counteracts_excitation() {
+        let mut m = PathwayBuilder::new("p")
+            .unit("u", ThresholdUnit::new(5))
+            .wire(Source::RoutedTask(0), "u", Polarity::Excite)
+            .wire(Source::InternalTotal, "u", Polarity::Inhibit)
+            .on_fire("u", Action::SwitchTask(TaskId::new(0)))
+            .build();
+        let mut io = MockAimIo::new(1);
+        for _ in 0..10 {
+            io.routed = vec![2];
+            io.internal = vec![2];
+            m.scan(&mut io);
+            io.tick();
+        }
+        assert!(io.switches.is_empty(), "balanced impulses never fire");
+    }
+
+    #[test]
+    fn pe_idle_clock_drives_timeout_style_pathway() {
+        // A miniature FFW: idle scans accumulate, firing adopts waiting work.
+        let mut m = PathwayBuilder::new("mini-ffw")
+            .unit("starved", ThresholdUnit::new(4))
+            .wire(Source::PeIdle, "starved", Polarity::Excite)
+            .wire(Source::InternalTotal, "starved", Polarity::Inhibit)
+            .on_fire("starved", Action::SwitchToOldestWaiting)
+            .build();
+        let mut io = MockAimIo::new(3);
+        io.busy = false;
+        io.oldest = Some((TaskId::new(2), 77));
+        for _ in 0..4 {
+            m.scan(&mut io);
+            io.tick();
+        }
+        assert_eq!(io.switches, vec![TaskId::new(2)]);
+    }
+
+    #[test]
+    fn neighbours_running_counts_matching_neighbours() {
+        let mut m = PathwayBuilder::new("p")
+            .unit("crowded", ThresholdUnit::new(8))
+            .wire(Source::NeighboursRunning(1), "crowded", Polarity::Excite)
+            .on_fire("crowded", Action::SwitchTask(TaskId::new(0)))
+            .build();
+        let mut io = MockAimIo::new(2);
+        io.neighbours = [
+            Some(TaskId::new(1)),
+            Some(TaskId::new(1)),
+            None,
+            Some(TaskId::new(0)),
+        ];
+        for _ in 0..4 {
+            m.scan(&mut io);
+            io.tick();
+        }
+        assert_eq!(io.switches, vec![TaskId::new(0)], "2 impulses × 4 scans = 8");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate unit")]
+    fn duplicate_unit_names_rejected() {
+        let _ = PathwayBuilder::new("p")
+            .unit("u", ThresholdUnit::new(1))
+            .unit("u", ThresholdUnit::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown unit")]
+    fn wiring_unknown_unit_rejected() {
+        let _ = PathwayBuilder::new("p").wire(Source::EveryScan, "ghost", Polarity::Excite);
+    }
+
+    #[test]
+    fn keep_count_on_fire_retains_counter() {
+        let mut m = PathwayBuilder::new("p")
+            .unit("u", ThresholdUnit::new(2))
+            .wire(Source::EveryScan, "u", Polarity::Excite)
+            .on_fire("u", Action::SwitchTask(TaskId::new(0)))
+            .keep_count_on_fire("u")
+            .build();
+        let mut io = MockAimIo::new(1);
+        m.scan(&mut io);
+        m.scan(&mut io);
+        m.scan(&mut io);
+        assert_eq!(io.switches.len(), 2, "fires on every scan once latched");
+        assert!(m.count_of("u") >= 2);
+    }
+}

@@ -1,0 +1,353 @@
+//! Stimulus–threshold primitives (Fig. 2b of the paper).
+//!
+//! The paper's AIM software platform provides "functions for: interfacing
+//! to convert between impulse sequences (spike trains) and binary number
+//! representation, logical comparators that generate impulses when vector
+//! inputs match, and threshold circuits that act as final decision
+//! makers". This module provides those building blocks; the task-allocation
+//! models in [`crate::models`] are wired out of them.
+
+/// An excitatory/inhibitory impulse counter with a firing threshold —
+/// the "sense-react thresholder" of Fig. 2b.
+///
+/// Impulses raise ([`ThresholdUnit::excite`]) or lower
+/// ([`ThresholdUnit::inhibit`]) a saturating counter; an optional leak
+/// decays it every scan. The unit *fires* while the counter is at or above
+/// the threshold.
+///
+/// # Examples
+///
+/// ```
+/// use sirtm_core::stimulus::ThresholdUnit;
+///
+/// let mut unit = ThresholdUnit::new(10);
+/// unit.excite(7);
+/// assert!(!unit.fired());
+/// unit.excite(4);
+/// assert!(unit.fired());
+/// assert_eq!(unit.count(), 11);
+/// unit.reset();
+/// assert_eq!(unit.count(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ThresholdUnit {
+    count: u32,
+    threshold: u32,
+    leak: u32,
+    saturation: u32,
+}
+
+impl ThresholdUnit {
+    /// Default saturation cap, matching an 8-bit hardware counter.
+    pub const DEFAULT_SATURATION: u32 = 255;
+
+    /// Creates a unit firing at `threshold`, with no leak and the default
+    /// 8-bit saturation.
+    pub fn new(threshold: u32) -> Self {
+        Self {
+            count: 0,
+            threshold,
+            leak: 0,
+            saturation: Self::DEFAULT_SATURATION,
+        }
+    }
+
+    /// Sets the per-scan leak (decay applied by [`ThresholdUnit::tick`]).
+    pub fn with_leak(mut self, leak: u32) -> Self {
+        self.leak = leak;
+        self
+    }
+
+    /// Sets the saturation cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `saturation == 0`.
+    pub fn with_saturation(mut self, saturation: u32) -> Self {
+        assert!(saturation > 0, "saturation must be non-zero");
+        self.saturation = saturation;
+        self
+    }
+
+    /// Current counter value.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Current threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Replaces the threshold (adaptive-threshold extensions use this).
+    pub fn set_threshold(&mut self, threshold: u32) {
+        self.threshold = threshold;
+    }
+
+    /// Applies `n` excitatory impulses (saturating).
+    pub fn excite(&mut self, n: u32) {
+        self.count = self.count.saturating_add(n).min(self.saturation);
+    }
+
+    /// Applies `n` inhibitory impulses (floor at zero).
+    pub fn inhibit(&mut self, n: u32) {
+        self.count = self.count.saturating_sub(n);
+    }
+
+    /// Applies one scan of leak decay.
+    pub fn tick(&mut self) {
+        self.count = self.count.saturating_sub(self.leak);
+    }
+
+    /// Whether the counter has reached the threshold.
+    pub fn fired(&self) -> bool {
+        self.count >= self.threshold
+    }
+
+    /// Clears the counter (the paper resets counters after a decision).
+    pub fn reset(&mut self) {
+        self.count = 0;
+    }
+}
+
+/// A retriggerable timeout: armed with a scan count, cleared by feed
+/// impulses, fires when it runs down — the temporal element of the
+/// Foraging-for-Work model ("time since sent" / task-switch timeout).
+///
+/// Semantics deliberately match the PicoBlaze firmware byte-for-byte so
+/// the two backends are differentially testable: the timer starts
+/// *expired* (remaining = 0), a feed rearms it to the full timeout, an
+/// unfed scan decrements, and expiry is observed when an unfed scan finds
+/// it already at zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeoutTimer {
+    timeout_scans: u32,
+    remaining: u32,
+}
+
+impl TimeoutTimer {
+    /// Creates a timer with the given timeout in scans, initially expired.
+    pub fn new(timeout_scans: u32) -> Self {
+        Self {
+            timeout_scans,
+            remaining: 0,
+        }
+    }
+
+    /// The configured timeout in scans.
+    pub fn timeout(&self) -> u32 {
+        self.timeout_scans
+    }
+
+    /// Reconfigures the timeout (applies from the next rearm).
+    pub fn set_timeout(&mut self, timeout_scans: u32) {
+        self.timeout_scans = timeout_scans;
+    }
+
+    /// Scans left before expiry.
+    pub fn remaining(&self) -> u32 {
+        self.remaining
+    }
+
+    /// Rearms to the full timeout (a feed impulse arrived).
+    pub fn feed(&mut self) {
+        self.remaining = self.timeout_scans;
+    }
+
+    /// Adds `scans` of commitment, saturating at the configured timeout —
+    /// the work-proportional feed of the utilisation-aware FFW variant.
+    pub fn top_up(&mut self, scans: u32) {
+        self.remaining = self.remaining.saturating_add(scans).min(self.timeout_scans);
+    }
+
+    /// Advances one unfed scan; returns `true` if the timer was already
+    /// expired (the FFW "task switch" trigger), in which case it rearms.
+    pub fn step_unfed(&mut self) -> bool {
+        if self.remaining == 0 {
+            self.remaining = self.timeout_scans;
+            true
+        } else {
+            self.remaining -= 1;
+            false
+        }
+    }
+}
+
+/// Fires an impulse when its input vector equals a reference — the
+/// paper's "logical comparators that generate impulses when vector inputs
+/// match".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VectorComparator {
+    reference: Vec<u8>,
+    mask: Vec<u8>,
+}
+
+impl VectorComparator {
+    /// Creates a comparator matching `reference` exactly.
+    pub fn new(reference: Vec<u8>) -> Self {
+        let mask = vec![0xFF; reference.len()];
+        Self { reference, mask }
+    }
+
+    /// Creates a comparator matching `reference` under `mask` (only bits
+    /// set in the mask participate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn with_mask(reference: Vec<u8>, mask: Vec<u8>) -> Self {
+        assert_eq!(reference.len(), mask.len(), "mask length mismatch");
+        Self { reference, mask }
+    }
+
+    /// Returns `true` (an impulse) when `input` matches.
+    pub fn matches(&self, input: &[u8]) -> bool {
+        input.len() == self.reference.len()
+            && input
+                .iter()
+                .zip(&self.reference)
+                .zip(&self.mask)
+                .all(|((&i, &r), &m)| i & m == r & m)
+    }
+}
+
+/// Integrates impulses into a binary count over a window — the spike-train
+/// to binary converter of the paper's AIM platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ImpulseIntegrator {
+    total: u64,
+    window: u64,
+}
+
+impl ImpulseIntegrator {
+    /// Creates an empty integrator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` impulses to the current window.
+    pub fn add(&mut self, n: u32) {
+        self.window += n as u64;
+        self.total += n as u64;
+    }
+
+    /// Reads the window count as a saturating byte (the 8-bit bus of the
+    /// PicoBlaze AIM) and clears the window.
+    pub fn take_u8(&mut self) -> u8 {
+        let v = self.window.min(255) as u8;
+        self.window = 0;
+        v
+    }
+
+    /// Reads and clears the exact window count.
+    pub fn take(&mut self) -> u64 {
+        std::mem::take(&mut self.window)
+    }
+
+    /// Lifetime total across all windows.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_fires_at_exact_threshold() {
+        let mut u = ThresholdUnit::new(5);
+        u.excite(4);
+        assert!(!u.fired());
+        u.excite(1);
+        assert!(u.fired());
+    }
+
+    #[test]
+    fn threshold_zero_always_fires() {
+        let u = ThresholdUnit::new(0);
+        assert!(u.fired(), "threshold 0 fires on an empty counter");
+    }
+
+    #[test]
+    fn threshold_saturates() {
+        let mut u = ThresholdUnit::new(10).with_saturation(20);
+        u.excite(500);
+        assert_eq!(u.count(), 20);
+    }
+
+    #[test]
+    fn inhibit_floors_at_zero() {
+        let mut u = ThresholdUnit::new(10);
+        u.excite(3);
+        u.inhibit(5);
+        assert_eq!(u.count(), 0);
+    }
+
+    #[test]
+    fn leak_decays_per_tick() {
+        let mut u = ThresholdUnit::new(10).with_leak(2);
+        u.excite(5);
+        u.tick();
+        assert_eq!(u.count(), 3);
+        u.tick();
+        u.tick();
+        assert_eq!(u.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_saturation_rejected() {
+        let _ = ThresholdUnit::new(1).with_saturation(0);
+    }
+
+    #[test]
+    fn timer_starts_expired_and_rearms() {
+        let mut t = TimeoutTimer::new(3);
+        assert_eq!(t.remaining(), 0);
+        assert!(t.step_unfed(), "expired timer fires and rearms");
+        assert_eq!(t.remaining(), 3);
+        assert!(!t.step_unfed());
+        assert!(!t.step_unfed());
+        assert!(!t.step_unfed());
+        assert!(t.step_unfed(), "runs down after timeout unfed scans");
+    }
+
+    #[test]
+    fn timer_feed_rearms() {
+        let mut t = TimeoutTimer::new(5);
+        t.feed();
+        assert_eq!(t.remaining(), 5);
+        assert!(!t.step_unfed());
+        t.feed();
+        assert_eq!(t.remaining(), 5);
+    }
+
+    #[test]
+    fn comparator_exact_and_masked() {
+        let c = VectorComparator::new(vec![1, 2, 3]);
+        assert!(c.matches(&[1, 2, 3]));
+        assert!(!c.matches(&[1, 2, 4]));
+        assert!(!c.matches(&[1, 2]));
+        let m = VectorComparator::with_mask(vec![0xF0, 0x00], vec![0xF0, 0x00]);
+        assert!(m.matches(&[0xF3, 0x55]), "masked-out bits ignored");
+        assert!(!m.matches(&[0x03, 0x55]));
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length")]
+    fn comparator_mask_length_mismatch_panics() {
+        let _ = VectorComparator::with_mask(vec![1], vec![1, 2]);
+    }
+
+    #[test]
+    fn integrator_window_and_total() {
+        let mut i = ImpulseIntegrator::new();
+        i.add(300);
+        assert_eq!(i.take_u8(), 255, "byte read saturates");
+        i.add(2);
+        assert_eq!(i.take(), 2);
+        assert_eq!(i.total(), 302);
+        assert_eq!(i.take(), 0, "window cleared");
+    }
+}

@@ -1,0 +1,357 @@
+//! The experiment harness: builds platforms, injects faults, records
+//! traces and extracts the paper's per-run measures.
+
+use sirtm_centurion::{Platform, PlatformConfig};
+use sirtm_core::models::ModelKind;
+use sirtm_faults::{generators, Fault, FaultEvent, FaultKind, FaultSchedule};
+use sirtm_rng::Xoshiro256StarStar;
+use sirtm_taskgraph::workloads::{fork_join, ForkJoinParams};
+use sirtm_taskgraph::{Mapping, TaskGraph, TaskId};
+
+use crate::detect::{settling_ms, DetectorConfig};
+use crate::recorder::{Recorder, RunTrace};
+
+/// Shared configuration of a reproduction experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Run length in simulated milliseconds (the paper plots 1000 ms).
+    pub duration_ms: f64,
+    /// Fault injection instant (the paper injects at 500 ms).
+    pub fault_at_ms: f64,
+    /// Recording/detection window in milliseconds.
+    pub window_ms: f64,
+    /// Independent runs per configuration (the paper uses 100).
+    pub runs: usize,
+    /// Platform configuration.
+    pub platform: PlatformConfig,
+    /// Workload parameters (Fig. 3 fork-join).
+    pub workload: ForkJoinParams,
+    /// Settling detector configuration.
+    pub detector: DetectorConfig,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            duration_ms: 1000.0,
+            fault_at_ms: 500.0,
+            window_ms: 2.0,
+            runs: 100,
+            platform: PlatformConfig::default(),
+            workload: ForkJoinParams::default(),
+            detector: DetectorConfig::default(),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The workload graph.
+    pub fn graph(&self) -> TaskGraph {
+        fork_join(&self.workload)
+    }
+
+    /// The sink task whose completions define application throughput.
+    pub fn sink(&self) -> TaskId {
+        TaskId::new((self.graph().len() - 1) as u8)
+    }
+}
+
+/// One run to execute.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// The task-allocation model under test.
+    pub model: ModelKind,
+    /// Number of PE faults injected at `fault_at_ms` (0 = fault-free).
+    pub faults: usize,
+    /// Seed controlling the initial mapping, clock phases and fault set.
+    pub seed: u64,
+}
+
+/// Per-run measurements.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The executed spec.
+    pub spec: RunSpec,
+    /// Full windowed trace.
+    pub trace: RunTrace,
+    /// Settling time from cold start, in milliseconds (censored at the
+    /// pre-fault region length).
+    pub settle_ms: f64,
+    /// Steady throughput before fault injection (sink completions / ms).
+    pub pre_fault_rate: f64,
+    /// Recovery time after fault injection, in milliseconds (`None` for
+    /// fault-free runs; censored at the post-fault region length).
+    pub recovery_ms: Option<f64>,
+    /// Steady throughput at the end of the run.
+    pub final_rate: f64,
+}
+
+/// Builds the initial mapping for a model: the paper starts the
+/// bio-inspired models from a random topology and the baseline from the
+/// fixed Manhattan heuristic.
+pub fn initial_mapping(
+    model: &ModelKind,
+    graph: &TaskGraph,
+    cfg: &PlatformConfig,
+    rng: &mut Xoshiro256StarStar,
+) -> Mapping {
+    if model.is_adaptive() {
+        Mapping::random_uniform(graph, cfg.dims, rng)
+    } else {
+        Mapping::heuristic(graph, cfg.dims)
+    }
+}
+
+/// Builds the platform for a run (mapping, phases, model) without running
+/// it — examples and ablations reuse this.
+pub fn build_platform(spec: &RunSpec, cfg: &ExperimentConfig) -> Platform {
+    let graph = cfg.graph();
+    let mut rng = Xoshiro256StarStar::seed_from_u64(spec.seed);
+    let mapping = initial_mapping(&spec.model, &graph, &cfg.platform, &mut rng);
+    let mut platform = Platform::new(graph, &mapping, &spec.model, cfg.platform.clone());
+    platform.randomize_phases(&mut rng);
+    platform
+}
+
+/// The deterministic fault set of a run (same seed → same victims, shared
+/// across models for paired comparison).
+pub fn fault_set(spec: &RunSpec, cfg: &ExperimentConfig) -> Vec<Fault> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(spec.seed ^ 0x5EED_FA17);
+    generators::random_nodes(cfg.platform.dims, spec.faults, FaultKind::PeDead, &mut rng)
+}
+
+/// Executes one run end to end.
+pub fn run_one(spec: &RunSpec, cfg: &ExperimentConfig) -> RunResult {
+    let mut platform = build_platform(spec, cfg);
+    let mut schedule = if spec.faults > 0 {
+        FaultSchedule::from_events(vec![FaultEvent {
+            at: cfg.platform.ms_to_cycles(cfg.fault_at_ms),
+            faults: fault_set(spec, cfg),
+        }])
+    } else {
+        FaultSchedule::new()
+    };
+    let total_windows = (cfg.duration_ms / cfg.window_ms).round() as usize;
+    let mut recorder = Recorder::new(cfg.window_ms, cfg.sink());
+    recorder.run_windows(&mut platform, total_windows, |_, p| {
+        schedule.poll(p);
+    });
+    let trace = recorder.into_trace();
+    let fault_window = (cfg.fault_at_ms / cfg.window_ms).round() as usize;
+    let cut = fault_window.min(trace.samples.len());
+    // A run has settled when the application throughput, the switch rate
+    // AND the task distribution have all reached and held their steady
+    // regions — the paper's "settling period as the task topology adapts".
+    let n_tasks = trace
+        .samples
+        .first()
+        .map(|s| s.task_counts.len())
+        .unwrap_or(0);
+    let count_detector = DetectorConfig {
+        tolerance_frac: 0.05,
+        tolerance_abs: 2.0, // nodes
+        ..cfg.detector
+    };
+    let task_series: Vec<Vec<f64>> = (0..n_tasks).map(|t| trace.task_count_series(t)).collect();
+    let settle_of = |range: std::ops::Range<usize>, thr: &[f64], sw: &[f64]| -> (f64, f64) {
+        let (t_ms, steady) = settling_ms(&thr[range.clone()], cfg.window_ms, &cfg.detector);
+        let (s_ms, _) = settling_ms(&sw[range.clone()], cfg.window_ms, &cfg.detector);
+        let mut settle = t_ms.max(s_ms);
+        for series in &task_series {
+            let (c_ms, _) = settling_ms(&series[range.clone()], cfg.window_ms, &count_detector);
+            settle = settle.max(c_ms);
+        }
+        (settle, steady)
+    };
+    let throughput = trace.throughput();
+    let switch_series = trace.switches();
+    let (settle_ms, pre_fault_rate) = settle_of(0..cut, &throughput, &switch_series);
+    let (recovery_ms, final_rate) = if spec.faults > 0 {
+        let (r, f) = settle_of(
+            fault_window..trace.samples.len(),
+            &throughput,
+            &switch_series,
+        );
+        (Some(r), f)
+    } else {
+        let all = trace.throughput();
+        let n = all.len().min(cfg.detector.steady_windows);
+        let f = all[all.len() - n..].iter().sum::<f64>() / n as f64;
+        (None, f)
+    };
+    RunResult {
+        spec: spec.clone(),
+        trace,
+        settle_ms,
+        pre_fault_rate,
+        recovery_ms,
+        final_rate,
+    }
+}
+
+/// Executes many runs, fanned out over the machine's cores. Results come
+/// back in input order regardless of scheduling (bit-identical to a
+/// sequential pass).
+pub fn run_many(specs: &[RunSpec], cfg: &ExperimentConfig) -> Vec<RunResult> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(specs.len().max(1));
+    if workers <= 1 || specs.len() <= 1 {
+        return specs.iter().map(|s| run_one(s, cfg)).collect();
+    }
+    let mut slots: Vec<Option<RunResult>> = (0..specs.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let next = &next;
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= specs.len() {
+                        break;
+                    }
+                    local.push((i, run_one(&specs[i], cfg)));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            for (i, r) in h.join().expect("worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|r| r.expect("all runs filled")).collect()
+}
+
+/// The reference throughput every relative-performance figure is
+/// normalised to: the median steady rate of the No-Intelligence,
+/// fault-free configuration (the paper's highlighted table row).
+pub fn baseline_reference(cfg: &ExperimentConfig, runs: usize) -> f64 {
+    let specs: Vec<RunSpec> = (0..runs)
+        .map(|i| RunSpec {
+            model: ModelKind::NoIntelligence,
+            faults: 0,
+            seed: 0xBA5E_0000 + i as u64,
+        })
+        .collect();
+    let results = run_many(&specs, cfg);
+    let rates: Vec<f64> = results.iter().map(|r| r.final_rate).collect();
+    crate::stats::Quartiles::of(&rates).q2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirtm_core::models::FfwConfig;
+
+    fn quick_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            duration_ms: 120.0,
+            fault_at_ms: 60.0,
+            window_ms: 4.0,
+            runs: 2,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn fault_free_run_produces_throughput_and_settles() {
+        let cfg = quick_cfg();
+        let spec = RunSpec {
+            model: ModelKind::NoIntelligence,
+            faults: 0,
+            seed: 1,
+        };
+        let r = run_one(&spec, &cfg);
+        assert!(r.final_rate > 2.0, "baseline throughput {}", r.final_rate);
+        assert!(r.recovery_ms.is_none());
+        assert!(r.settle_ms <= 60.0);
+        assert_eq!(r.trace.samples.len(), 30);
+    }
+
+    #[test]
+    fn faulted_run_reports_recovery_and_loses_capacity() {
+        let cfg = quick_cfg();
+        let faulted = run_one(
+            &RunSpec {
+                model: ModelKind::NoIntelligence,
+                faults: 32,
+                seed: 2,
+            },
+            &cfg,
+        );
+        let clean = run_one(
+            &RunSpec {
+                model: ModelKind::NoIntelligence,
+                faults: 0,
+                seed: 2,
+            },
+            &cfg,
+        );
+        let rec = faulted.recovery_ms.expect("faulted run has recovery");
+        assert!(rec <= 60.0);
+        assert!(
+            faulted.final_rate < clean.final_rate,
+            "32 dead nodes must cost throughput vs the fault-free twin: {} vs {}",
+            faulted.final_rate,
+            clean.final_rate
+        );
+    }
+
+    #[test]
+    fn same_seed_same_result() {
+        let cfg = quick_cfg();
+        let spec = RunSpec {
+            model: ModelKind::ForagingForWork(FfwConfig::default()),
+            faults: 5,
+            seed: 77,
+        };
+        let a = run_one(&spec, &cfg);
+        let b = run_one(&spec, &cfg);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.settle_ms, b.settle_ms);
+    }
+
+    #[test]
+    fn fault_sets_are_seed_stable_and_model_independent() {
+        let cfg = quick_cfg();
+        let a = fault_set(
+            &RunSpec {
+                model: ModelKind::NoIntelligence,
+                faults: 8,
+                seed: 3,
+            },
+            &cfg,
+        );
+        let b = fault_set(
+            &RunSpec {
+                model: ModelKind::ForagingForWork(FfwConfig::default()),
+                faults: 8,
+                seed: 3,
+            },
+            &cfg,
+        );
+        assert_eq!(a, b, "paired comparison needs identical victims");
+    }
+
+    #[test]
+    fn run_many_matches_sequential_order() {
+        let cfg = quick_cfg();
+        let specs: Vec<RunSpec> = (0..4)
+            .map(|i| RunSpec {
+                model: ModelKind::NoIntelligence,
+                faults: 0,
+                seed: i,
+            })
+            .collect();
+        let parallel = run_many(&specs, &cfg);
+        let sequential: Vec<RunResult> = specs.iter().map(|s| run_one(s, &cfg)).collect();
+        for (p, s) in parallel.iter().zip(&sequential) {
+            assert_eq!(p.trace, s.trace);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! The SIRTM reproduction harness: regenerates every table and figure of
+//! the DATE 2020 paper's evaluation.
+//!
+//! | Paper artefact | Module | Binary |
+//! |---|---|---|
+//! | Table I (settling, no faults) | [`table1`] | `repro -- table1` |
+//! | Table II (recovery vs faults) | [`table2`] | `repro -- table2` |
+//! | Fig. 4 (time series, 5 & 42 faults) | [`fig4`] | `repro -- fig4` |
+//!
+//! Building blocks: [`harness`] (run construction and fan-out),
+//! [`recorder`] (windowed series), [`detect`] (settling/recovery
+//! detection), [`stats`] (quartiles) and [`render`] (ASCII tables,
+//! sparklines, CSV).
+//!
+//! # Examples
+//!
+//! ```
+//! use sirtm_experiments::harness::{run_one, ExperimentConfig, RunSpec};
+//! use sirtm_core::models::ModelKind;
+//!
+//! let cfg = ExperimentConfig {
+//!     duration_ms: 60.0,
+//!     fault_at_ms: 30.0,
+//!     window_ms: 10.0,
+//!     ..ExperimentConfig::default()
+//! };
+//! let result = run_one(
+//!     &RunSpec { model: ModelKind::NoIntelligence, faults: 2, seed: 7 },
+//!     &cfg,
+//! );
+//! assert_eq!(result.trace.samples.len(), 6);
+//! assert!(result.recovery_ms.is_some());
+//! ```
+
+pub mod detect;
+pub mod fig4;
+pub mod harness;
+pub mod recorder;
+pub mod render;
+pub mod stats;
+pub mod table1;
+pub mod table2;
+pub mod thermal_ext;
+
+pub use harness::{run_many, run_one, ExperimentConfig, RunResult, RunSpec};
+pub use stats::Quartiles;

@@ -1,0 +1,173 @@
+//! ASCII tables, sparklines and CSV output for the reproduction harness.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Renders an ASCII table with right-aligned columns.
+///
+/// # Panics
+///
+/// Panics if a row's width differs from the header's.
+pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            let _ = write!(out, "+{}", "-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    for (w, h) in widths.iter().zip(headers) {
+        let _ = write!(out, "| {h:>w$} ");
+    }
+    out.push_str("|\n");
+    sep(&mut out);
+    for row in rows {
+        for (w, cell) in widths.iter().zip(row) {
+            let _ = write!(out, "| {cell:>w$} ");
+        }
+        out.push_str("|\n");
+    }
+    sep(&mut out);
+    out
+}
+
+/// Renders a series as a unicode sparkline (auto-scaled).
+pub fn sparkline(series: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if series.is_empty() {
+        return String::new();
+    }
+    let min = series.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    series
+        .iter()
+        .map(|&v| {
+            let idx = (((v - min) / span) * (BARS.len() - 1) as f64).round() as usize;
+            BARS[idx.min(BARS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Downsamples a series to at most `n` points by block averaging (for
+/// terminal-width sparklines).
+pub fn downsample(series: &[f64], n: usize) -> Vec<f64> {
+    if n == 0 || series.is_empty() || series.len() <= n {
+        return series.to_vec();
+    }
+    let block = series.len() as f64 / n as f64;
+    (0..n)
+        .map(|i| {
+            let a = (i as f64 * block).floor() as usize;
+            let b = (((i + 1) as f64 * block).ceil() as usize).min(series.len());
+            series[a..b.max(a + 1)].iter().sum::<f64>() / (b.max(a + 1) - a) as f64
+        })
+        .collect()
+}
+
+/// Writes a CSV file (header row plus data rows). Fields containing
+/// commas or quotes are quoted.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the parent directory or writing.
+pub fn write_csv(
+    path: &Path,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut out = String::new();
+    let escape = |s: &str| {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = ascii_table(
+            &["model", "Q2"],
+            &[
+                vec!["none".into(), "100%".into()],
+                vec!["ffw".into(), "114%".into()],
+            ],
+        );
+        assert!(t.contains("| model |"));
+        assert!(t.contains("|  none | 100% |"));
+        assert!(t.lines().count() >= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        ascii_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn sparkline_spans_the_range() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn sparkline_flat_series_is_uniform() {
+        let s = sparkline(&[5.0; 6]);
+        assert_eq!(s.chars().filter(|&c| c == '▁').count(), 6);
+    }
+
+    #[test]
+    fn downsample_averages_blocks() {
+        let d = downsample(&[1.0, 1.0, 3.0, 3.0], 2);
+        assert_eq!(d, vec![1.0, 3.0]);
+        assert_eq!(downsample(&[1.0, 2.0], 10), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn csv_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("sirtm_csv_test");
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[vec!["1".into(), "x,y".into()]],
+        )
+        .expect("writes");
+        let text = std::fs::read_to_string(&path).expect("reads");
+        assert_eq!(text, "a,b\n1,\"x,y\"\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,136 @@
+//! Descriptive statistics for experiment aggregation.
+
+/// Quartiles of a sample, as reported in the paper's tables (Q1 / median /
+/// Q3 over 100 independent runs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quartiles {
+    /// 25th percentile.
+    pub q1: f64,
+    /// Median.
+    pub q2: f64,
+    /// 75th percentile.
+    pub q3: f64,
+}
+
+impl Quartiles {
+    /// Computes quartiles with linear interpolation (R type-7, the common
+    /// spreadsheet/NumPy default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "quartiles of an empty sample");
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+        Self {
+            q1: percentile_sorted(&sorted, 0.25),
+            q2: percentile_sorted(&sorted, 0.50),
+            q3: percentile_sorted(&sorted, 0.75),
+        }
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Multiplies all three quartiles by a scalar (unit conversion).
+    pub fn scaled(&self, k: f64) -> Self {
+        Self {
+            q1: self.q1 * k,
+            q2: self.q2 * k,
+            q3: self.q3 * k,
+        }
+    }
+}
+
+/// Type-7 percentile of an already sorted slice.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 1]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    assert!((0.0..=1.0).contains(&p), "percentile outside [0, 1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let h = p * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn mean(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "mean of an empty sample");
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quartiles_of_known_sample() {
+        let q = Quartiles::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(q.q1, 2.0);
+        assert_eq!(q.q2, 3.0);
+        assert_eq!(q.q3, 4.0);
+        assert_eq!(q.iqr(), 2.0);
+    }
+
+    #[test]
+    fn quartiles_interpolate() {
+        let q = Quartiles::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((q.q1 - 1.75).abs() < 1e-12);
+        assert!((q.q2 - 2.5).abs() < 1e-12);
+        assert!((q.q3 - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quartiles_are_order_independent() {
+        let a = Quartiles::of(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        let b = Quartiles::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_sample_degenerates() {
+        let q = Quartiles::of(&[7.5]);
+        assert_eq!((q.q1, q.q2, q.q3), (7.5, 7.5, 7.5));
+    }
+
+    #[test]
+    fn scaled_converts_units() {
+        let q = Quartiles::of(&[1.0, 2.0, 3.0]).scaled(100.0);
+        assert_eq!(q.q2, 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        Quartiles::of(&[]);
+    }
+
+    #[test]
+    fn percentile_extremes() {
+        let s = [1.0, 2.0, 3.0];
+        assert_eq!(percentile_sorted(&s, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&s, 1.0), 3.0);
+    }
+
+    #[test]
+    fn mean_is_arithmetic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+}

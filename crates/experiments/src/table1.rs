@@ -1,0 +1,186 @@
+//! Table I — settling time and relative performance without faults.
+//!
+//! "Performance reached — relative to highlighted case — after settling
+//! time without fault injection. Shown are median (Q2) and 25th/75th
+//! percentiles (Q1/Q3) for 100 independent, randomly initialised runs of
+//! each experiment."
+
+use sirtm_core::models::{FfwConfig, ModelKind, NiConfig};
+
+use crate::harness::{run_many, ExperimentConfig, RunSpec};
+use crate::stats::Quartiles;
+
+/// One Table I row.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Model name ("none", "ni", "ffw").
+    pub model: String,
+    /// Settling time quartiles in milliseconds.
+    pub settle_ms: Quartiles,
+    /// Steady throughput quartiles relative to the baseline median, in
+    /// percent.
+    pub relative_pct: Quartiles,
+}
+
+/// The full Table I.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Rows in paper order: No Intelligence, Network Interaction,
+    /// Foraging For Work.
+    pub rows: Vec<Table1Row>,
+    /// The normalisation reference (baseline median rate, sinks/ms).
+    pub reference_rate: f64,
+}
+
+/// The three models of the paper's evaluation, in table order.
+pub fn paper_models() -> Vec<(String, ModelKind)> {
+    vec![
+        ("No Intelligence".to_string(), ModelKind::NoIntelligence),
+        (
+            "Network Interaction".to_string(),
+            ModelKind::NetworkInteraction(NiConfig::default()),
+        ),
+        (
+            "Foraging For Work".to_string(),
+            ModelKind::ForagingForWork(FfwConfig::default()),
+        ),
+    ]
+}
+
+/// Regenerates Table I.
+pub fn run(cfg: &ExperimentConfig) -> Table1 {
+    let mut per_model = Vec::new();
+    for (name, model) in paper_models() {
+        let specs: Vec<RunSpec> = (0..cfg.runs)
+            .map(|i| RunSpec {
+                model: model.clone(),
+                faults: 0,
+                seed: 1000 + i as u64,
+            })
+            .collect();
+        let results = run_many(&specs, cfg);
+        let settles: Vec<f64> = results.iter().map(|r| r.settle_ms).collect();
+        let rates: Vec<f64> = results.iter().map(|r| r.final_rate).collect();
+        per_model.push((name, settles, rates));
+    }
+    // Normalise to the baseline's own median (the paper's highlighted row).
+    let reference_rate = Quartiles::of(&per_model[0].2).q2.max(1e-9);
+    let rows = per_model
+        .into_iter()
+        .map(|(model, settles, rates)| Table1Row {
+            model,
+            settle_ms: Quartiles::of(&settles),
+            relative_pct: Quartiles::of(&rates).scaled(100.0 / reference_rate),
+        })
+        .collect();
+    Table1 {
+        rows,
+        reference_rate,
+    }
+}
+
+/// Renders the table in the paper's layout.
+pub fn render(table: &Table1) -> String {
+    let headers = [
+        "Model",
+        "Settle Q1 (ms)",
+        "Settle Q2 (ms)",
+        "Settle Q3 (ms)",
+        "Perf Q1",
+        "Perf Q2",
+        "Perf Q3",
+    ];
+    let rows: Vec<Vec<String>> = table
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                format!("{:.0}", r.settle_ms.q1),
+                format!("{:.0}", r.settle_ms.q2),
+                format!("{:.0}", r.settle_ms.q3),
+                format!("{:.0}%", r.relative_pct.q1),
+                format!("{:.0}%", r.relative_pct.q2),
+                format!("{:.0}%", r.relative_pct.q3),
+            ]
+        })
+        .collect();
+    format!(
+        "Table I — settling time and relative performance, no faults \
+         ({} runs, reference {:.2} sinks/ms)\n{}",
+        table.rows.first().map(|_| "").unwrap_or(""),
+        table.reference_rate,
+        crate::render::ascii_table(&headers, &rows)
+    )
+}
+
+/// Writes the table as CSV for external analysis.
+///
+/// # Errors
+///
+/// Returns any I/O error.
+pub fn write_csv(table: &Table1, path: &std::path::Path) -> std::io::Result<()> {
+    let headers = [
+        "model",
+        "settle_q1_ms",
+        "settle_q2_ms",
+        "settle_q3_ms",
+        "perf_q1_pct",
+        "perf_q2_pct",
+        "perf_q3_pct",
+    ];
+    let rows: Vec<Vec<String>> = table
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                format!("{:.1}", r.settle_ms.q1),
+                format!("{:.1}", r.settle_ms.q2),
+                format!("{:.1}", r.settle_ms.q3),
+                format!("{:.1}", r.relative_pct.q1),
+                format!("{:.1}", r.relative_pct.q2),
+                format!("{:.1}", r.relative_pct.q3),
+            ]
+        })
+        .collect();
+    crate::render::write_csv(path, &headers, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_table1_has_paper_shape() {
+        // A reduced-size smoke check of the full pipeline; EXPERIMENTS.md
+        // records the full 100-run numbers.
+        let cfg = ExperimentConfig {
+            runs: 3,
+            duration_ms: 250.0,
+            fault_at_ms: 250.0,
+            ..ExperimentConfig::default()
+        };
+        let t = run(&cfg);
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows[0].model, "No Intelligence");
+        // The baseline row is the reference: its median is 100%.
+        assert!((t.rows[0].relative_pct.q2 - 100.0).abs() < 1e-6);
+        // The baseline pipeline-fills quickly; the full ordering of all
+        // three medians is a statistical property checked at 100 runs
+        // (EXPERIMENTS.md), not in this 3-run smoke test.
+        assert!(
+            t.rows[0].settle_ms.q2 <= 100.0,
+            "baseline settle {}ms",
+            t.rows[0].settle_ms.q2
+        );
+        // FFW clearly outperforms the baseline even in tiny samples.
+        assert!(
+            t.rows[2].relative_pct.q2 > 105.0,
+            "FFW relative perf {}%",
+            t.rows[2].relative_pct.q2
+        );
+        let text = render(&t);
+        assert!(text.contains("Foraging For Work"));
+    }
+}

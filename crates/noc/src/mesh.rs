@@ -1,0 +1,417 @@
+//! The mesh fabric: routers wired into a 2-D grid, stepped cycle by cycle.
+//!
+//! [`Mesh::step`] advances the whole network by one clock cycle in two
+//! phases: every router first *plans* its crossbar traversals against a
+//! start-of-cycle snapshot of downstream buffer occupancy (credit-based
+//! flow control), then all moves are *applied*. Each input buffer has a
+//! single upstream writer and each output port moves at most one flit per
+//! cycle, so the phases cannot conflict and the result is independent of
+//! router iteration order — a requirement for reproducibility.
+
+use sirtm_taskgraph::{GridDims, TaskId};
+
+use crate::packet::{Flit, Packet, PacketId, PacketKind, RcapCommand};
+use crate::router::{OutPort, Router, RouterConfig, RouterPlan};
+use crate::types::{Coord, Cycle, Direction, NodeId};
+
+/// Aggregate fabric statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MeshStats {
+    /// Packets accepted into injection queues.
+    pub injected: u64,
+    /// Application packets delivered through internal ports.
+    pub delivered: u64,
+    /// Packets discarded by deadlock recovery.
+    pub dropped: u64,
+    /// Config packets consumed by RCAP ports.
+    pub config_consumed: u64,
+    /// Sum of delivery latencies in cycles (delivered packets only).
+    pub latency_sum: u64,
+    /// Maximum observed delivery latency in cycles.
+    pub latency_max: u64,
+    /// Total flits moved through any crossbar.
+    pub flit_hops: u64,
+}
+
+impl MeshStats {
+    /// Mean delivery latency in cycles, if anything was delivered.
+    pub fn mean_latency(&self) -> Option<f64> {
+        (self.delivered > 0).then(|| self.latency_sum as f64 / self.delivered as f64)
+    }
+
+    /// Packets currently inside the fabric (injected but not yet
+    /// delivered, consumed or dropped).
+    pub fn in_flight(&self) -> u64 {
+        self.injected - self.delivered - self.dropped - self.config_consumed
+    }
+}
+
+/// A rectangular mesh of wormhole routers.
+///
+/// # Examples
+///
+/// ```
+/// use sirtm_noc::{Mesh, NodeId, PacketKind, RouterConfig};
+/// use sirtm_taskgraph::{GridDims, TaskId};
+///
+/// let mut mesh = Mesh::new(GridDims::new(4, 4), RouterConfig::default());
+/// mesh.inject(NodeId::new(0), NodeId::new(15), TaskId::new(0), PacketKind::Data, 2);
+/// for _ in 0..40 {
+///     mesh.step();
+/// }
+/// let delivered = mesh.take_delivered(NodeId::new(15));
+/// assert_eq!(delivered.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    dims: GridDims,
+    routers: Vec<Router>,
+    cycle: Cycle,
+    next_packet_id: u64,
+    stats: MeshStats,
+    /// Reusable per-router plan buffers (avoids per-cycle allocation).
+    plans: Vec<RouterPlan>,
+    /// Reusable link-transfer staging buffer.
+    transfers: Vec<(usize, Direction, Flit)>,
+}
+
+impl Mesh {
+    /// Builds a mesh of `dims` routers, all using `config`.
+    pub fn new(dims: GridDims, config: RouterConfig) -> Self {
+        let routers = (0..dims.len())
+            .map(|i| {
+                let (x, y) = dims.xy(i);
+                let mut r = Router::new(NodeId::new(i as u16), Coord::new(x, y), &config);
+                r.set_grid_width(dims.width());
+                r
+            })
+            .collect();
+        Self {
+            plans: vec![RouterPlan::default(); dims.len()],
+            transfers: Vec::new(),
+            dims,
+            routers,
+            cycle: 0,
+            next_packet_id: 0,
+            stats: MeshStats::default(),
+        }
+    }
+
+    /// Grid dimensions.
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Fabric statistics.
+    pub fn stats(&self) -> MeshStats {
+        self.stats
+    }
+
+    /// Immutable access to a router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is off-grid.
+    pub fn router(&self, node: NodeId) -> &Router {
+        &self.routers[node.index()]
+    }
+
+    /// Mutable access to a router (AIM / debug interface path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is off-grid.
+    pub fn router_mut(&mut self, node: NodeId) -> &mut Router {
+        &mut self.routers[node.index()]
+    }
+
+    /// Iterates over all routers in node order.
+    pub fn routers(&self) -> impl Iterator<Item = &Router> {
+        self.routers.iter()
+    }
+
+    /// Injects a packet at `src` bound for `dest`, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dest` are off-grid.
+    pub fn inject(
+        &mut self,
+        src: NodeId,
+        dest: NodeId,
+        task: TaskId,
+        kind: PacketKind,
+        payload_flits: u8,
+    ) -> PacketId {
+        assert!(src.index() < self.dims.len(), "src off-grid");
+        assert!(dest.index() < self.dims.len(), "dest off-grid");
+        let id = PacketId::new(self.next_packet_id);
+        self.next_packet_id += 1;
+        let pkt = Packet {
+            id,
+            src,
+            dest,
+            task,
+            kind,
+            payload_flits,
+            created_at: self.cycle,
+            bounces: 0,
+        };
+        self.routers[src.index()].enqueue_inject(pkt);
+        self.stats.injected += 1;
+        id
+    }
+
+    /// Re-injects a previously delivered packet from `src` towards a new
+    /// destination ("bouncing" a mis-delivered packet after its task
+    /// instance moved). The packet keeps its creation cycle — so its age
+    /// keeps accumulating towards opportunistic absorption — and its
+    /// bounce count increments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dest` are off-grid.
+    pub fn reinject(&mut self, src: NodeId, pkt: Packet, dest: NodeId) -> PacketId {
+        assert!(src.index() < self.dims.len(), "src off-grid");
+        assert!(dest.index() < self.dims.len(), "dest off-grid");
+        let id = PacketId::new(self.next_packet_id);
+        self.next_packet_id += 1;
+        let bounced = Packet {
+            id,
+            src,
+            dest,
+            bounces: pkt.bounces.saturating_add(1),
+            ..pkt
+        };
+        self.routers[src.index()].enqueue_inject(bounced);
+        self.stats.injected += 1;
+        id
+    }
+
+    /// Sends an RCAP configuration packet through the network.
+    pub fn send_config(&mut self, src: NodeId, dest: NodeId, cmd: RcapCommand) -> PacketId {
+        self.inject(src, dest, TaskId::new(0), PacketKind::Config(cmd), 0)
+    }
+
+    /// Applies a configuration command directly, bypassing the network —
+    /// the platform's out-of-band debug interface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is off-grid.
+    pub fn apply_config_direct(&mut self, node: NodeId, cmd: RcapCommand) {
+        self.routers[node.index()].apply_config(cmd);
+    }
+
+    /// Drains packets delivered to `node`.
+    pub fn take_delivered(&mut self, node: NodeId) -> Vec<Packet> {
+        self.routers[node.index()].take_delivered()
+    }
+
+    /// `true` when no flits or packets remain anywhere in the fabric.
+    pub fn is_idle(&self) -> bool {
+        self.stats.in_flight() == 0
+    }
+
+    /// Steps until the fabric is idle or `max_cycles` have elapsed;
+    /// returns `true` if the fabric drained.
+    pub fn quiesce(&mut self, max_cycles: Cycle) -> bool {
+        for _ in 0..max_cycles {
+            if self.is_idle() {
+                return true;
+            }
+            self.step();
+        }
+        self.is_idle()
+    }
+
+    /// Whether the link output of `router` in direction `dir` can accept a
+    /// flit this cycle (neighbour exists, both ports enabled, neighbour
+    /// alive, downstream buffer has a free slot).
+    fn link_credit(&self, router: usize, dir: Direction) -> bool {
+        let from = &self.routers[router];
+        if !from.settings().port_enabled[OutPort::Link(dir).port().index()] {
+            return false;
+        }
+        let Some(n_coord) = from.coord().neighbour(dir, self.dims) else {
+            return false;
+        };
+        let to = &self.routers[n_coord.node(self.dims).index()];
+        let in_port = crate::types::Port::from(dir.opposite());
+        to.settings().alive
+            && to.settings().port_enabled[in_port.index()]
+            && to.input_free(dir.opposite()) > 0
+    }
+
+    /// Advances the fabric by one cycle.
+    pub fn step(&mut self) {
+        let now = self.cycle;
+        // Phase 1: plan all moves against start-of-cycle state. Quiescent
+        // routers (no buffered flits, nothing to inject) are skipped —
+        // the common case on a lightly loaded grid.
+        let mut any_work = false;
+        for idx in 0..self.routers.len() {
+            if !self.routers[idx].has_work() {
+                self.plans[idx].clear();
+                continue;
+            }
+            any_work = true;
+            let mut plan = std::mem::take(&mut self.plans[idx]);
+            let credit = |d: Direction| self.link_credit(idx, d);
+            self.routers[idx].plan_into(now, &credit, &mut plan);
+            self.plans[idx] = plan;
+        }
+        if !any_work {
+            self.cycle += 1;
+            return;
+        }
+        // Phase 2: apply. Pops happen immediately; pushes to neighbour
+        // buffers are batched (single writer per buffer, capacity already
+        // checked against the snapshot).
+        self.transfers.clear();
+        for idx in 0..self.routers.len() {
+            if self.plans[idx].is_empty() {
+                continue;
+            }
+            let dims = self.dims;
+            for input in self.plans[idx].consumes() {
+                let router = &mut self.routers[idx];
+                let flit = router.pop_input(input);
+                if flit.is_tail() {
+                    router.clear_dropping(input);
+                }
+                router.mark_moved(input);
+            }
+            for m in self.plans[idx].moves() {
+                let router = &mut self.routers[idx];
+                let flit = router.pop_input(m.input);
+                router.commit_move(m, &flit, now);
+                router.mark_moved(m.input);
+                self.stats.flit_hops += 1;
+                match m.output {
+                    OutPort::Link(d) => {
+                        let n_coord = router
+                            .coord()
+                            .neighbour(d, dims)
+                            .expect("planned link move must have a neighbour");
+                        self.transfers
+                            .push((n_coord.node(dims).index(), d.opposite(), flit));
+                    }
+                    OutPort::Internal => {
+                        if let Some(pkt) = router.receive_internal(flit, now) {
+                            let latency = now.saturating_sub(pkt.created_at) + 1;
+                            self.stats.delivered += 1;
+                            self.stats.latency_sum += latency;
+                            self.stats.latency_max = self.stats.latency_max.max(latency);
+                        }
+                    }
+                    OutPort::Rcap => {
+                        if let Flit::Head { pkt, .. } = flit {
+                            if let PacketKind::Config(cmd) = pkt.kind {
+                                router.apply_config(cmd);
+                            }
+                            self.stats.config_consumed += 1;
+                        }
+                    }
+                }
+            }
+        }
+        for &(to, dir_in, flit) in &self.transfers {
+            self.routers[to].accept_link_flit(dir_in, flit);
+        }
+        // Phase 3: head-of-line blocking accounting and deadlock recovery.
+        for router in &mut self.routers {
+            if router.has_work() || router.needs_blocked_update() {
+                let dropped = router.update_blocked_and_recover_marked();
+                self.stats.dropped += dropped;
+            }
+        }
+        self.cycle += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+    use sirtm_taskgraph::GridDims;
+
+    fn mesh() -> Mesh {
+        Mesh::new(GridDims::new(4, 4), crate::router::RouterConfig::default())
+    }
+
+    #[test]
+    fn stats_accessors() {
+        let mut m = mesh();
+        assert_eq!(m.stats().mean_latency(), None);
+        assert_eq!(m.stats().in_flight(), 0);
+        m.inject(
+            NodeId::new(0),
+            NodeId::new(3),
+            TaskId::new(0),
+            PacketKind::Data,
+            0,
+        );
+        assert_eq!(m.stats().in_flight(), 1);
+        assert!(m.quiesce(100));
+        let stats = m.stats();
+        assert_eq!(stats.delivered, 1);
+        assert!(stats.mean_latency().expect("delivered") >= 3.0);
+    }
+
+    #[test]
+    fn reinject_preserves_age_and_counts_bounces() {
+        let mut m = mesh();
+        m.inject(
+            NodeId::new(0),
+            NodeId::new(1),
+            TaskId::new(0),
+            PacketKind::Data,
+            0,
+        );
+        assert!(m.quiesce(100));
+        let pkt = m.take_delivered(NodeId::new(1)).remove(0);
+        let arrived = m.cycle();
+        for _ in 0..50 {
+            m.step();
+        }
+        let id2 = m.reinject(NodeId::new(1), pkt, NodeId::new(5));
+        assert_ne!(pkt.id, id2, "re-injection allocates a fresh id");
+        assert!(m.quiesce(200));
+        let bounced = m.take_delivered(NodeId::new(5)).remove(0);
+        assert_eq!(bounced.bounces, 1);
+        assert_eq!(
+            bounced.created_at, pkt.created_at,
+            "age accumulates across bounces"
+        );
+        assert!(m.cycle() > arrived, "time moved on");
+        assert_eq!(m.stats().injected, 2, "both injections counted");
+    }
+
+    #[test]
+    fn cycle_advances_even_when_idle() {
+        let mut m = mesh();
+        for _ in 0..10 {
+            m.step();
+        }
+        assert_eq!(m.cycle(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "off-grid")]
+    fn inject_off_grid_panics() {
+        let mut m = mesh();
+        m.inject(
+            NodeId::new(99),
+            NodeId::new(0),
+            TaskId::new(0),
+            PacketKind::Data,
+            0,
+        );
+    }
+}

@@ -1,0 +1,443 @@
+//! Tree-based multicast — the paper's future-work extension.
+//!
+//! The discussion section observes that "adaptive and multi-cast routing
+//! would allow greater throughput as it exploits the inherent
+//! parallelism of a task graph": a fork stage addresses the *same*
+//! payload to several worker instances, and sending it as independent
+//! unicasts re-traverses the shared prefix of every path.
+//!
+//! This module implements multicast the way network interfaces do it on
+//! top of an unmodified unicast fabric: a dimension-ordered
+//! ([`RouteMode::Xy`]-shaped) distribution tree is computed over the
+//! destination set, one copy is sent per tree *branch*, and relay nodes
+//! re-inject copies towards their subtrees on arrival. The wormhole
+//! datapath, deadlock story and monitors stay exactly as verified; the
+//! saving is real — shared path prefixes are traversed once — and
+//! measurable in [`MeshStats::flit_hops`].
+//!
+//! [`RouteMode::Xy`]: crate::packet::RouteMode::Xy
+//! [`MeshStats::flit_hops`]: crate::mesh::MeshStats::flit_hops
+//!
+//! # Examples
+//!
+//! ```
+//! use sirtm_noc::multicast::{MulticastService, MulticastTree};
+//! use sirtm_noc::{Mesh, NodeId, PacketKind, RouterConfig};
+//! use sirtm_taskgraph::{GridDims, TaskId};
+//!
+//! let dims = GridDims::new(4, 4);
+//! let dests = [NodeId::new(3), NodeId::new(7), NodeId::new(15)];
+//! let tree = MulticastTree::xy(NodeId::new(0), &dests, dims);
+//! assert!(tree.link_count() <= tree.unicast_link_count());
+//!
+//! let mut mesh = Mesh::new(dims, RouterConfig::default());
+//! let mut service = MulticastService::new(dims);
+//! service.send(&mut mesh, NodeId::new(0), &dests, TaskId::new(1), PacketKind::Data, 2);
+//! for _ in 0..200 {
+//!     mesh.step();
+//!     for node in (0..16).map(|i| NodeId::new(i)) {
+//!         for pkt in mesh.take_delivered(node) {
+//!             let _member = service.on_delivered(&mut mesh, node, &pkt);
+//!         }
+//!     }
+//! }
+//! assert_eq!(service.stats().member_deliveries, 3);
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sirtm_taskgraph::{GridDims, TaskId};
+
+use crate::mesh::Mesh;
+use crate::packet::{Packet, PacketId, PacketKind};
+use crate::types::NodeId;
+
+/// A distribution tree over a destination set, rooted at the sender.
+///
+/// Edges follow the same X-then-Y geometry as the fabric's default
+/// unicast routing, so a relay's re-injection towards a child traverses
+/// exactly the links dimension-ordered unicast would — the tree is the
+/// union of the XY paths with shared prefixes deduplicated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MulticastTree {
+    root: NodeId,
+    members: BTreeSet<NodeId>,
+    /// Tree children: `node → next-hop subtree roots`. Keys are branch
+    /// points; values are the nodes a relay must forward copies to.
+    children: BTreeMap<NodeId, Vec<NodeId>>,
+    dims: GridDims,
+}
+
+impl MulticastTree {
+    /// Builds the dimension-ordered tree from `root` to `dests`
+    /// (duplicates and the root itself are ignored as relays but kept as
+    /// members if listed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` or any destination is off-grid, or `dests` is
+    /// empty.
+    pub fn xy(root: NodeId, dests: &[NodeId], dims: GridDims) -> Self {
+        assert!(!dests.is_empty(), "multicast needs at least one destination");
+        assert!(root.index() < dims.len(), "root off-grid");
+        let members: BTreeSet<NodeId> = dests
+            .iter()
+            .copied()
+            .inspect(|d| assert!(d.index() < dims.len(), "destination off-grid"))
+            .filter(|&d| d != root)
+            .collect();
+        // Union of the XY paths, as parent pointers (each node first
+        // reached via a unique XY prefix, so parents never conflict).
+        let mut parent: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        for &dest in &members {
+            let mut prev = root;
+            for hop in xy_path(root, dest, dims) {
+                parent.entry(hop).or_insert(prev);
+                prev = hop;
+            }
+        }
+        // Invert into child lists, then contract runs of pure transit
+        // nodes: a relay is only needed where the tree branches or a
+        // member sits; straight-line segments are covered by unicast.
+        let mut raw_children: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        for (&node, &par) in &parent {
+            raw_children.entry(par).or_default().push(node);
+        }
+        let mut children: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        let mut stack = vec![root];
+        while let Some(relay) = stack.pop() {
+            let mut targets = Vec::new();
+            let mut frontier: Vec<NodeId> =
+                raw_children.get(&relay).cloned().unwrap_or_default();
+            while let Some(node) = frontier.pop() {
+                let kids = raw_children.get(&node).cloned().unwrap_or_default();
+                let is_member = members.contains(&node);
+                if is_member || kids.len() > 1 {
+                    // A stop on the tree: member or branch point.
+                    targets.push(node);
+                    stack.push(node);
+                } else {
+                    // Pure transit: unicast will pass through it anyway.
+                    frontier.extend(kids);
+                }
+            }
+            if !targets.is_empty() {
+                targets.sort();
+                children.insert(relay, targets);
+            }
+        }
+        Self {
+            root,
+            members,
+            children,
+            dims,
+        }
+    }
+
+    /// The sender.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The destination set (root excluded).
+    pub fn members(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Number of destinations.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The forwarding targets of `node`, if it is a relay.
+    pub fn targets(&self, node: NodeId) -> &[NodeId] {
+        self.children.get(&node).map_or(&[], Vec::as_slice)
+    }
+
+    /// Mesh links the tree traverses (hop count over all tree segments,
+    /// shared prefixes counted once).
+    pub fn link_count(&self) -> usize {
+        self.children
+            .iter()
+            .flat_map(|(&from, tos)| {
+                tos.iter()
+                    .map(move |&to| self.dims.manhattan(from.index(), to.index()) as usize)
+            })
+            .sum()
+    }
+
+    /// Mesh links independent unicasts to every member would traverse.
+    pub fn unicast_link_count(&self) -> usize {
+        self.members
+            .iter()
+            .map(|m| self.dims.manhattan(self.root.index(), m.index()) as usize)
+            .sum()
+    }
+}
+
+/// The XY path from `from` to `to`, excluding `from`, including `to`.
+fn xy_path(from: NodeId, to: NodeId, dims: GridDims) -> Vec<NodeId> {
+    let (mut x, y0) = dims.xy(from.index());
+    let (tx, ty) = dims.xy(to.index());
+    let mut path = Vec::new();
+    while x != tx {
+        x = if x < tx { x + 1 } else { x - 1 };
+        path.push(NodeId::new(dims.index(x, y0) as u16));
+    }
+    let mut y = y0;
+    while y != ty {
+        y = if y < ty { y + 1 } else { y - 1 };
+        path.push(NodeId::new(dims.index(x, y) as u16));
+    }
+    path
+}
+
+/// Counters of a [`MulticastService`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MulticastStats {
+    /// Multicast groups sent.
+    pub groups_sent: u64,
+    /// Copies injected (root branches + relay re-injections).
+    pub copies_injected: u64,
+    /// Deliveries to actual members.
+    pub member_deliveries: u64,
+    /// Packets swallowed at pure-relay stops.
+    pub relay_hops: u64,
+}
+
+/// Network-interface multicast over an unmodified unicast [`Mesh`].
+///
+/// The service remembers, per in-flight copy, the subtree that copy is
+/// responsible for. The owner drains deliveries as usual and hands each
+/// packet to [`MulticastService::on_delivered`], which re-injects
+/// towards the children and says whether the packet is also addressed
+/// to the local node. See the [module docs](self) for an end-to-end
+/// example.
+#[derive(Debug, Clone)]
+pub struct MulticastService {
+    dims: GridDims,
+    /// In-flight relay duties: copy id → (tree, the node whose subtree
+    /// this copy carries).
+    pending: BTreeMap<PacketId, (MulticastTree, NodeId)>,
+    stats: MulticastStats,
+}
+
+impl MulticastService {
+    /// Creates the service for a mesh of `dims`.
+    pub fn new(dims: GridDims) -> Self {
+        Self {
+            dims,
+            pending: BTreeMap::new(),
+            stats: MulticastStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> MulticastStats {
+        self.stats
+    }
+
+    /// Copies currently in flight under relay duty.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Sends one payload to every node in `dests` through a
+    /// dimension-ordered tree. Returns the tree for inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dests` is empty or any node is off-grid.
+    pub fn send(
+        &mut self,
+        mesh: &mut Mesh,
+        src: NodeId,
+        dests: &[NodeId],
+        task: TaskId,
+        kind: PacketKind,
+        payload_flits: u8,
+    ) -> MulticastTree {
+        let tree = MulticastTree::xy(src, dests, self.dims);
+        self.stats.groups_sent += 1;
+        let targets: Vec<NodeId> = tree.targets(src).to_vec();
+        for hop in targets {
+            let id = mesh.inject(src, hop, task, kind, payload_flits);
+            self.stats.copies_injected += 1;
+            self.pending.insert(id, (tree.clone(), hop));
+        }
+        tree
+    }
+
+    /// Processes a delivered packet. If it is a relay copy, copies are
+    /// re-injected towards the subtree and `true` is returned iff the
+    /// local node is itself a member (the packet should then also be
+    /// consumed locally). Non-multicast packets return `true` untouched
+    /// (they are ordinary deliveries).
+    pub fn on_delivered(&mut self, mesh: &mut Mesh, node: NodeId, pkt: &Packet) -> bool {
+        let Some((tree, stop)) = self.pending.remove(&pkt.id) else {
+            return true;
+        };
+        debug_assert_eq!(stop, node, "relay copy surfaced at the wrong stop");
+        let targets: Vec<NodeId> = tree.targets(node).to_vec();
+        for hop in targets {
+            let id = mesh.inject(node, hop, pkt.task, pkt.kind, pkt.payload_flits);
+            self.stats.copies_injected += 1;
+            self.pending.insert(id, (tree.clone(), hop));
+        }
+        let member = tree.members.contains(&node);
+        if member {
+            self.stats.member_deliveries += 1;
+        } else {
+            self.stats.relay_hops += 1;
+        }
+        member
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::RouterConfig;
+
+    fn dims() -> GridDims {
+        GridDims::new(4, 4)
+    }
+
+    fn n(i: u16) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn tree_covers_every_member() {
+        let dests = [n(3), n(12), n(15), n(5)];
+        let tree = MulticastTree::xy(n(0), &dests, dims());
+        assert_eq!(tree.member_count(), 4);
+        // Walk the tree and collect every reachable stop.
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![n(0)];
+        while let Some(node) = stack.pop() {
+            for &t in tree.targets(node) {
+                seen.insert(t);
+                stack.push(t);
+            }
+        }
+        for m in tree.members() {
+            assert!(seen.contains(&m), "member {m} unreachable");
+        }
+    }
+
+    #[test]
+    fn tree_never_uses_more_links_than_unicast() {
+        let dests = [n(3), n(7), n(11), n(15)];
+        let tree = MulticastTree::xy(n(0), &dests, dims());
+        assert!(tree.link_count() <= tree.unicast_link_count());
+    }
+
+    #[test]
+    fn shared_column_is_traversed_once() {
+        // 0 → {12} and 0 → {8} share the whole west column: the tree
+        // relays through 8 instead of walking the column twice.
+        let tree = MulticastTree::xy(n(0), &[n(8), n(12)], dims());
+        // Unicast: 2 + 3 = 5 links; tree: 0→8→12 = 3 links.
+        assert_eq!(tree.unicast_link_count(), 5);
+        assert_eq!(tree.link_count(), 3);
+        assert_eq!(tree.targets(n(0)), &[n(8)]);
+        assert_eq!(tree.targets(n(8)), &[n(12)]);
+    }
+
+    #[test]
+    fn root_in_dests_is_ignored() {
+        let tree = MulticastTree::xy(n(5), &[n(5), n(6)], dims());
+        assert_eq!(tree.member_count(), 1);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let tree = MulticastTree::xy(n(0), &[n(9), n(9), n(9)], dims());
+        assert_eq!(tree.member_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one destination")]
+    fn empty_dests_rejected() {
+        MulticastTree::xy(n(0), &[], dims());
+    }
+
+    fn drain_all(mesh: &mut Mesh, service: &mut MulticastService) -> Vec<(NodeId, Packet)> {
+        let mut out = Vec::new();
+        for i in 0..mesh.dims().len() {
+            let node = NodeId::new(i as u16);
+            for pkt in mesh.take_delivered(node) {
+                if service.on_delivered(mesh, node, &pkt) {
+                    out.push((node, pkt));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn service_delivers_to_all_members_once() {
+        let mut mesh = Mesh::new(dims(), RouterConfig::default());
+        let mut service = MulticastService::new(dims());
+        let dests = [n(3), n(12), n(15)];
+        service.send(&mut mesh, n(0), &dests, TaskId::new(1), PacketKind::Data, 2);
+        let mut deliveries = Vec::new();
+        for _ in 0..300 {
+            mesh.step();
+            deliveries.extend(drain_all(&mut mesh, &mut service));
+        }
+        let mut got: Vec<NodeId> = deliveries.iter().map(|(node, _)| *node).collect();
+        got.sort();
+        assert_eq!(got, vec![n(3), n(12), n(15)], "each member exactly once");
+        assert_eq!(service.stats().member_deliveries, 3);
+        assert_eq!(service.in_flight(), 0, "no relay duties left behind");
+    }
+
+    #[test]
+    fn service_saves_flit_hops_against_unicast() {
+        // One wave to a member set with heavily shared prefixes.
+        let dests = [n(12), n(13), n(14), n(15)]; // the whole bottom row
+        let run = |multicast: bool| -> u64 {
+            let mut mesh = Mesh::new(dims(), RouterConfig::default());
+            let mut service = MulticastService::new(dims());
+            if multicast {
+                service.send(&mut mesh, n(0), &dests, TaskId::new(1), PacketKind::Data, 4);
+            } else {
+                for &d in &dests {
+                    mesh.inject(n(0), d, TaskId::new(1), PacketKind::Data, 4);
+                }
+            }
+            for _ in 0..400 {
+                mesh.step();
+                drain_all(&mut mesh, &mut service);
+            }
+            assert_eq!(mesh.stats().in_flight(), 0);
+            mesh.stats().flit_hops
+        };
+        let unicast_hops = run(false);
+        let multicast_hops = run(true);
+        assert!(
+            multicast_hops < unicast_hops,
+            "tree reuses the shared column: {multicast_hops} vs {unicast_hops} flit hops"
+        );
+    }
+
+    #[test]
+    fn non_multicast_packets_pass_through() {
+        let mut mesh = Mesh::new(dims(), RouterConfig::default());
+        let mut service = MulticastService::new(dims());
+        mesh.inject(n(0), n(5), TaskId::new(0), PacketKind::Data, 1);
+        let mut local = 0;
+        for _ in 0..100 {
+            mesh.step();
+            for pkt in mesh.take_delivered(n(5)) {
+                if service.on_delivered(&mut mesh, n(5), &pkt) {
+                    local += 1;
+                }
+            }
+        }
+        assert_eq!(local, 1, "plain unicast is untouched");
+        assert_eq!(service.stats().member_deliveries, 0);
+    }
+}

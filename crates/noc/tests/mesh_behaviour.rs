@@ -1,0 +1,285 @@
+//! Behavioural integration tests for the wormhole mesh.
+
+use sirtm_noc::{
+    Mesh, NodeId, PacketKind, Port, RcapCommand, RouteMode, RouterConfig,
+};
+use sirtm_taskgraph::{GridDims, TaskId};
+
+fn mesh(w: u16, h: u16) -> Mesh {
+    Mesh::new(GridDims::new(w, h), RouterConfig::default())
+}
+
+fn n(i: u16) -> NodeId {
+    NodeId::new(i)
+}
+
+fn t(i: u8) -> TaskId {
+    TaskId::new(i)
+}
+
+#[test]
+fn single_packet_crosses_the_grid() {
+    let mut m = mesh(8, 16);
+    // (0,0) → (7,15): 7 + 15 = 22 hops; head needs ~1 cycle per hop plus
+    // injection and delivery, payload pipelines behind.
+    m.inject(n(0), n(127), t(0), PacketKind::Data, 4);
+    let mut arrived_at = None;
+    for c in 0..200 {
+        m.step();
+        if m.stats().delivered == 1 {
+            arrived_at = Some(c + 1);
+            break;
+        }
+    }
+    let cycles = arrived_at.expect("packet must arrive");
+    assert!(
+        (22..60).contains(&cycles),
+        "delivery took {cycles} cycles, expected a pipelined XY traversal"
+    );
+    let delivered = m.take_delivered(n(127));
+    assert_eq!(delivered.len(), 1);
+    assert_eq!(delivered[0].src, n(0));
+    assert_eq!(delivered[0].task, t(0));
+}
+
+#[test]
+fn xy_route_monitors_count_on_path_routers_only() {
+    let mut m = mesh(4, 4);
+    // (0,0) → (2,0) → then south to (2,2): XY goes east first.
+    m.inject(n(0), n(10), t(1), PacketKind::Data, 0);
+    assert!(m.quiesce(100), "fabric must drain");
+    // Path routers: n0 (inject→E), n1 (E), n2 (turn S), n6 (S), n10 (deliver).
+    for on_path in [0u16, 1, 2, 6] {
+        assert!(
+            m.router(n(on_path)).monitors().routed_events > 0
+                || m.router(n(on_path)).monitors().internal_deliveries > 0,
+            "router n{on_path} should have seen the packet"
+        );
+    }
+    // A router well off the XY path must have seen nothing.
+    for off_path in [12u16, 15, 3] {
+        assert_eq!(
+            m.router(n(off_path)).monitors().forwarded_flits,
+            0,
+            "router n{off_path} is off the XY path"
+        );
+    }
+    // Per-task monitor counted task 1 on an intermediate router.
+    assert_eq!(m.router(n(1)).monitors().routed_per_task()[1], 1);
+}
+
+#[test]
+fn self_addressed_packet_delivers_locally() {
+    let mut m = mesh(4, 4);
+    m.inject(n(5), n(5), t(2), PacketKind::Data, 2);
+    assert!(m.quiesce(50));
+    let got = m.take_delivered(n(5));
+    assert_eq!(got.len(), 1);
+    assert_eq!(m.stats().delivered, 1);
+    assert_eq!(m.router(n(5)).monitors().internal_per_task()[2], 1);
+}
+
+#[test]
+fn wormhole_holds_circuit_until_tail() {
+    // A long packet and a crossing packet that needs the same output port:
+    // the second must wait for the first's tail (no flit interleaving).
+    let mut m = mesh(5, 1);
+    m.inject(n(0), n(4), t(0), PacketKind::Data, 6);
+    // Give the first head a head start so it allocates the east ports.
+    for _ in 0..3 {
+        m.step();
+    }
+    m.inject(n(1), n(4), t(1), PacketKind::Data, 0);
+    assert!(m.quiesce(200));
+    assert_eq!(m.stats().delivered, 2);
+    let delivered = m.take_delivered(n(4));
+    // The long packet completes first despite the short one being closer.
+    assert_eq!(delivered[0].task, t(0));
+    assert_eq!(delivered[1].task, t(1));
+}
+
+#[test]
+fn backpressure_limits_in_flight_flits() {
+    // Many packets to one sink through a single column: small buffers mean
+    // upstream injection stalls rather than flits being lost.
+    let mut m = mesh(1, 8);
+    for _ in 0..10 {
+        m.inject(n(0), n(7), t(0), PacketKind::Data, 3);
+    }
+    assert!(m.quiesce(2000), "all packets eventually drain");
+    assert_eq!(m.stats().delivered, 10);
+    assert_eq!(m.stats().dropped, 0);
+}
+
+#[test]
+fn rcap_config_packet_reconfigures_remote_router() {
+    let mut m = mesh(4, 4);
+    m.send_config(n(0), n(10), RcapCommand::SetDeadlockTimeout(77));
+    assert!(m.quiesce(100));
+    assert_eq!(m.router(n(10)).settings().deadlock_timeout, 77);
+    assert_eq!(m.stats().config_consumed, 1);
+    assert_eq!(m.stats().delivered, 0, "config packets are not deliveries");
+}
+
+#[test]
+fn rcap_aim_write_is_queued_for_platform() {
+    let mut m = mesh(4, 4);
+    m.send_config(n(3), n(12), RcapCommand::AimWrite { reg: 9, value: 42 });
+    assert!(m.quiesce(100));
+    assert_eq!(m.router_mut(n(12)).take_aim_writes(), vec![(9, 42)]);
+}
+
+#[test]
+fn debug_interface_configures_without_traffic() {
+    let mut m = mesh(4, 4);
+    m.apply_config_direct(n(6), RcapCommand::SetRouteMode(RouteMode::Adaptive));
+    assert_eq!(m.router(n(6)).settings().route_mode, RouteMode::Adaptive);
+    assert_eq!(m.stats().injected, 0);
+}
+
+#[test]
+fn packet_to_dead_router_is_dropped_by_recovery() {
+    let mut m = mesh(4, 1);
+    m.router_mut(n(3)).kill();
+    m.inject(n(0), n(3), t(0), PacketKind::Data, 1);
+    // Default deadlock timeout is 200; give it time to trigger.
+    for _ in 0..600 {
+        m.step();
+    }
+    assert_eq!(m.stats().delivered, 0);
+    assert_eq!(m.stats().dropped, 1);
+    assert!(m.is_idle(), "dropped packet leaves no residue");
+}
+
+#[test]
+fn disabled_port_blocks_and_recovery_cleans_up() {
+    let mut m = mesh(4, 1);
+    // Disable n1's east output: the packet gets stuck at n1.
+    m.apply_config_direct(n(1), RcapCommand::SetPortEnabled(Port::East, false));
+    m.inject(n(0), n(3), t(0), PacketKind::Data, 2);
+    for _ in 0..600 {
+        m.step();
+    }
+    assert_eq!(m.stats().dropped, 1);
+    assert!(m.is_idle());
+    assert_eq!(m.router(n(1)).monitors().dropped_packets, 1);
+}
+
+#[test]
+fn opportunistic_delivery_absorbs_aged_packets() {
+    let mut m = mesh(4, 1);
+    // n3 is dead; n2 runs the packet's task and absorbs it once aged.
+    m.router_mut(n(3)).kill();
+    {
+        let s = m.router_mut(n(2)).settings_mut();
+        s.opportunistic_delivery = true;
+        s.redirect_age = 20;
+        s.local_task = Some(t(1));
+    }
+    m.inject(n(0), n(3), t(1), PacketKind::Data, 1);
+    for _ in 0..200 {
+        m.step();
+    }
+    assert_eq!(m.stats().delivered, 1, "n2 should absorb the aged packet");
+    assert_eq!(m.stats().dropped, 0);
+    let got = m.take_delivered(n(2));
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].dest, n(3), "header still names the dead node");
+}
+
+#[test]
+fn opportunistic_delivery_ignores_wrong_task() {
+    let mut m = mesh(4, 1);
+    m.router_mut(n(3)).kill();
+    {
+        let s = m.router_mut(n(2)).settings_mut();
+        s.opportunistic_delivery = true;
+        s.redirect_age = 20;
+        s.local_task = Some(t(2)); // different task
+    }
+    m.inject(n(0), n(3), t(1), PacketKind::Data, 1);
+    for _ in 0..600 {
+        m.step();
+    }
+    assert_eq!(m.stats().delivered, 0);
+    assert_eq!(m.stats().dropped, 1);
+}
+
+#[test]
+fn adaptive_mode_detours_around_congestion() {
+    let mut m = mesh(3, 3);
+    for node in 0..9 {
+        m.apply_config_direct(n(node), RcapCommand::SetRouteMode(RouteMode::Adaptive));
+    }
+    // A long packet n0→n2 holds the east-bound circuit through n1. An
+    // adaptive packet injected at n1 for the far corner finds its east
+    // output allocated and detours south through n4 = (1,1).
+    m.inject(n(0), n(2), t(0), PacketKind::Data, 30);
+    for _ in 0..4 {
+        m.step();
+    }
+    m.inject(n(1), n(8), t(1), PacketKind::Data, 0);
+    assert!(m.quiesce(500));
+    assert_eq!(m.stats().delivered, 2);
+    assert!(
+        m.router(n(4)).monitors().forwarded_flits > 0,
+        "adaptive packet should have detoured south through n4"
+    );
+}
+
+#[test]
+fn deterministic_replay() {
+    let run = || {
+        let mut m = mesh(8, 8);
+        for i in 0..32u16 {
+            m.inject(
+                n(i),
+                n(63 - i),
+                t((i % 3) as u8),
+                PacketKind::Data,
+                (i % 5) as u8,
+            );
+        }
+        for _ in 0..500 {
+            m.step();
+        }
+        (
+            m.stats(),
+            m.routers()
+                .map(|r| r.monitors().forwarded_flits)
+                .collect::<Vec<_>>(),
+        )
+    };
+    let (s1, f1) = run();
+    let (s2, f2) = run();
+    assert_eq!(s1, s2, "stats must replay identically");
+    assert_eq!(f1, f2, "per-router flit counts must replay identically");
+}
+
+#[test]
+fn latency_statistics_are_sane() {
+    let mut m = mesh(8, 1);
+    m.inject(n(0), n(7), t(0), PacketKind::Data, 0);
+    assert!(m.quiesce(100));
+    let stats = m.stats();
+    let mean = stats.mean_latency().expect("one delivery");
+    assert!(mean >= 7.0, "7 hops minimum, got {mean}");
+    assert_eq!(stats.latency_max as f64, mean, "single packet");
+    assert_eq!(stats.in_flight(), 0);
+}
+
+#[test]
+fn oldest_waiting_app_packet_reports_head_of_line() {
+    let mut m = mesh(4, 1);
+    // Block the path: n2's east port disabled so packets queue at n2/n1.
+    m.apply_config_direct(n(2), RcapCommand::SetPortEnabled(Port::East, false));
+    m.inject(n(0), n(3), t(2), PacketKind::Data, 1);
+    for _ in 0..60 {
+        m.step();
+    }
+    let now = m.cycle();
+    let waiting = m.router(n(2)).oldest_waiting_app_packet(now);
+    let (task, age) = waiting.expect("head should be waiting at n2");
+    assert_eq!(task, t(2));
+    assert!(age > 10, "packet has been waiting, age {age}");
+}

@@ -1,0 +1,186 @@
+//! Property-based tests: flit conservation and determinism under random
+//! traffic, including random fault and configuration churn.
+
+use proptest::prelude::*;
+
+use sirtm_noc::{Mesh, NodeId, PacketKind, RcapCommand, RouteMode, RouterConfig};
+use sirtm_taskgraph::{GridDims, TaskId};
+
+#[derive(Debug, Clone)]
+struct TrafficCase {
+    width: u16,
+    height: u16,
+    sends: Vec<(u16, u16, u8, u8)>, // (src, dest, task, payload)
+    kills: Vec<u16>,
+    adaptive: bool,
+}
+
+fn traffic_case() -> impl Strategy<Value = TrafficCase> {
+    (2u16..6, 2u16..6, any::<bool>())
+        .prop_flat_map(|(w, h, adaptive)| {
+            let nodes = w * h;
+            let send = (0..nodes, 0..nodes, 0u8..3, 0u8..6);
+            let kill = proptest::collection::vec(0..nodes, 0..2);
+            (
+                Just(w),
+                Just(h),
+                proptest::collection::vec(send, 1..40),
+                kill,
+                Just(adaptive),
+            )
+        })
+        .prop_map(|(width, height, sends, kills, adaptive)| TrafficCase {
+            width,
+            height,
+            sends,
+            kills,
+            adaptive,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation: every injected packet is eventually delivered,
+    /// consumed by RCAP or dropped — never duplicated, never lost.
+    #[test]
+    fn flit_conservation(case in traffic_case()) {
+        let config = RouterConfig {
+            deadlock_timeout: 50, // recover fast so tests drain
+            ..RouterConfig::default()
+        };
+        let mut mesh = Mesh::new(GridDims::new(case.width, case.height), config);
+        if case.adaptive {
+            for i in 0..(case.width * case.height) {
+                mesh.apply_config_direct(
+                    NodeId::new(i),
+                    RcapCommand::SetRouteMode(RouteMode::Adaptive),
+                );
+            }
+        }
+        for &k in &case.kills {
+            mesh.router_mut(NodeId::new(k)).kill();
+        }
+        let mut injected = 0u64;
+        for &(src, dest, task, payload) in &case.sends {
+            if !mesh.router(NodeId::new(src)).settings().alive {
+                continue; // dead nodes cannot inject
+            }
+            mesh.inject(
+                NodeId::new(src),
+                NodeId::new(dest),
+                TaskId::new(task),
+                PacketKind::Data,
+                payload,
+            );
+            injected += 1;
+        }
+        // Long enough for worst-case drains including recovery timeouts.
+        let drained = mesh.quiesce(20_000);
+        prop_assert!(drained, "fabric failed to drain: {:?}", mesh.stats());
+        let stats = mesh.stats();
+        prop_assert_eq!(stats.injected, injected);
+        prop_assert_eq!(
+            stats.delivered + stats.dropped + stats.config_consumed,
+            injected,
+            "conservation violated: {:?}", stats
+        );
+    }
+
+    /// Determinism: identical runs produce identical statistics.
+    #[test]
+    fn deterministic_under_random_traffic(case in traffic_case()) {
+        let run = || {
+            let mut mesh = Mesh::new(
+                GridDims::new(case.width, case.height),
+                RouterConfig::default(),
+            );
+            for &k in &case.kills {
+                mesh.router_mut(NodeId::new(k)).kill();
+            }
+            for &(src, dest, task, payload) in &case.sends {
+                if mesh.router(NodeId::new(src)).settings().alive {
+                    mesh.inject(
+                        NodeId::new(src),
+                        NodeId::new(dest),
+                        TaskId::new(task),
+                        PacketKind::Data,
+                        payload,
+                    );
+                }
+            }
+            for _ in 0..800 {
+                mesh.step();
+            }
+            mesh.stats()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Without faults, XY routing delivers everything (no drops): XY on a
+    /// mesh is deadlock-free and recovery should never fire.
+    #[test]
+    fn xy_is_deadlock_free(case in traffic_case()) {
+        let mut mesh = Mesh::new(
+            GridDims::new(case.width, case.height),
+            RouterConfig::default(),
+        );
+        for &(src, dest, task, payload) in &case.sends {
+            mesh.inject(
+                NodeId::new(src),
+                NodeId::new(dest),
+                TaskId::new(task),
+                PacketKind::Data,
+                payload,
+            );
+        }
+        prop_assert!(mesh.quiesce(50_000));
+        prop_assert_eq!(mesh.stats().dropped, 0, "XY must not drop: {:?}", mesh.stats());
+        prop_assert_eq!(mesh.stats().delivered, mesh.stats().injected);
+    }
+}
+
+proptest! {
+    /// Multicast trees cover every member, never cost more links than
+    /// unicast, and the relay service delivers to each member exactly
+    /// once on a live fabric — for arbitrary destination sets.
+    #[test]
+    fn multicast_tree_and_service_invariants(
+        root in 0u16..16,
+        dest_picks in proptest::collection::vec(0u16..16, 1..8),
+    ) {
+        use sirtm_noc::multicast::{MulticastService, MulticastTree};
+        use sirtm_taskgraph::GridDims;
+
+        let dims = GridDims::new(4, 4);
+        let root = NodeId::new(root);
+        let dests: Vec<NodeId> = dest_picks.iter().map(|&d| NodeId::new(d)).collect();
+        let tree = MulticastTree::xy(root, &dests, dims);
+        prop_assert!(tree.link_count() <= tree.unicast_link_count());
+        // Expected member set: distinct destinations, root excluded.
+        let mut expected: Vec<NodeId> = dests.clone();
+        expected.sort();
+        expected.dedup();
+        expected.retain(|&d| d != root);
+        prop_assert_eq!(tree.member_count(), expected.len());
+
+        let mut mesh = Mesh::new(dims, RouterConfig::default());
+        let mut service = MulticastService::new(dims);
+        service.send(&mut mesh, root, &dests, TaskId::new(0), PacketKind::Data, 1);
+        let mut got: Vec<NodeId> = Vec::new();
+        for _ in 0..600 {
+            mesh.step();
+            for i in 0..dims.len() {
+                let node = NodeId::new(i as u16);
+                for pkt in mesh.take_delivered(node) {
+                    if service.on_delivered(&mut mesh, node, &pkt) {
+                        got.push(node);
+                    }
+                }
+            }
+        }
+        got.sort();
+        prop_assert_eq!(got, expected, "each member exactly once");
+        prop_assert_eq!(service.in_flight(), 0);
+    }
+}

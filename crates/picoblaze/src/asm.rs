@@ -1,0 +1,603 @@
+//! Two-pass assembler for `.psm`-style PicoBlaze sources.
+//!
+//! Supported syntax (case-insensitive mnemonics, `;` or `//` comments):
+//!
+//! ```text
+//! CONSTANT THRESHOLD, 0x10        ; named 8-bit constants
+//! start:                          ; labels (own line or inline)
+//!     INPUT  s0, (0x00)           ; direct port address
+//!     ADD    s1, s0
+//!     COMPARE s1, THRESHOLD
+//!     JUMP   C, start             ; conditional branch to label
+//!     OUTPUT s1, (s2)             ; register-indirect address
+//!     JUMP   start
+//! ```
+//!
+//! Numeric literals may be decimal (`42`), hex (`0x2A`) or binary
+//! (`0b101010`). Branch targets may be labels or numeric addresses.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::isa::{Address, Condition, Instruction, Operand, Register, ShiftOp};
+
+/// Maximum program length (12-bit program counter).
+pub const MAX_PROGRAM_LEN: usize = 4096;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+/// The kinds of assembly error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// Mnemonic not recognised.
+    UnknownMnemonic(String),
+    /// Operand list malformed for the mnemonic.
+    BadOperands(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A constant was defined twice.
+    DuplicateConstant(String),
+    /// Symbol used but never defined.
+    UnknownSymbol(String),
+    /// A numeric value does not fit its field.
+    ValueOutOfRange(String),
+    /// Program exceeds [`MAX_PROGRAM_LEN`] instructions.
+    ProgramTooLarge(usize),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::BadOperands(msg) => write!(f, "bad operands: {msg}"),
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmErrorKind::DuplicateConstant(c) => write!(f, "duplicate constant `{c}`"),
+            AsmErrorKind::UnknownSymbol(s) => write!(f, "unknown symbol `{s}`"),
+            AsmErrorKind::ValueOutOfRange(v) => write!(f, "value out of range: {v}"),
+            AsmErrorKind::ProgramTooLarge(n) => {
+                write!(f, "program of {n} instructions exceeds {MAX_PROGRAM_LEN}")
+            }
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+#[derive(Debug)]
+struct Line<'a> {
+    number: usize,
+    label: Option<&'a str>,
+    mnemonic: Option<String>,
+    operands: Vec<&'a str>,
+}
+
+fn strip_comment(s: &str) -> &str {
+    let s = match s.find(';') {
+        Some(i) => &s[..i],
+        None => s,
+    };
+    match s.find("//") {
+        Some(i) => &s[..i],
+        None => s,
+    }
+}
+
+fn parse_line(number: usize, raw: &str) -> Line<'_> {
+    let code = strip_comment(raw).trim();
+    let (label, rest) = match code.find(':') {
+        Some(i) if !code[..i].contains(char::is_whitespace) && i > 0 => {
+            (Some(code[..i].trim()), code[i + 1..].trim())
+        }
+        _ => (None, code),
+    };
+    if rest.is_empty() {
+        return Line {
+            number,
+            label,
+            mnemonic: None,
+            operands: Vec::new(),
+        };
+    }
+    let (mnemonic, args) = match rest.find(char::is_whitespace) {
+        Some(i) => (&rest[..i], rest[i..].trim()),
+        None => (rest, ""),
+    };
+    let operands = if args.is_empty() {
+        Vec::new()
+    } else {
+        args.split(',').map(str::trim).collect()
+    };
+    Line {
+        number,
+        label,
+        mnemonic: Some(mnemonic.to_ascii_uppercase()),
+        operands,
+    }
+}
+
+fn parse_number(tok: &str) -> Option<u32> {
+    let t = tok.trim();
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).ok()
+    } else if let Some(bin) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        u32::from_str_radix(bin, 2).ok()
+    } else {
+        t.parse().ok()
+    }
+}
+
+fn parse_register(tok: &str) -> Option<Register> {
+    let t = tok.trim();
+    let rest = t.strip_prefix('s').or_else(|| t.strip_prefix('S'))?;
+    if rest.len() != 1 {
+        return None;
+    }
+    let idx = u8::from_str_radix(rest, 16).ok()?;
+    Some(Register::new(idx))
+}
+
+struct Assembler<'a> {
+    constants: HashMap<String, u32>,
+    labels: HashMap<String, u16>,
+    lines: Vec<Line<'a>>,
+}
+
+impl<'a> Assembler<'a> {
+    fn symbol(&self, tok: &str, line: usize) -> Result<u32, AsmError> {
+        if let Some(n) = parse_number(tok) {
+            return Ok(n);
+        }
+        let key = tok.trim().to_ascii_uppercase();
+        self.constants
+            .get(&key)
+            .copied()
+            .ok_or_else(|| AsmError {
+                line,
+                kind: AsmErrorKind::UnknownSymbol(tok.trim().to_string()),
+            })
+    }
+
+    fn imm8(&self, tok: &str, line: usize) -> Result<u8, AsmError> {
+        let v = self.symbol(tok, line)?;
+        u8::try_from(v).map_err(|_| AsmError {
+            line,
+            kind: AsmErrorKind::ValueOutOfRange(format!("{tok} = {v} does not fit 8 bits")),
+        })
+    }
+
+    fn operand(&self, tok: &str, line: usize) -> Result<Operand, AsmError> {
+        if let Some(r) = parse_register(tok) {
+            Ok(Operand::Reg(r))
+        } else {
+            Ok(Operand::Imm(self.imm8(tok, line)?))
+        }
+    }
+
+    fn address(&self, tok: &str, line: usize) -> Result<Address, AsmError> {
+        let t = tok.trim();
+        let inner = t
+            .strip_prefix('(')
+            .and_then(|s| s.strip_suffix(')'))
+            .ok_or_else(|| AsmError {
+                line,
+                kind: AsmErrorKind::BadOperands(format!("expected (addr), got `{t}`")),
+            })?;
+        if let Some(r) = parse_register(inner) {
+            Ok(Address::Indirect(r))
+        } else {
+            Ok(Address::Direct(self.imm8(inner, line)?))
+        }
+    }
+
+    fn branch_target(&self, tok: &str, line: usize) -> Result<u16, AsmError> {
+        if let Some(n) = parse_number(tok) {
+            return u16::try_from(n)
+                .ok()
+                .filter(|&a| (a as usize) < MAX_PROGRAM_LEN)
+                .ok_or_else(|| AsmError {
+                    line,
+                    kind: AsmErrorKind::ValueOutOfRange(format!(
+                        "branch target {tok} outside 12-bit space"
+                    )),
+                });
+        }
+        let key = tok.trim().to_ascii_uppercase();
+        if let Some(&addr) = self.labels.get(&key) {
+            return Ok(addr);
+        }
+        if let Some(&v) = self.constants.get(&key) {
+            return u16::try_from(v).map_err(|_| AsmError {
+                line,
+                kind: AsmErrorKind::ValueOutOfRange(format!("{tok} = {v}")),
+            });
+        }
+        Err(AsmError {
+            line,
+            kind: AsmErrorKind::UnknownSymbol(tok.trim().to_string()),
+        })
+    }
+
+    fn condition(tok: &str) -> Option<Condition> {
+        match tok.trim().to_ascii_uppercase().as_str() {
+            "Z" => Some(Condition::Zero),
+            "NZ" => Some(Condition::NotZero),
+            "C" => Some(Condition::Carry),
+            "NC" => Some(Condition::NotCarry),
+            _ => None,
+        }
+    }
+}
+
+fn shift_mnemonic(m: &str) -> Option<ShiftOp> {
+    Some(match m {
+        "SL0" => ShiftOp::Sl0,
+        "SL1" => ShiftOp::Sl1,
+        "SLX" => ShiftOp::Slx,
+        "SLA" => ShiftOp::Sla,
+        "RL" => ShiftOp::Rl,
+        "SR0" => ShiftOp::Sr0,
+        "SR1" => ShiftOp::Sr1,
+        "SRX" => ShiftOp::Srx,
+        "SRA" => ShiftOp::Sra,
+        "RR" => ShiftOp::Rr,
+        _ => return None,
+    })
+}
+
+/// Assembles PicoBlaze source text into a program.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered, tagged with its source line.
+///
+/// # Examples
+///
+/// ```
+/// use sirtm_picoblaze::asm::assemble;
+///
+/// let prog = assemble("loop: ADD s0, 1\n JUMP loop\n")?;
+/// assert_eq!(prog.len(), 2);
+/// # Ok::<(), sirtm_picoblaze::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Vec<Instruction>, AsmError> {
+    let lines: Vec<Line<'_>> = source
+        .lines()
+        .enumerate()
+        .map(|(i, raw)| parse_line(i + 1, raw))
+        .collect();
+
+    // Pass 1: collect constants and label addresses.
+    let mut asm = Assembler {
+        constants: HashMap::new(),
+        labels: HashMap::new(),
+        lines: Vec::new(),
+    };
+    let mut pc = 0u16;
+    for line in lines {
+        if let Some(label) = line.label {
+            let key = label.to_ascii_uppercase();
+            if asm.labels.insert(key, pc).is_some() {
+                return Err(AsmError {
+                    line: line.number,
+                    kind: AsmErrorKind::DuplicateLabel(label.to_string()),
+                });
+            }
+        }
+        match line.mnemonic.as_deref() {
+            None => {}
+            Some("CONSTANT") => {
+                if line.operands.len() != 2 {
+                    return Err(AsmError {
+                        line: line.number,
+                        kind: AsmErrorKind::BadOperands(
+                            "CONSTANT takes `name, value`".to_string(),
+                        ),
+                    });
+                }
+                let name = line.operands[0].to_ascii_uppercase();
+                let value = parse_number(line.operands[1]).ok_or_else(|| AsmError {
+                    line: line.number,
+                    kind: AsmErrorKind::BadOperands(format!(
+                        "constant value `{}` is not numeric",
+                        line.operands[1]
+                    )),
+                })?;
+                if asm.constants.insert(name, value).is_some() {
+                    return Err(AsmError {
+                        line: line.number,
+                        kind: AsmErrorKind::DuplicateConstant(line.operands[0].to_string()),
+                    });
+                }
+            }
+            Some(_) => {
+                pc = pc.wrapping_add(1);
+                if pc as usize > MAX_PROGRAM_LEN {
+                    return Err(AsmError {
+                        line: line.number,
+                        kind: AsmErrorKind::ProgramTooLarge(pc as usize),
+                    });
+                }
+                asm.lines.push(line);
+            }
+        }
+    }
+
+    // Pass 2: encode instructions.
+    let mut program = Vec::with_capacity(asm.lines.len());
+    for line in std::mem::take(&mut asm.lines) {
+        let n = line.number;
+        let m = line.mnemonic.as_deref().expect("pass 1 kept only mnemonics");
+        let ops = &line.operands;
+        let two_ops = |what: &str| -> Result<(), AsmError> {
+            if ops.len() == 2 {
+                Ok(())
+            } else {
+                Err(AsmError {
+                    line: n,
+                    kind: AsmErrorKind::BadOperands(format!("{what} takes two operands")),
+                })
+            }
+        };
+        let alu = |mk: fn(Register, Operand) -> Instruction| -> Result<Instruction, AsmError> {
+            two_ops(m)?;
+            let rx = parse_register(ops[0]).ok_or_else(|| AsmError {
+                line: n,
+                kind: AsmErrorKind::BadOperands(format!("`{}` is not a register", ops[0])),
+            })?;
+            Ok(mk(rx, asm.operand(ops[1], n)?))
+        };
+        let mem = |mk: fn(Register, Address) -> Instruction| -> Result<Instruction, AsmError> {
+            two_ops(m)?;
+            let rx = parse_register(ops[0]).ok_or_else(|| AsmError {
+                line: n,
+                kind: AsmErrorKind::BadOperands(format!("`{}` is not a register", ops[0])),
+            })?;
+            Ok(mk(rx, asm.address(ops[1], n)?))
+        };
+        let branch = |mk: fn(Condition, u16) -> Instruction| -> Result<Instruction, AsmError> {
+            match ops.len() {
+                1 => Ok(mk(Condition::Always, asm.branch_target(ops[0], n)?)),
+                2 => {
+                    let cond = Assembler::condition(ops[0]).ok_or_else(|| AsmError {
+                        line: n,
+                        kind: AsmErrorKind::BadOperands(format!(
+                            "`{}` is not a condition (Z/NZ/C/NC)",
+                            ops[0]
+                        )),
+                    })?;
+                    Ok(mk(cond, asm.branch_target(ops[1], n)?))
+                }
+                _ => Err(AsmError {
+                    line: n,
+                    kind: AsmErrorKind::BadOperands(format!("{m} takes `[cond,] target`")),
+                }),
+            }
+        };
+        let instr = match m {
+            "LOAD" => alu(Instruction::Load)?,
+            "AND" => alu(Instruction::And)?,
+            "OR" => alu(Instruction::Or)?,
+            "XOR" => alu(Instruction::Xor)?,
+            "ADD" => alu(Instruction::Add)?,
+            "ADDCY" => alu(Instruction::AddCy)?,
+            "SUB" => alu(Instruction::Sub)?,
+            "SUBCY" => alu(Instruction::SubCy)?,
+            "COMPARE" => alu(Instruction::Compare)?,
+            "TEST" => alu(Instruction::Test)?,
+            "STORE" => mem(Instruction::Store)?,
+            "FETCH" => mem(Instruction::Fetch)?,
+            "INPUT" => mem(Instruction::Input)?,
+            "OUTPUT" => mem(Instruction::Output)?,
+            "JUMP" => branch(Instruction::Jump)?,
+            "CALL" => branch(Instruction::Call)?,
+            "RETURN" => match ops.len() {
+                0 => Instruction::Return(Condition::Always),
+                1 => {
+                    let cond = Assembler::condition(ops[0]).ok_or_else(|| AsmError {
+                        line: n,
+                        kind: AsmErrorKind::BadOperands(format!(
+                            "`{}` is not a condition (Z/NZ/C/NC)",
+                            ops[0]
+                        )),
+                    })?;
+                    Instruction::Return(cond)
+                }
+                _ => {
+                    return Err(AsmError {
+                        line: n,
+                        kind: AsmErrorKind::BadOperands("RETURN takes `[cond]`".to_string()),
+                    })
+                }
+            },
+            other => match shift_mnemonic(other) {
+                Some(op) => {
+                    if ops.len() != 1 {
+                        return Err(AsmError {
+                            line: n,
+                            kind: AsmErrorKind::BadOperands(format!("{m} takes one register")),
+                        });
+                    }
+                    let rx = parse_register(ops[0]).ok_or_else(|| AsmError {
+                        line: n,
+                        kind: AsmErrorKind::BadOperands(format!(
+                            "`{}` is not a register",
+                            ops[0]
+                        )),
+                    })?;
+                    Instruction::Shift(op, rx)
+                }
+                None => {
+                    return Err(AsmError {
+                        line: n,
+                        kind: AsmErrorKind::UnknownMnemonic(m.to_string()),
+                    })
+                }
+            },
+        };
+        program.push(instr);
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{Picoblaze, SparseIo};
+
+    #[test]
+    fn assemble_minimal_loop() {
+        let prog = assemble("loop: ADD s0, 1\nJUMP loop\n").expect("valid");
+        assert_eq!(prog.len(), 2);
+        assert_eq!(prog[1], Instruction::Jump(Condition::Always, 0));
+    }
+
+    #[test]
+    fn labels_are_case_insensitive() {
+        let prog = assemble("Start: LOAD s0, 1\n JUMP START\n").expect("valid");
+        assert_eq!(prog[1], Instruction::Jump(Condition::Always, 0));
+    }
+
+    #[test]
+    fn constants_resolve_in_operands_and_addresses() {
+        let src = "CONSTANT LIMIT, 0x20\nCONSTANT PORT, 3\n\
+                   COMPARE s0, LIMIT\nOUTPUT s0, (PORT)\n";
+        let prog = assemble(src).expect("valid");
+        assert_eq!(
+            prog[0],
+            Instruction::Compare(Register::new(0), Operand::Imm(0x20))
+        );
+        assert_eq!(
+            prog[1],
+            Instruction::Output(Register::new(0), Address::Direct(3))
+        );
+    }
+
+    #[test]
+    fn numeric_literal_bases() {
+        let prog = assemble("LOAD s0, 10\nLOAD s1, 0x10\nLOAD s2, 0b10\n").expect("valid");
+        assert_eq!(prog[0], Instruction::Load(Register::new(0), Operand::Imm(10)));
+        assert_eq!(prog[1], Instruction::Load(Register::new(1), Operand::Imm(16)));
+        assert_eq!(prog[2], Instruction::Load(Register::new(2), Operand::Imm(2)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "; leading comment\n\n  // another\nLOAD s0, 1 ; trailing\n";
+        assert_eq!(assemble(src).expect("valid").len(), 1);
+    }
+
+    #[test]
+    fn conditional_branches() {
+        let src = "top: SUB s0, 1\nJUMP NZ, top\nRETURN NC\n";
+        let prog = assemble(src).expect("valid");
+        assert_eq!(prog[1], Instruction::Jump(Condition::NotZero, 0));
+        assert_eq!(prog[2], Instruction::Return(Condition::NotCarry));
+    }
+
+    #[test]
+    fn indirect_addressing() {
+        let prog = assemble("STORE s0, (s1)\nFETCH s2, (0x7F)\n").expect("valid");
+        assert_eq!(
+            prog[0],
+            Instruction::Store(Register::new(0), Address::Indirect(Register::new(1)))
+        );
+        assert_eq!(
+            prog[1],
+            Instruction::Fetch(Register::new(2), Address::Direct(0x7F))
+        );
+    }
+
+    #[test]
+    fn all_shift_mnemonics() {
+        let src = "SL0 s0\nSL1 s1\nSLX s2\nSLA s3\nRL s4\nSR0 s5\nSR1 s6\nSRX s7\nSRA s8\nRR s9\n";
+        let prog = assemble(src).expect("valid");
+        assert_eq!(prog.len(), 10);
+        assert_eq!(prog[4], Instruction::Shift(ShiftOp::Rl, Register::new(4)));
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let err = assemble("LOAD s0, 1\nFROB s1, 2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, AsmErrorKind::UnknownMnemonic(_)));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let err = assemble("a: LOAD s0, 1\na: LOAD s0, 2\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::DuplicateLabel(_)));
+    }
+
+    #[test]
+    fn duplicate_constant_rejected() {
+        let err = assemble("CONSTANT X, 1\nCONSTANT x, 2\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::DuplicateConstant(_)));
+    }
+
+    #[test]
+    fn unknown_symbol_rejected() {
+        let err = assemble("JUMP nowhere\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::UnknownSymbol(_)));
+        let err = assemble("LOAD s0, MISSING\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::UnknownSymbol(_)));
+    }
+
+    #[test]
+    fn oversized_immediate_rejected() {
+        let err = assemble("LOAD s0, 256\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::ValueOutOfRange(_)));
+    }
+
+    #[test]
+    fn bad_operand_count_rejected() {
+        let err = assemble("ADD s0\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadOperands(_)));
+        let err = assemble("RETURN Z, extra\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadOperands(_)));
+    }
+
+    #[test]
+    fn error_display_includes_line() {
+        let err = assemble("\n\nBOGUS\n").unwrap_err();
+        assert!(err.to_string().starts_with("line 3:"));
+    }
+
+    #[test]
+    fn assembled_countdown_runs_on_vm() {
+        // Count s0 down from 5, incrementing s1 each iteration.
+        let src = "\
+            LOAD s0, 5\n\
+            LOAD s1, 0\n\
+            top: ADD s1, 1\n\
+            SUB s0, 1\n\
+            JUMP NZ, top\n\
+            OUTPUT s1, (0x00)\n\
+            end: JUMP end\n";
+        let prog = assemble(src).expect("valid");
+        let mut cpu = Picoblaze::new(prog);
+        let mut io = SparseIo::new();
+        cpu.step_n(2 + 5 * 3 + 1, &mut io).expect("runs");
+        assert_eq!(io.last_output(0), Some(5));
+    }
+
+    #[test]
+    fn numeric_branch_target_accepted() {
+        let prog = assemble("JUMP 0x005\n").expect("valid");
+        assert_eq!(prog[0], Instruction::Jump(Condition::Always, 5));
+    }
+
+    #[test]
+    fn label_only_lines_attach_to_next_instruction() {
+        let prog = assemble("here:\n\nLOAD s0, 1\nJUMP here\n").expect("valid");
+        assert_eq!(prog[1], Instruction::Jump(Condition::Always, 0));
+    }
+}

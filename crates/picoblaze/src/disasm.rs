@@ -1,0 +1,127 @@
+//! Disassembly: `Display` for instructions and whole-program listings.
+//!
+//! The textual form produced here is *re-assemblable*: feeding
+//! [`disassemble`] output back to [`crate::asm::assemble`] reproduces the
+//! original program (branch targets appear as numeric addresses).
+
+use std::fmt;
+
+use crate::isa::{Condition, Instruction};
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instruction::*;
+        let cond = |c: &Condition| -> String {
+            match c {
+                Condition::Always => String::new(),
+                other => format!("{other}, "),
+            }
+        };
+        match self {
+            Load(x, op) => write!(f, "LOAD {x}, {op}"),
+            And(x, op) => write!(f, "AND {x}, {op}"),
+            Or(x, op) => write!(f, "OR {x}, {op}"),
+            Xor(x, op) => write!(f, "XOR {x}, {op}"),
+            Add(x, op) => write!(f, "ADD {x}, {op}"),
+            AddCy(x, op) => write!(f, "ADDCY {x}, {op}"),
+            Sub(x, op) => write!(f, "SUB {x}, {op}"),
+            SubCy(x, op) => write!(f, "SUBCY {x}, {op}"),
+            Compare(x, op) => write!(f, "COMPARE {x}, {op}"),
+            Test(x, op) => write!(f, "TEST {x}, {op}"),
+            Shift(op, x) => write!(f, "{op} {x}"),
+            Store(x, a) => write!(f, "STORE {x}, {a}"),
+            Fetch(x, a) => write!(f, "FETCH {x}, {a}"),
+            Input(x, a) => write!(f, "INPUT {x}, {a}"),
+            Output(x, a) => write!(f, "OUTPUT {x}, {a}"),
+            Jump(c, addr) => write!(f, "JUMP {}0x{addr:03X}", cond(c)),
+            Call(c, addr) => write!(f, "CALL {}0x{addr:03X}", cond(c)),
+            Return(Condition::Always) => write!(f, "RETURN"),
+            Return(c) => write!(f, "RETURN {c}"),
+        }
+    }
+}
+
+/// Renders a program as an address-annotated listing.
+///
+/// # Examples
+///
+/// ```
+/// use sirtm_picoblaze::{asm, disasm};
+///
+/// let prog = asm::assemble("LOAD s0, 1\nJUMP 0\n")?;
+/// let listing = disasm::disassemble(&prog);
+/// assert!(listing.contains("0x000: LOAD s0, 0x01"));
+/// # Ok::<(), sirtm_picoblaze::AsmError>(())
+/// ```
+pub fn disassemble(program: &[Instruction]) -> String {
+    let mut out = String::new();
+    for (addr, instr) in program.iter().enumerate() {
+        out.push_str(&format!("0x{addr:03X}: {instr}\n"));
+    }
+    out
+}
+
+/// Renders a program as plain re-assemblable source (no addresses).
+pub fn to_source(program: &[Instruction]) -> String {
+    let mut out = String::new();
+    for instr in program {
+        out.push_str(&instr.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::isa::{Address, Operand, Register, ShiftOp};
+
+    #[test]
+    fn display_forms() {
+        use Instruction::*;
+        let r0 = Register::new(0);
+        let r1 = Register::new(1);
+        assert_eq!(Load(r0, Operand::Imm(0x2A)).to_string(), "LOAD s0, 0x2A");
+        assert_eq!(Add(r0, Operand::Reg(r1)).to_string(), "ADD s0, s1");
+        assert_eq!(
+            Store(r0, Address::Indirect(r1)).to_string(),
+            "STORE s0, (s1)"
+        );
+        assert_eq!(
+            Input(r0, Address::Direct(0x10)).to_string(),
+            "INPUT s0, (0x10)"
+        );
+        assert_eq!(Jump(Condition::Zero, 5).to_string(), "JUMP Z, 0x005");
+        assert_eq!(Jump(Condition::Always, 5).to_string(), "JUMP 0x005");
+        assert_eq!(Return(Condition::Always).to_string(), "RETURN");
+        assert_eq!(Return(Condition::Carry).to_string(), "RETURN C");
+        assert_eq!(Shift(ShiftOp::Srx, r1).to_string(), "SRX s1");
+    }
+
+    #[test]
+    fn disassemble_annotates_addresses() {
+        let prog = assemble("LOAD s0, 1\nADD s0, 2\n").expect("valid");
+        let text = disassemble(&prog);
+        assert!(text.contains("0x000:"));
+        assert!(text.contains("0x001:"));
+    }
+
+    #[test]
+    fn to_source_reassembles_identically() {
+        let src = "\
+            CONSTANT P, 0x11\n\
+            start: INPUT s0, (P)\n\
+            COMPARE s0, 0x40\n\
+            JUMP C, start\n\
+            CALL sub\n\
+            OUTPUT s0, (s1)\n\
+            halt: JUMP halt\n\
+            sub: SR0 s0\n\
+            RETURN NZ\n\
+            RETURN\n";
+        let prog = assemble(src).expect("valid");
+        let round = assemble(&to_source(&prog)).expect("round-trips");
+        assert_eq!(prog, round);
+    }
+}

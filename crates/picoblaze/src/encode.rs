@@ -1,0 +1,319 @@
+//! Stable 18-bit binary encoding of the instruction set.
+//!
+//! Layout: bits `[17:12]` opcode, `[11:8]` sX, `[7:0]` kk / `[7:4]` sY,
+//! except branches which carry a 12-bit address in `[11:0]`. The encoding
+//! is this crate's own (see the crate docs); it is stable across releases
+//! so that stored firmware images remain loadable.
+
+use crate::isa::{Address, Condition, Instruction, Operand, Register, ShiftOp};
+
+/// Error produced when decoding a malformed instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: u32,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid instruction word 0x{:05X}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const OP_SHIFT: u32 = 12;
+const SX_SHIFT: u32 = 8;
+
+fn alu_base(op: u32, sx: Register, operand: Operand) -> u32 {
+    match operand {
+        Operand::Reg(sy) => (op << OP_SHIFT) | ((sx.raw() as u32) << SX_SHIFT) | ((sy.raw() as u32) << 4),
+        Operand::Imm(kk) => ((op + 1) << OP_SHIFT) | ((sx.raw() as u32) << SX_SHIFT) | kk as u32,
+    }
+}
+
+fn mem_base(op_direct: u32, sx: Register, addr: Address) -> u32 {
+    match addr {
+        Address::Direct(kk) => {
+            (op_direct << OP_SHIFT) | ((sx.raw() as u32) << SX_SHIFT) | kk as u32
+        }
+        Address::Indirect(sy) => {
+            ((op_direct + 1) << OP_SHIFT) | ((sx.raw() as u32) << SX_SHIFT) | ((sy.raw() as u32) << 4)
+        }
+    }
+}
+
+fn cond_code(c: Condition) -> u32 {
+    match c {
+        Condition::Always => 0,
+        Condition::Zero => 1,
+        Condition::NotZero => 2,
+        Condition::Carry => 3,
+        Condition::NotCarry => 4,
+    }
+}
+
+fn cond_from(code: u32) -> Option<Condition> {
+    Some(match code {
+        0 => Condition::Always,
+        1 => Condition::Zero,
+        2 => Condition::NotZero,
+        3 => Condition::Carry,
+        4 => Condition::NotCarry,
+        _ => return None,
+    })
+}
+
+fn shift_code(op: ShiftOp) -> u32 {
+    match op {
+        ShiftOp::Sl0 => 0,
+        ShiftOp::Sl1 => 1,
+        ShiftOp::Slx => 2,
+        ShiftOp::Sla => 3,
+        ShiftOp::Rl => 4,
+        ShiftOp::Sr0 => 8,
+        ShiftOp::Sr1 => 9,
+        ShiftOp::Srx => 10,
+        ShiftOp::Sra => 11,
+        ShiftOp::Rr => 12,
+    }
+}
+
+fn shift_from(code: u32) -> Option<ShiftOp> {
+    Some(match code {
+        0 => ShiftOp::Sl0,
+        1 => ShiftOp::Sl1,
+        2 => ShiftOp::Slx,
+        3 => ShiftOp::Sla,
+        4 => ShiftOp::Rl,
+        8 => ShiftOp::Sr0,
+        9 => ShiftOp::Sr1,
+        10 => ShiftOp::Srx,
+        11 => ShiftOp::Sra,
+        12 => ShiftOp::Rr,
+        _ => return None,
+    })
+}
+
+/// Encodes an instruction into an 18-bit word (upper bits of the `u32`
+/// are zero).
+pub fn encode(instr: Instruction) -> u32 {
+    use Instruction::*;
+    match instr {
+        Load(x, op) => alu_base(0x00, x, op),
+        And(x, op) => alu_base(0x02, x, op),
+        Or(x, op) => alu_base(0x04, x, op),
+        Xor(x, op) => alu_base(0x06, x, op),
+        Add(x, op) => alu_base(0x08, x, op),
+        AddCy(x, op) => alu_base(0x0A, x, op),
+        Sub(x, op) => alu_base(0x0C, x, op),
+        SubCy(x, op) => alu_base(0x0E, x, op),
+        Compare(x, op) => alu_base(0x10, x, op),
+        Test(x, op) => alu_base(0x12, x, op),
+        Shift(op, x) => (0x14 << OP_SHIFT) | ((x.raw() as u32) << SX_SHIFT) | shift_code(op),
+        Store(x, a) => mem_base(0x15, x, a),
+        Fetch(x, a) => mem_base(0x17, x, a),
+        Input(x, a) => mem_base(0x19, x, a),
+        Output(x, a) => mem_base(0x1B, x, a),
+        Jump(c, addr) => ((0x20 + cond_code(c)) << OP_SHIFT) | (addr as u32 & 0xFFF),
+        Call(c, addr) => ((0x28 + cond_code(c)) << OP_SHIFT) | (addr as u32 & 0xFFF),
+        Return(c) => (0x30 + cond_code(c)) << OP_SHIFT,
+    }
+}
+
+/// Decodes an 18-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the opcode or a sub-field is invalid.
+pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
+    use Instruction::*;
+    let op = (word >> OP_SHIFT) & 0x3F;
+    let sx = Register::new(((word >> SX_SHIFT) & 0xF) as u8);
+    let sy = Register::new(((word >> 4) & 0xF) as u8);
+    let kk = (word & 0xFF) as u8;
+    let err = || DecodeError { word };
+    // Register-form ALU words keep bits [3:0] zero; reject junk there so
+    // decode(encode(i)) == i is the *only* accepted representation.
+    let reg_form = |mk: fn(Register, Operand) -> Instruction| {
+        if word & 0xF != 0 {
+            Err(err())
+        } else {
+            Ok(mk(sx, Operand::Reg(sy)))
+        }
+    };
+    let instr = match op {
+        0x00 => reg_form(Load)?,
+        0x01 => Load(sx, Operand::Imm(kk)),
+        0x02 => reg_form(And)?,
+        0x03 => And(sx, Operand::Imm(kk)),
+        0x04 => reg_form(Or)?,
+        0x05 => Or(sx, Operand::Imm(kk)),
+        0x06 => reg_form(Xor)?,
+        0x07 => Xor(sx, Operand::Imm(kk)),
+        0x08 => reg_form(Add)?,
+        0x09 => Add(sx, Operand::Imm(kk)),
+        0x0A => reg_form(AddCy)?,
+        0x0B => AddCy(sx, Operand::Imm(kk)),
+        0x0C => reg_form(Sub)?,
+        0x0D => Sub(sx, Operand::Imm(kk)),
+        0x0E => reg_form(SubCy)?,
+        0x0F => SubCy(sx, Operand::Imm(kk)),
+        0x10 => reg_form(Compare)?,
+        0x11 => Compare(sx, Operand::Imm(kk)),
+        0x12 => reg_form(Test)?,
+        0x13 => Test(sx, Operand::Imm(kk)),
+        0x14 => Shift(shift_from(word & 0xFF).ok_or_else(err)?, sx),
+        0x15 => Store(sx, Address::Direct(kk)),
+        0x16 => {
+            if word & 0xF != 0 {
+                return Err(err());
+            }
+            Store(sx, Address::Indirect(sy))
+        }
+        0x17 => Fetch(sx, Address::Direct(kk)),
+        0x18 => {
+            if word & 0xF != 0 {
+                return Err(err());
+            }
+            Fetch(sx, Address::Indirect(sy))
+        }
+        0x19 => Input(sx, Address::Direct(kk)),
+        0x1A => {
+            if word & 0xF != 0 {
+                return Err(err());
+            }
+            Input(sx, Address::Indirect(sy))
+        }
+        0x1B => Output(sx, Address::Direct(kk)),
+        0x1C => {
+            if word & 0xF != 0 {
+                return Err(err());
+            }
+            Output(sx, Address::Indirect(sy))
+        }
+        0x20..=0x24 => Jump(cond_from(op - 0x20).ok_or_else(err)?, (word & 0xFFF) as u16),
+        0x28..=0x2C => Call(cond_from(op - 0x28).ok_or_else(err)?, (word & 0xFFF) as u16),
+        0x30..=0x34 => {
+            if word & 0xFFF != 0 {
+                return Err(err());
+            }
+            Return(cond_from(op - 0x30).ok_or_else(err)?)
+        }
+        _ => return Err(err()),
+    };
+    Ok(instr)
+}
+
+/// Encodes a whole program.
+pub fn encode_program(program: &[Instruction]) -> Vec<u32> {
+    program.iter().copied().map(encode).collect()
+}
+
+/// Decodes a whole program.
+///
+/// # Errors
+///
+/// Returns the first [`DecodeError`] encountered.
+pub fn decode_program(words: &[u32]) -> Result<Vec<Instruction>, DecodeError> {
+    words.iter().map(|&w| decode(w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Register {
+        Register::new(i)
+    }
+
+    #[test]
+    fn word_fits_in_18_bits() {
+        let samples = [
+            Instruction::Load(r(15), Operand::Imm(0xFF)),
+            Instruction::Jump(Condition::NotCarry, 0xFFF),
+            Instruction::Call(Condition::Always, 0xABC),
+            Instruction::Shift(ShiftOp::Rr, r(7)),
+            Instruction::Return(Condition::Zero),
+        ];
+        for s in samples {
+            assert!(encode(s) < (1 << 18), "{s:?} overflows 18 bits");
+        }
+    }
+
+    #[test]
+    fn roundtrip_every_opcode_shape() {
+        let samples = vec![
+            Instruction::Load(r(1), Operand::Reg(r(2))),
+            Instruction::Load(r(1), Operand::Imm(0x55)),
+            Instruction::And(r(3), Operand::Imm(0x0F)),
+            Instruction::Or(r(4), Operand::Reg(r(5))),
+            Instruction::Xor(r(6), Operand::Imm(0xFF)),
+            Instruction::Add(r(7), Operand::Reg(r(8))),
+            Instruction::AddCy(r(9), Operand::Imm(1)),
+            Instruction::Sub(r(10), Operand::Reg(r(11))),
+            Instruction::SubCy(r(12), Operand::Imm(2)),
+            Instruction::Compare(r(13), Operand::Reg(r(14))),
+            Instruction::Test(r(15), Operand::Imm(0x80)),
+            Instruction::Shift(ShiftOp::Sl0, r(0)),
+            Instruction::Shift(ShiftOp::Rr, r(15)),
+            Instruction::Store(r(1), Address::Direct(0x20)),
+            Instruction::Store(r(1), Address::Indirect(r(2))),
+            Instruction::Fetch(r(3), Address::Direct(0x21)),
+            Instruction::Fetch(r(3), Address::Indirect(r(4))),
+            Instruction::Input(r(5), Address::Direct(0x01)),
+            Instruction::Input(r(5), Address::Indirect(r(6))),
+            Instruction::Output(r(7), Address::Direct(0x02)),
+            Instruction::Output(r(7), Address::Indirect(r(8))),
+            Instruction::Jump(Condition::Always, 0x123),
+            Instruction::Jump(Condition::Zero, 0),
+            Instruction::Call(Condition::NotZero, 0xFFF),
+            Instruction::Return(Condition::Carry),
+        ];
+        for s in samples {
+            let w = encode(s);
+            assert_eq!(decode(w), Ok(s), "word 0x{w:05X}");
+        }
+    }
+
+    #[test]
+    fn invalid_opcode_rejected() {
+        assert!(decode(0x3F << 12).is_err());
+        assert!(decode(0x1D << 12).is_err());
+    }
+
+    #[test]
+    fn invalid_shift_code_rejected() {
+        assert!(decode((0x14 << 12) | 5).is_err());
+        assert!(decode((0x14 << 12) | 0xFF).is_err());
+    }
+
+    #[test]
+    fn junk_bits_in_reg_form_rejected() {
+        let good = encode(Instruction::Add(r(1), Operand::Reg(r(2))));
+        assert!(decode(good | 0x3).is_err());
+    }
+
+    #[test]
+    fn junk_bits_in_return_rejected() {
+        let good = encode(Instruction::Return(Condition::Always));
+        assert!(decode(good | 0x10).is_err());
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let prog = vec![
+            Instruction::Load(r(0), Operand::Imm(1)),
+            Instruction::Add(r(0), Operand::Imm(1)),
+            Instruction::Jump(Condition::Always, 1),
+        ];
+        let words = encode_program(&prog);
+        assert_eq!(decode_program(&words), Ok(prog));
+    }
+
+    #[test]
+    fn decode_error_display() {
+        let e = decode(0x3FFFF).unwrap_err();
+        assert!(e.to_string().contains("0x3FFFF"));
+    }
+}

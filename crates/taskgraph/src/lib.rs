@@ -1,0 +1,35 @@
+//! Task graphs, workloads and static mapping heuristics for SIRTM.
+//!
+//! This crate models the *application* side of the DATE 2020 paper
+//! "Embedded Social Insect-Inspired Intelligence Networks for System-level
+//! Runtime Management": streaming task graphs whose tasks are mapped onto
+//! the nodes of a many-core grid.
+//!
+//! The paper's evaluation workload is the **fork-join task graph of Fig. 3**
+//! (task 1 forks to three task-2 workers whose results join at task 3, node
+//! ratio 1:3:1), built here by [`workloads::fork_join`]. The "No
+//! Intelligence" baseline of the paper — a fixed task mapping minimising
+//! Manhattan distance between producers and consumers — is
+//! [`mapping::Mapping::heuristic`].
+//!
+//! # Examples
+//!
+//! ```
+//! use sirtm_taskgraph::{workloads, GridDims, Mapping};
+//!
+//! let graph = workloads::fork_join(&workloads::ForkJoinParams::default());
+//! let dims = GridDims::new(8, 16); // the Centurion 128-node grid
+//! let mapping = Mapping::heuristic(&graph, dims);
+//! assert_eq!(mapping.assigned_len(), 128);
+//! ```
+
+pub mod flow;
+pub mod graph;
+pub mod mapping;
+pub mod task;
+pub mod workloads;
+
+pub use flow::{FlowAnalysis, TaskDemand};
+pub use graph::{EdgeKind, GraphError, TaskEdge, TaskGraph, TaskGraphBuilder};
+pub use mapping::{GridDims, Mapping, MappingError};
+pub use task::{TaskId, TaskSpec};

@@ -1,0 +1,167 @@
+//! Task identifiers and per-task behavioural specifications.
+
+use std::fmt;
+
+/// Identifier of a task (an application role a node can perform).
+///
+/// The paper's workload has three tasks; the id is kept small (`u8`) because
+/// it is carried in every NoC packet header and in every AIM threshold bank.
+/// Task ids are dense indices into their owning [`TaskGraph`].
+///
+/// [`TaskGraph`]: crate::TaskGraph
+///
+/// # Examples
+///
+/// ```
+/// use sirtm_taskgraph::TaskId;
+///
+/// let t = TaskId::new(2);
+/// assert_eq!(t.index(), 2);
+/// assert_eq!(t.to_string(), "T2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(u8);
+
+impl TaskId {
+    /// Creates a task id from a dense index.
+    pub const fn new(index: u8) -> Self {
+        Self(index)
+    }
+
+    /// Returns the dense index of this task.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u8` representation (as carried in packet headers).
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+}
+
+impl From<u8> for TaskId {
+    fn from(value: u8) -> Self {
+        Self(value)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Behavioural specification of one task.
+///
+/// A task describes how a processing element behaves while mapped to it:
+/// how long one completion takes, how many input packets a completion
+/// consumes (join arity), and whether the task is a *source* that
+/// spontaneously produces completions on a timer (the paper's task 1
+/// generates one packet every 4 ms).
+///
+/// Output packets per completion are described by the edges of the owning
+/// [`TaskGraph`], not by the spec.
+///
+/// [`TaskGraph`]: crate::TaskGraph
+///
+/// # Examples
+///
+/// ```
+/// use sirtm_taskgraph::TaskSpec;
+///
+/// let worker = TaskSpec::worker("decode", 300);
+/// assert_eq!(worker.service_cycles, 300);
+/// assert_eq!(worker.join_arity, 1);
+/// assert!(worker.generation_period.is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TaskSpec {
+    /// Human-readable name used in reports and rendered figures.
+    pub name: String,
+    /// Processing-element cycles consumed by one completion at the nominal
+    /// clock frequency. Scaled at runtime by per-node DVFS.
+    pub service_cycles: u32,
+    /// Number of input packets consumed per completion (`>= 1`).
+    /// The paper's task 3 joins the three fork branches, so its arity is 3.
+    pub join_arity: u8,
+    /// `Some(period_cycles)` makes this a source task that completes
+    /// spontaneously every `period_cycles`, independent of input packets.
+    pub generation_period: Option<u32>,
+}
+
+impl TaskSpec {
+    /// Creates a source task that spontaneously completes every
+    /// `period_cycles` cycles.
+    pub fn source(name: impl Into<String>, service_cycles: u32, period_cycles: u32) -> Self {
+        Self {
+            name: name.into(),
+            service_cycles,
+            join_arity: 1,
+            generation_period: Some(period_cycles),
+        }
+    }
+
+    /// Creates an ordinary worker task: one input packet per completion.
+    pub fn worker(name: impl Into<String>, service_cycles: u32) -> Self {
+        Self {
+            name: name.into(),
+            service_cycles,
+            join_arity: 1,
+            generation_period: None,
+        }
+    }
+
+    /// Creates a joining task consuming `arity` input packets per completion.
+    pub fn join(name: impl Into<String>, service_cycles: u32, arity: u8) -> Self {
+        Self {
+            name: name.into(),
+            service_cycles,
+            join_arity: arity,
+            generation_period: None,
+        }
+    }
+
+    /// Returns `true` if this task produces work without consuming packets.
+    pub fn is_source(&self) -> bool {
+        self.generation_period.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_id_roundtrip() {
+        let t = TaskId::new(7);
+        assert_eq!(t.index(), 7);
+        assert_eq!(t.raw(), 7);
+        assert_eq!(TaskId::from(7u8), t);
+    }
+
+    #[test]
+    fn task_id_display() {
+        assert_eq!(TaskId::new(0).to_string(), "T0");
+        assert_eq!(TaskId::new(255).to_string(), "T255");
+    }
+
+    #[test]
+    fn task_id_ordering_follows_index() {
+        assert!(TaskId::new(1) < TaskId::new(2));
+    }
+
+    #[test]
+    fn source_spec_has_period() {
+        let s = TaskSpec::source("gen", 10, 400);
+        assert!(s.is_source());
+        assert_eq!(s.generation_period, Some(400));
+        assert_eq!(s.join_arity, 1);
+    }
+
+    #[test]
+    fn join_spec_arity() {
+        let j = TaskSpec::join("merge", 100, 3);
+        assert!(!j.is_source());
+        assert_eq!(j.join_arity, 3);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for task graphs, flow analysis and mappings.
+
+use proptest::prelude::*;
+
+use sirtm_rng::Xoshiro256StarStar;
+use sirtm_taskgraph::workloads::{fork_join, ForkJoinParams};
+use sirtm_taskgraph::{
+    FlowAnalysis, GridDims, Mapping, TaskGraphBuilder, TaskId, TaskSpec,
+};
+
+/// Strategy: a random layered DAG with one source, arbitrary forward data
+/// edges and optional feedback edges — always structurally valid.
+fn layered_graph() -> impl Strategy<Value = sirtm_taskgraph::TaskGraph> {
+    (2usize..7, any::<u64>()).prop_map(|(n_tasks, seed)| {
+        use sirtm_rng::Rng;
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut b = TaskGraphBuilder::new();
+        let mut ids = Vec::new();
+        ids.push(b.task(TaskSpec::source("t0", 10 + rng.below_u64(50) as u32, 100 + rng.below_u64(400) as u32)));
+        for i in 1..n_tasks {
+            ids.push(b.task(TaskSpec::worker(
+                format!("t{i}"),
+                10 + rng.below_u64(300) as u32,
+            )));
+        }
+        // Every non-source task gets at least one incoming edge from an
+        // earlier task (reachability), plus some random extra edges.
+        for i in 1..n_tasks {
+            let from = ids[rng.below_u64(i as u64) as usize];
+            b.data_edge(from, ids[i], 1 + rng.below_u64(3) as u8, 1 + rng.below_u64(4) as u8);
+        }
+        for _ in 0..rng.below_u64(4) {
+            let a = rng.below_u64(n_tasks as u64) as usize;
+            let c = rng.below_u64(n_tasks as u64) as usize;
+            if a < c {
+                b.data_edge(ids[a], ids[c], 1, 1);
+            }
+        }
+        if rng.chance(0.5) {
+            b.feedback_edge(ids[n_tasks - 1], ids[0], 1, 1);
+        }
+        b.build().expect("layered construction is always valid")
+    })
+}
+
+proptest! {
+    /// Flow analysis conserves packets: everything a task emits on data
+    /// edges equals downstream arrivals; completion rates are finite and
+    /// non-negative.
+    #[test]
+    fn flow_rates_are_sane(graph in layered_graph()) {
+        let flow = FlowAnalysis::analyze(&graph);
+        for d in flow.demands() {
+            prop_assert!(d.completion_rate.is_finite());
+            prop_assert!(d.completion_rate >= 0.0);
+            prop_assert!(d.packet_in_rate.is_finite());
+            prop_assert!(d.demand_nodes >= 0.0);
+        }
+        // The source always completes at its generation rate.
+        let src = graph.sources()[0];
+        let period = graph.spec(src).generation_period.expect("source");
+        let want = 1.0 / period as f64;
+        prop_assert!((flow.demand(src).completion_rate - want).abs() < 1e-12);
+    }
+
+    /// Topological order is a valid linearisation of the data edges.
+    #[test]
+    fn topological_order_is_consistent(graph in layered_graph()) {
+        let order = graph.topological_order();
+        prop_assert_eq!(order.len(), graph.len());
+        let pos = |t: TaskId| order.iter().position(|&x| x == t).expect("present");
+        for e in graph.edges() {
+            if e.kind == sirtm_taskgraph::EdgeKind::Data {
+                prop_assert!(pos(e.from) < pos(e.to), "{} -> {}", e.from, e.to);
+            }
+        }
+    }
+
+    /// Proportional allocation always sums to exactly the requested node
+    /// count and gives every demanded task at least one node.
+    #[test]
+    fn proportional_allocation_conserves(graph in layered_graph(), n in 8usize..200) {
+        let flow = FlowAnalysis::analyze(&graph);
+        let demanded = flow.demands().iter().filter(|d| d.demand_nodes > 0.0).count();
+        prop_assume!(n >= demanded);
+        let alloc = flow.proportional_allocation(n);
+        prop_assert_eq!(alloc.iter().sum::<usize>(), n);
+        for d in flow.demands() {
+            if d.demand_nodes > 0.0 {
+                prop_assert!(alloc[d.task.index()] >= 1);
+            }
+        }
+    }
+
+    /// Random mappings always cover the whole grid with valid task ids.
+    #[test]
+    fn random_mappings_are_total(seed in any::<u64>(), w in 2u16..12, h in 2u16..12) {
+        let graph = fork_join(&ForkJoinParams::default());
+        let dims = GridDims::new(w, h);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        for mapping in [
+            Mapping::random_uniform(&graph, dims, &mut rng),
+            Mapping::random_ratio(&graph, dims, &mut rng),
+        ] {
+            prop_assert_eq!(mapping.assigned_len(), dims.len());
+            let counts = mapping.counts(graph.len());
+            prop_assert_eq!(counts.iter().sum::<usize>(), dims.len());
+        }
+    }
+
+    /// The heuristic baseline mapping is deterministic, total and keeps
+    /// the per-task counts within one instance group of the exact ratio.
+    #[test]
+    fn heuristic_mapping_matches_ratio(w in 3u16..12, h in 3u16..12) {
+        let graph = fork_join(&ForkJoinParams::default());
+        let dims = GridDims::new(w, h);
+        prop_assume!(dims.len() >= 5);
+        let a = Mapping::heuristic(&graph, dims);
+        let b = Mapping::heuristic(&graph, dims);
+        prop_assert_eq!(&a, &b, "deterministic");
+        let counts = a.counts(graph.len());
+        prop_assert_eq!(counts.iter().sum::<usize>(), dims.len());
+        let n = dims.len() as f64;
+        // Ratio 1:3:1 → expected fractions 0.2 / 0.6 / 0.2 within one
+        // group's worth of slack.
+        for (i, frac) in [0.2, 0.6, 0.2].iter().enumerate() {
+            let expect = n * frac;
+            prop_assert!(
+                (counts[i] as f64 - expect).abs() <= 5.0,
+                "task {i}: {} vs {expect}",
+                counts[i]
+            );
+        }
+    }
+
+    /// Serpentine order is always a Hamiltonian neighbour walk.
+    #[test]
+    fn serpentine_is_hamiltonian(w in 1u16..20, h in 1u16..20) {
+        let dims = GridDims::new(w, h);
+        let order: Vec<usize> = dims.serpentine().collect();
+        prop_assert_eq!(order.len(), dims.len());
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), dims.len(), "visits every cell once");
+        for pair in order.windows(2) {
+            prop_assert_eq!(dims.manhattan(pair[0], pair[1]), 1);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Thermal-network configuration.
+
+use sirtm_taskgraph::GridDims;
+
+/// Physical parameters of the lumped RC thermal network.
+///
+/// Every tile is one thermal cell with heat capacity
+/// [`cell_capacity_j_per_k`], a lateral conductance
+/// [`lateral_conductance_w_per_k`] to each of its four grid neighbours,
+/// and a vertical conductance [`vertical_conductance_w_per_k`] into an
+/// infinite heatsink at [`ambient_c`]. Defaults are calibrated so a
+/// fully loaded tile at the 100 MHz nominal clock settles ≈ 20 K above
+/// ambient, while an unthrottled 300 MHz tile (≈ 5× the dynamic power
+/// after the voltage scaling of [`PowerModelConfig`]) blows through the
+/// critical temperature — the regime the paper's "thermal issue" fault
+/// scenario lives in.
+///
+/// [`cell_capacity_j_per_k`]: ThermalConfig::cell_capacity_j_per_k
+/// [`lateral_conductance_w_per_k`]: ThermalConfig::lateral_conductance_w_per_k
+/// [`vertical_conductance_w_per_k`]: ThermalConfig::vertical_conductance_w_per_k
+/// [`ambient_c`]: ThermalConfig::ambient_c
+/// [`PowerModelConfig`]: crate::power::PowerModelConfig
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalConfig {
+    /// Die layout (must match the platform grid when coupled).
+    pub dims: GridDims,
+    /// Heat capacity of one tile cell, in J/K.
+    pub cell_capacity_j_per_k: f64,
+    /// Conductance to each lateral neighbour, in W/K.
+    pub lateral_conductance_w_per_k: f64,
+    /// Conductance into the heatsink/ambient, in W/K.
+    pub vertical_conductance_w_per_k: f64,
+    /// Heatsink/ambient temperature, in °C.
+    pub ambient_c: f64,
+    /// Integration step of the explicit-Euler solver, in seconds. The
+    /// solver sub-steps longer intervals; see [`ThermalGrid::step`].
+    ///
+    /// [`ThermalGrid::step`]: crate::grid::ThermalGrid::step
+    pub dt_s: f64,
+    /// Warning temperature (°C): governors begin throttling here.
+    pub warn_temp_c: f64,
+    /// Critical trip temperature (°C): sustained operation above this
+    /// kills the node (the thermal fault model).
+    pub trip_temp_c: f64,
+}
+
+impl Default for ThermalConfig {
+    fn default() -> Self {
+        Self {
+            dims: GridDims::new(8, 16),
+            cell_capacity_j_per_k: 1.5e-3,
+            lateral_conductance_w_per_k: 0.010,
+            vertical_conductance_w_per_k: 0.0075,
+            ambient_c: 45.0,
+            dt_s: 1.0e-3,
+            warn_temp_c: 85.0,
+            trip_temp_c: 110.0,
+        }
+    }
+}
+
+impl ThermalConfig {
+    /// The thermal time constant `C / g_vertical` of an isolated cell, in
+    /// seconds — how fast a tile relaxes towards its own steady state.
+    pub fn time_constant_s(&self) -> f64 {
+        self.cell_capacity_j_per_k / self.vertical_conductance_w_per_k
+    }
+
+    /// The largest explicit-Euler step that keeps the solver stable:
+    /// `C / (g_vertical + 4·g_lateral)`.
+    pub fn stable_dt_s(&self) -> f64 {
+        self.cell_capacity_j_per_k
+            / (self.vertical_conductance_w_per_k + 4.0 * self.lateral_conductance_w_per_k)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive capacities/conductances, a `dt_s` that
+    /// violates the explicit-Euler stability bound, or an inverted
+    /// warn/trip ordering — all construction-time programming errors.
+    pub fn validate(&self) {
+        assert!(self.cell_capacity_j_per_k > 0.0, "cell capacity must be positive");
+        assert!(
+            self.lateral_conductance_w_per_k >= 0.0,
+            "lateral conductance must be non-negative"
+        );
+        assert!(
+            self.vertical_conductance_w_per_k >= 0.0,
+            "vertical conductance must be non-negative"
+        );
+        assert!(self.dt_s > 0.0, "dt must be positive");
+        assert!(
+            self.dt_s <= self.stable_dt_s(),
+            "dt {} s exceeds the explicit-Euler stability bound {} s",
+            self.dt_s,
+            self.stable_dt_s()
+        );
+        assert!(
+            self.warn_temp_c < self.trip_temp_c,
+            "warn temperature must be below trip temperature"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let cfg = ThermalConfig::default();
+        cfg.validate();
+        assert_eq!(cfg.dims.len(), 128);
+    }
+
+    #[test]
+    fn default_time_constant_is_hundreds_of_ms() {
+        let cfg = ThermalConfig::default();
+        let tau = cfg.time_constant_s();
+        assert!(
+            (0.05..=1.0).contains(&tau),
+            "tau {tau} s should make 1000 ms experiments reach steady state"
+        );
+    }
+
+    #[test]
+    fn stable_dt_larger_than_default_dt() {
+        let cfg = ThermalConfig::default();
+        assert!(cfg.dt_s < cfg.stable_dt_s());
+    }
+
+    #[test]
+    #[should_panic(expected = "stability bound")]
+    fn unstable_dt_rejected() {
+        let cfg = ThermalConfig {
+            dt_s: 10.0,
+            ..ThermalConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "warn temperature")]
+    fn inverted_warn_trip_rejected() {
+        let cfg = ThermalConfig {
+            warn_temp_c: 120.0,
+            ..ThermalConfig::default()
+        };
+        cfg.validate();
+    }
+}

@@ -1,0 +1,393 @@
+//! The lumped RC thermal network over the die.
+
+use sirtm_noc::NodeId;
+use sirtm_taskgraph::GridDims;
+
+use crate::config::ThermalConfig;
+
+/// Per-tile die temperatures evolved by an explicit-Euler RC network.
+///
+/// Each cell `i` obeys
+///
+/// ```text
+/// C·dT_i/dt = P_i − g_v·(T_i − T_amb) + Σ_{j ∈ nb(i)} g_l·(T_j − T_i)
+/// ```
+///
+/// with `P_i` the power injected by [`step`], `g_v` the vertical
+/// conductance into the heatsink and `g_l` the lateral conductance
+/// between neighbouring tiles.
+///
+/// # Examples
+///
+/// ```
+/// use sirtm_thermal::{ThermalConfig, ThermalGrid};
+///
+/// let cfg = ThermalConfig::default();
+/// let mut grid = ThermalGrid::new(cfg.clone());
+/// let hot = vec![0.2; cfg.dims.len()];
+/// grid.step(1.0, &hot); // one simulated second at 0.2 W per tile
+/// assert!(grid.max_temp() > cfg.ambient_c);
+/// ```
+///
+/// [`step`]: ThermalGrid::step
+#[derive(Debug, Clone)]
+pub struct ThermalGrid {
+    cfg: ThermalConfig,
+    temp_c: Vec<f64>,
+    scratch: Vec<f64>,
+    neighbours: Vec<[Option<u16>; 4]>,
+    elapsed_s: f64,
+}
+
+impl ThermalGrid {
+    /// Creates a grid at uniform ambient temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`ThermalConfig::validate`]).
+    pub fn new(cfg: ThermalConfig) -> Self {
+        cfg.validate();
+        let n = cfg.dims.len();
+        let neighbours = build_neighbours(cfg.dims);
+        Self {
+            temp_c: vec![cfg.ambient_c; n],
+            scratch: vec![0.0; n],
+            neighbours,
+            elapsed_s: 0.0,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ThermalConfig {
+        &self.cfg
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.temp_c.len()
+    }
+
+    /// Whether the grid has no cells (never true for valid dims).
+    pub fn is_empty(&self) -> bool {
+        self.temp_c.is_empty()
+    }
+
+    /// Simulated seconds integrated so far.
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_s
+    }
+
+    /// Temperature of `node`, in °C.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is off-grid.
+    pub fn temp_c(&self, node: NodeId) -> f64 {
+        self.temp_c[node.index()]
+    }
+
+    /// All cell temperatures, row-major.
+    pub fn temps(&self) -> &[f64] {
+        &self.temp_c
+    }
+
+    /// Hottest cell temperature.
+    pub fn max_temp(&self) -> f64 {
+        self.temp_c.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean die temperature.
+    pub fn mean_temp(&self) -> f64 {
+        self.temp_c.iter().sum::<f64>() / self.temp_c.len() as f64
+    }
+
+    /// Nodes at or above `threshold_c`, hottest first.
+    pub fn hotspots(&self, threshold_c: f64) -> Vec<NodeId> {
+        let mut hot: Vec<(f64, usize)> = self
+            .temp_c
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t >= threshold_c)
+            .map(|(i, &t)| (t, i))
+            .collect();
+        hot.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        hot.into_iter().map(|(_, i)| NodeId::new(i as u16)).collect()
+    }
+
+    /// Overwrites every cell with `temp_c` (test/reset helper).
+    pub fn set_uniform(&mut self, temp_c: f64) {
+        self.temp_c.fill(temp_c);
+    }
+
+    /// Advances the network by `duration_s` seconds with constant
+    /// per-cell power `power_w`, sub-stepping at the configured `dt_s`
+    /// so arbitrary durations stay within the stability bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power_w.len()` differs from the cell count, any power
+    /// is negative or non-finite, or `duration_s` is negative.
+    pub fn step(&mut self, duration_s: f64, power_w: &[f64]) {
+        assert_eq!(power_w.len(), self.temp_c.len(), "power vector size mismatch");
+        assert!(duration_s >= 0.0, "duration must be non-negative");
+        assert!(
+            power_w.iter().all(|p| p.is_finite() && *p >= 0.0),
+            "powers must be finite and non-negative"
+        );
+        let mut remaining = duration_s;
+        while remaining > 0.0 {
+            let dt = remaining.min(self.cfg.dt_s);
+            self.euler_step(dt, power_w);
+            remaining -= dt;
+        }
+        self.elapsed_s += duration_s;
+    }
+
+    fn euler_step(&mut self, dt: f64, power_w: &[f64]) {
+        let g_v = self.cfg.vertical_conductance_w_per_k;
+        let g_l = self.cfg.lateral_conductance_w_per_k;
+        let c = self.cfg.cell_capacity_j_per_k;
+        let amb = self.cfg.ambient_c;
+        for (i, (&p, nbs)) in power_w.iter().zip(&self.neighbours).enumerate() {
+            let t = self.temp_c[i];
+            let mut flux = p - g_v * (t - amb);
+            for nb in nbs.iter().flatten() {
+                flux += g_l * (self.temp_c[*nb as usize] - t);
+            }
+            self.scratch[i] = t + dt * flux / c;
+        }
+        std::mem::swap(&mut self.temp_c, &mut self.scratch);
+    }
+
+    /// The steady-state temperature field for constant `power_w`,
+    /// computed by Gauss–Seidel iteration on the equilibrium equations
+    /// (`flux = 0`), without touching the grid's transient state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power_w.len()` differs from the cell count.
+    pub fn steady_state(&self, power_w: &[f64]) -> Vec<f64> {
+        assert_eq!(power_w.len(), self.temp_c.len(), "power vector size mismatch");
+        let g_v = self.cfg.vertical_conductance_w_per_k;
+        let g_l = self.cfg.lateral_conductance_w_per_k;
+        let amb = self.cfg.ambient_c;
+        let mut t: Vec<f64> = vec![amb; self.temp_c.len()];
+        // Diagonally dominant system: Gauss-Seidel converges geometrically.
+        for _ in 0..10_000 {
+            let mut max_delta: f64 = 0.0;
+            for i in 0..t.len() {
+                let mut num = power_w[i] + g_v * amb;
+                let mut den = g_v;
+                for nb in self.neighbours[i].iter().flatten() {
+                    num += g_l * t[*nb as usize];
+                    den += g_l;
+                }
+                let next = num / den;
+                max_delta = max_delta.max((next - t[i]).abs());
+                t[i] = next;
+            }
+            if max_delta < 1e-9 {
+                break;
+            }
+        }
+        t
+    }
+
+    /// Total heat energy stored above ambient, in joules — the
+    /// conservation quantity the solver tests audit.
+    pub fn stored_energy_j(&self) -> f64 {
+        let c = self.cfg.cell_capacity_j_per_k;
+        self.temp_c
+            .iter()
+            .map(|t| c * (t - self.cfg.ambient_c))
+            .sum()
+    }
+}
+
+fn build_neighbours(dims: GridDims) -> Vec<[Option<u16>; 4]> {
+    use sirtm_noc::{Coord, Direction};
+    (0..dims.len())
+        .map(|i| {
+            let (x, y) = dims.xy(i);
+            let coord = Coord::new(x, y);
+            let mut nb = [None; 4];
+            for d in Direction::ALL {
+                nb[d.index()] = coord.neighbour(d, dims).map(|c| c.node(dims).raw());
+            }
+            nb
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> ThermalConfig {
+        ThermalConfig {
+            dims: GridDims::new(4, 4),
+            ..ThermalConfig::default()
+        }
+    }
+
+    #[test]
+    fn idle_grid_stays_at_ambient() {
+        let cfg = small_cfg();
+        let mut g = ThermalGrid::new(cfg.clone());
+        g.step(5.0, &[0.0; 16]);
+        for &t in g.temps() {
+            assert!((t - cfg.ambient_c).abs() < 1e-9, "idle tile at {t}");
+        }
+    }
+
+    #[test]
+    fn heated_grid_relaxes_back_to_ambient() {
+        let cfg = small_cfg();
+        let mut g = ThermalGrid::new(cfg.clone());
+        g.set_uniform(95.0);
+        g.step(10.0 * cfg.time_constant_s(), &[0.0; 16]);
+        assert!(
+            (g.max_temp() - cfg.ambient_c).abs() < 0.1,
+            "max {} after 10 tau",
+            g.max_temp()
+        );
+    }
+
+    #[test]
+    fn uniform_power_reaches_analytic_steady_state() {
+        let cfg = small_cfg();
+        let mut g = ThermalGrid::new(cfg.clone());
+        let p = 0.15;
+        g.step(12.0 * cfg.time_constant_s(), &[p; 16]);
+        // Uniform load: lateral terms cancel, T = amb + P/g_v everywhere.
+        let expect = cfg.ambient_c + p / cfg.vertical_conductance_w_per_k;
+        for &t in g.temps() {
+            assert!((t - expect).abs() < 0.1, "tile at {t}, expected {expect}");
+        }
+    }
+
+    #[test]
+    fn steady_state_solver_matches_long_transient() {
+        let cfg = small_cfg();
+        let mut g = ThermalGrid::new(cfg.clone());
+        let mut power = vec![0.05; 16];
+        power[5] = 0.6; // an interior hotspot
+        let target = g.steady_state(&power);
+        g.step(20.0 * cfg.time_constant_s(), &power);
+        for (i, (&t, &s)) in g.temps().iter().zip(&target).enumerate() {
+            assert!((t - s).abs() < 0.2, "cell {i}: transient {t} vs solver {s}");
+        }
+    }
+
+    #[test]
+    fn hotspot_spreads_to_neighbours() {
+        let cfg = small_cfg();
+        let mut g = ThermalGrid::new(cfg.clone());
+        let mut power = vec![0.0; 16];
+        power[5] = 0.5;
+        g.step(2.0 * cfg.time_constant_s(), &power);
+        let centre = g.temp_c(NodeId::new(5));
+        let adjacent = g.temp_c(NodeId::new(6));
+        let corner = g.temp_c(NodeId::new(15));
+        assert!(centre > adjacent, "centre {centre} vs adjacent {adjacent}");
+        assert!(adjacent > corner, "diffusion decays with distance");
+        assert!(adjacent > cfg.ambient_c + 1.0, "neighbour visibly warmed");
+    }
+
+    #[test]
+    fn energy_conservation_without_sinks() {
+        // No vertical or lateral loss: all injected energy must be stored.
+        let cfg = ThermalConfig {
+            dims: GridDims::new(4, 4),
+            vertical_conductance_w_per_k: 0.0,
+            lateral_conductance_w_per_k: 0.0,
+            dt_s: 1.0e-3,
+            ..ThermalConfig::default()
+        };
+        let mut g = ThermalGrid::new(cfg);
+        let power = vec![0.1; 16];
+        g.step(3.0, &power);
+        let injected = 0.1 * 16.0 * 3.0;
+        assert!(
+            (g.stored_energy_j() - injected).abs() < 1e-9 * injected.max(1.0),
+            "stored {} J vs injected {injected} J",
+            g.stored_energy_j()
+        );
+    }
+
+    #[test]
+    fn lateral_diffusion_conserves_energy() {
+        // Lateral-only network: diffusion redistributes but never creates
+        // or destroys heat.
+        let cfg = ThermalConfig {
+            dims: GridDims::new(4, 4),
+            vertical_conductance_w_per_k: 0.0,
+            ..ThermalConfig::default()
+        };
+        let mut g = ThermalGrid::new(cfg);
+        g.set_uniform(45.0);
+        // Heat one corner far above the rest.
+        let mut power = vec![0.0; 16];
+        power[0] = 1.0;
+        g.step(0.5, &power);
+        let before = g.stored_energy_j();
+        g.step(5.0, &[0.0; 16]);
+        let after = g.stored_energy_j();
+        assert!(
+            (before - after).abs() < 1e-9 * before.max(1.0),
+            "{before} J -> {after} J"
+        );
+        // And the field flattened.
+        let spread = g.max_temp() - g.temps().iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(spread < 0.5, "residual spread {spread} K");
+    }
+
+    #[test]
+    fn hotspots_sorted_hottest_first() {
+        let cfg = small_cfg();
+        let mut g = ThermalGrid::new(cfg);
+        let mut power = vec![0.0; 16];
+        power[3] = 0.4;
+        power[12] = 0.8;
+        g.step(1.0, &power);
+        let hot = g.hotspots(60.0);
+        assert!(!hot.is_empty());
+        assert_eq!(hot[0], NodeId::new(12), "strongest source first");
+        for pair in hot.windows(2) {
+            assert!(g.temp_c(pair[0]) >= g.temp_c(pair[1]));
+        }
+    }
+
+    #[test]
+    fn step_subdivides_long_durations() {
+        let cfg = small_cfg();
+        let mut a = ThermalGrid::new(cfg.clone());
+        let mut b = ThermalGrid::new(cfg);
+        let power = vec![0.3; 16];
+        a.step(0.25, &power);
+        for _ in 0..250 {
+            b.step(0.001, &power);
+        }
+        for (&x, &y) in a.temps().iter().zip(b.temps()) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_power_length_panics() {
+        let mut g = ThermalGrid::new(small_cfg());
+        g.step(0.1, &[0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_power_panics() {
+        let mut g = ThermalGrid::new(small_cfg());
+        let mut p = vec![0.0; 16];
+        p[0] = -1.0;
+        g.step(0.1, &p);
+    }
+}

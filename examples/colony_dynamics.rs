@@ -1,0 +1,123 @@
+//! The six division-of-labour model classes of the paper's Fig. 1, side
+//! by side on the same abstract problem — no NoC, no routers, just the
+//! biology the embedded engines inherit.
+//!
+//! Every class is given the same job: track a 2:1:0.5 task-demand
+//! profile with 150 individuals, then survive losing a third of the
+//! colony. The table printed at the end shows each class's allocation,
+//! its allocation error against demand, and its division-of-labour
+//! (specialisation) index.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example colony_dynamics
+//! ```
+
+use sirtm_colony::{
+    allocation_error, specialisation_index, ColonyModel, Environment, FixedThresholdColony,
+    ForagingForWorkColony, ForagingParams, InfoTransferColony, InfoTransferParams,
+    MeanFieldColony, MeanFieldParams, SelfReinforcementColony, SelfReinforcementParams,
+    SocialInhibitionColony, SocialInhibitionParams, ThresholdParams,
+};
+
+const DEMAND: [f64; 3] = [2.0, 1.0, 0.5];
+const AGENTS: usize = 150;
+const SETTLE: u64 = 3000;
+const SEED: u64 = 2020;
+
+fn mean_allocation(colony: &mut dyn ColonyModel, window: u64) -> Vec<f64> {
+    let mut mean = vec![0.0; colony.n_tasks()];
+    for _ in 0..window {
+        colony.step();
+        for (m, a) in mean.iter_mut().zip(colony.allocation()) {
+            *m += a as f64 / window as f64;
+        }
+    }
+    mean
+}
+
+fn report(colony: &mut dyn ColonyModel, spec_index: Option<f64>) {
+    let mean = mean_allocation(colony, 300);
+    let rounded: Vec<usize> = mean.iter().map(|&m| m.round() as usize).collect();
+    let err = allocation_error(&rounded, &DEMAND);
+    let spec = spec_index.map_or(String::from("   —"), |s| format!("{s:5.2}"));
+    println!(
+        "{:<20} {:>4} alive   alloc {:>3?}   demand-error {:.3}   DoL {}",
+        colony.name(),
+        colony.alive_agents(),
+        rounded,
+        err,
+        spec,
+    );
+}
+
+fn main() {
+    let env = Environment::constant_demand(&DEMAND, 0.1);
+
+    let mut class1 = FixedThresholdColony::new(AGENTS, env.clone(), ThresholdParams::default(), SEED);
+    let mut class2 = InfoTransferColony::new(AGENTS, env.clone(), InfoTransferParams::default(), SEED);
+    let mut class3 =
+        SelfReinforcementColony::new(AGENTS, env.clone(), SelfReinforcementParams::default(), SEED);
+    let mut class4 =
+        SocialInhibitionColony::new(AGENTS, env, SocialInhibitionParams::default(), SEED);
+    let mut class5 = ForagingForWorkColony::new(AGENTS, ForagingParams::default(), SEED);
+    let mut class6 = MeanFieldColony::new(MeanFieldParams {
+        n_agents: AGENTS,
+        demand: DEMAND.to_vec(),
+        ..MeanFieldParams::default()
+    });
+
+    println!("== settled, full colony ({AGENTS} individuals) ==");
+    for _ in 0..SETTLE {
+        class1.step();
+        class2.step();
+        class3.step();
+        class4.step();
+        class5.step();
+        class6.step();
+    }
+    let spec1 = specialisation_index(class1.agents());
+    let spec2 = specialisation_index(class2.agents());
+    let spec3 = specialisation_index(class3.agents());
+    let spec4 = specialisation_index(class4.agents());
+    report(&mut class1, Some(spec1));
+    report(&mut class2, Some(spec2));
+    report(&mut class3, Some(spec3));
+    report(&mut class4, Some(spec4));
+    report(&mut class5, None); // spatial model: zones, not thresholds
+    report(&mut class6, None); // mean field: fractions, not individuals
+
+    println!();
+    println!("== after killing a third of each colony (the paper's 42-fault analogue) ==");
+    let third = AGENTS / 3;
+    for colony in [
+        &mut class1 as &mut dyn ColonyModel,
+        &mut class2,
+        &mut class3,
+        &mut class4,
+        &mut class5,
+        &mut class6,
+    ] {
+        colony.kill_agents(third);
+        for _ in 0..SETTLE / 2 {
+            colony.step();
+        }
+    }
+    let spec1 = specialisation_index(class1.agents());
+    let spec2 = specialisation_index(class2.agents());
+    let spec3 = specialisation_index(class3.agents());
+    let spec4 = specialisation_index(class4.agents());
+    report(&mut class1, Some(spec1));
+    report(&mut class2, Some(spec2));
+    report(&mut class3, Some(spec3));
+    report(&mut class4, Some(spec4));
+    report(&mut class5, None);
+    report(&mut class6, None);
+
+    println!();
+    println!(
+        "note: the foraging-for-work line (class 5) allocates by zone occupancy \
+         against its own queue backlog, not against the threshold models' demand \
+         vector, so its demand-error column is indicative only."
+    );
+}

@@ -1,0 +1,76 @@
+//! Building a custom colony from the Fig. 2b primitives.
+//!
+//! The paper envisions a "design methodology for a generic social
+//! insect-inspired RTM subsystem": new behaviours wired from the same
+//! sense-react thresholders. This example builds a custom pathway model
+//! with [`PathwayBuilder`] — a "helper" that idles until it sees heavy
+//! unserved task-2 pressure — and runs a *heterogeneous* colony: the top
+//! half of the grid runs standard Foraging-for-Work, the bottom half runs
+//! the custom helper.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example custom_colony
+//! ```
+
+use sirtm_centurion::{Platform, PlatformConfig};
+use sirtm_core::models::{FfwConfig, ModelKind, RtmModel};
+use sirtm_core::pathway::{Action, PathwayBuilder, Polarity, Source};
+use sirtm_core::stimulus::ThresholdUnit;
+use sirtm_rng::Xoshiro256StarStar;
+use sirtm_taskgraph::{workloads, Mapping, TaskId};
+
+/// A worker that leaves whatever it is doing when a lot of task-2 work
+/// streams past unserved while it sits idle.
+fn helper_pathway() -> Box<dyn RtmModel> {
+    Box::new(
+        PathwayBuilder::new("t2-helper")
+            // Pressure accumulates from routed task-2 packets...
+            .unit("t2-pressure", ThresholdUnit::new(40).with_leak(1))
+            .wire(Source::RoutedTask(1), "t2-pressure", Polarity::Excite)
+            // ...but own work satisfaction bleeds it off.
+            .wire(Source::InternalTotal, "t2-pressure", Polarity::Inhibit)
+            .on_fire("t2-pressure", Action::SwitchTask(TaskId::new(1)))
+            // And a classic FFW-style starvation pathway as a fallback.
+            .unit("starved", ThresholdUnit::new(300))
+            .wire(Source::PeIdle, "starved", Polarity::Excite)
+            .wire(Source::InternalTotal, "starved", Polarity::Inhibit)
+            .on_fire("starved", Action::SwitchToOldestWaiting)
+            .build(),
+    )
+}
+
+fn main() {
+    let cfg = PlatformConfig::default();
+    let graph = workloads::fork_join(&workloads::ForkJoinParams::default());
+    let mut rng = Xoshiro256StarStar::seed_from_u64(99);
+    let mapping = Mapping::random_uniform(&graph, cfg.dims, &mut rng);
+
+    // Heterogeneous colony: FFW in the north half, custom helpers south.
+    let n = cfg.dims.len();
+    let models: Vec<Box<dyn RtmModel>> = (0..n)
+        .map(|idx| {
+            if idx < n / 2 {
+                ModelKind::ForagingForWork(FfwConfig::default()).build(graph.len())
+            } else {
+                helper_pathway()
+            }
+        })
+        .collect();
+    let mut platform = Platform::with_models(graph, &mapping, models, true, cfg);
+
+    println!("north half: foraging-for-work; south half: custom `t2-helper` pathway\n");
+    for checkpoint in 1..=5 {
+        platform.run_ms(100.0);
+        println!(
+            "t={:>3}00 ms  distribution {:?}  switches {}",
+            checkpoint,
+            platform.task_counts(),
+            platform.switches_total()
+        );
+    }
+    println!(
+        "\nthroughput {:.2} sinks/ms with a colony nobody hand-mapped",
+        platform.completions(TaskId::new(2)) as f64 / platform.now_ms()
+    );
+}

@@ -1,0 +1,69 @@
+//! Running the colony on real AIM firmware.
+//!
+//! The paper's AIM is a PicoBlaze whose program the experiment controller
+//! uploads at runtime. This example runs the full 128-node platform with
+//! every node's decisions made by the bundled Foraging-for-Work *firmware*
+//! executing on the PicoBlaze interpreter — then retunes one node's
+//! timeout register over the NoC through RCAP, exactly as the Centurion
+//! tooling would. It also shows the assembler working on a firmware
+//! listing.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example firmware_aim
+//! ```
+
+use sirtm_centurion::{Platform, PlatformConfig};
+use sirtm_core::firmware::FFW_SOURCE;
+use sirtm_core::models::{regs, FfwConfig, ModelKind};
+use sirtm_noc::{NodeId, RcapCommand};
+use sirtm_picoblaze::{asm, disasm};
+use sirtm_rng::Xoshiro256StarStar;
+use sirtm_taskgraph::{workloads, Mapping, TaskId};
+
+fn main() {
+    // Assemble the bundled firmware and show the first lines of the
+    // listing (the same image every node runs).
+    let program = asm::assemble(FFW_SOURCE).expect("bundled firmware assembles");
+    println!(
+        "FFW firmware: {} instructions; head of listing:\n{}",
+        program.len(),
+        disasm::disassemble(&program)
+            .lines()
+            .take(6)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    let cfg = PlatformConfig::default();
+    let graph = workloads::fork_join(&workloads::ForkJoinParams::default());
+    let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+    let mapping = Mapping::random_uniform(&graph, cfg.dims, &mut rng);
+    let model = ModelKind::ForagingForWorkFirmware(FfwConfig::default());
+    let mut platform = Platform::new(graph, &mapping, &model, cfg);
+
+    platform.run_ms(150.0);
+    println!(
+        "\nafter 150 ms on firmware AIMs: distribution {:?}, {} switches, {:.2} sinks/ms",
+        platform.task_counts(),
+        platform.switches_total(),
+        platform.completions(TaskId::new(2)) as f64 / platform.now_ms(),
+    );
+
+    // Retune node 77's task-switch timeout in flight, through the NoC:
+    // a config packet to its router's RCAP carrying an AIM register write.
+    platform.send_config(
+        NodeId::new(0),
+        NodeId::new(77),
+        RcapCommand::AimWrite {
+            reg: regs::FFW_TIMEOUT,
+            value: 50, // 5 ms — an eager forager
+        },
+    );
+    platform.run_ms(150.0);
+    println!(
+        "after remote retune of node 77: distribution {:?}, {} switches",
+        platform.task_counts(),
+        platform.switches_total(),
+    );
+}

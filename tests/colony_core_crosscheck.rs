@@ -1,0 +1,83 @@
+//! Cross-crate validation: the two independent formulations of the
+//! Fig. 1 "network task allocation" abstraction — `sirtm_core`'s ODE
+//! colony (written for the NoC task-allocation context) and
+//! `sirtm_colony`'s agent-based and mean-field colonies (written for the
+//! abstract biology) — must agree on the defining prediction of the
+//! model family: a decentralised colony allocates workers in proportion
+//! to task demand.
+
+use sirtm::colony::{
+    ColonyModel, Environment, FixedThresholdColony, MeanFieldColony, MeanFieldParams,
+    ThresholdParams,
+};
+use sirtm::core::models::network_ode::OdeColony;
+
+/// Normalises a slice to fractions of its sum.
+fn normalised(v: &[f64]) -> Vec<f64> {
+    let total: f64 = v.iter().sum();
+    assert!(total > 0.0, "degenerate allocation");
+    v.iter().map(|x| x / total).collect()
+}
+
+#[test]
+fn three_formulations_agree_on_demand_proportions() {
+    let demand = [3.0, 1.5, 0.75];
+
+    // Formulation 1: sirtm-core's ODE (demand expressed as packet rates
+    // with uniform service weight).
+    let mut ode = OdeColony::new(demand.to_vec(), vec![1.0; 3], 120.0);
+    ode.run(200_000, 0.01);
+    let core_alloc = normalised(ode.populations());
+
+    // Formulation 2: sirtm-colony's mean-field of the threshold model.
+    let mut mf = MeanFieldColony::new(MeanFieldParams {
+        n_agents: 120,
+        demand: demand.to_vec(),
+        ..MeanFieldParams::default()
+    });
+    for _ in 0..20_000 {
+        mf.step();
+    }
+    let mf_alloc = normalised(
+        &mf.fractions().iter().map(|&f| f * 120.0).collect::<Vec<_>>(),
+    );
+
+    // Formulation 3: the stochastic agent-based colony, time-averaged.
+    let env = Environment::constant_demand(&demand, 0.1);
+    let mut agents = FixedThresholdColony::new(
+        240,
+        env,
+        ThresholdParams {
+            theta_jitter: 0.0,
+            ..ThresholdParams::default()
+        },
+        11,
+    );
+    for _ in 0..6000 {
+        agents.step();
+    }
+    let mut sums = vec![0.0; 3];
+    for _ in 0..1000 {
+        agents.step();
+        for (s, a) in sums.iter_mut().zip(agents.allocation()) {
+            *s += a as f64;
+        }
+    }
+    let agent_alloc = normalised(&sums);
+
+    // All three must sit near the demand proportions (4:2:1).
+    let target = normalised(&demand);
+    for (name, alloc) in [
+        ("core ODE", &core_alloc),
+        ("colony mean-field", &mf_alloc),
+        ("colony agents", &agent_alloc),
+    ] {
+        for (j, (&a, &t)) in alloc.iter().zip(&target).enumerate() {
+            assert!(
+                (a - t).abs() < 0.08,
+                "{name}, task {j}: fraction {a:.3} vs demand share {t:.3} \
+                 (full: {alloc:?})"
+            );
+        }
+    }
+}
