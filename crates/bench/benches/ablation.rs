@@ -27,7 +27,10 @@ fn run_with(cfg: &ExperimentConfig, model: ModelKind, faults: usize, seed: u64) 
 fn ablation_send_policy(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_send_policy");
     group.sample_size(10);
-    for (name, policy) in [("nearest", SendPolicy::Nearest), ("round_robin", SendPolicy::RoundRobin)] {
+    for (name, policy) in [
+        ("nearest", SendPolicy::Nearest),
+        ("round_robin", SendPolicy::RoundRobin),
+    ] {
         let mut cfg = bench_config(300.0, 300.0);
         cfg.platform.send_policy = policy;
         let rate = run_with(&cfg, ModelKind::ForagingForWork(FfwConfig::default()), 0, 7);
@@ -54,7 +57,12 @@ fn ablation_opportunistic(c: &mut Criterion) {
     for (name, on) in [("on", true), ("off", false)] {
         let mut cfg = bench_config(300.0, 150.0);
         cfg.platform.opportunistic_delivery = on;
-        let rate = run_with(&cfg, ModelKind::ForagingForWork(FfwConfig::default()), 16, 7);
+        let rate = run_with(
+            &cfg,
+            ModelKind::ForagingForWork(FfwConfig::default()),
+            16,
+            7,
+        );
         println!("[ablation] opportunistic={name}: ffw post-16-fault {rate:.2} sinks/ms");
         group.bench_function(name, |b| {
             b.iter(|| {
@@ -104,9 +112,13 @@ fn ablation_ni_threshold(c: &mut Criterion) {
         });
         let rate = run_with(&cfg, model.clone(), 0, 13);
         println!("[ablation] ni_threshold={threshold}: steady {rate:.2} sinks/ms");
-        group.bench_with_input(BenchmarkId::from_parameter(threshold), &threshold, |b, _| {
-            b.iter(|| black_box(run_with(&cfg, model.clone(), 0, black_box(13))));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, _| {
+                b.iter(|| black_box(run_with(&cfg, model.clone(), 0, black_box(13))));
+            },
+        );
     }
     group.finish();
 }
@@ -118,7 +130,10 @@ fn ablation_extensions(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_extensions");
     group.sample_size(10);
     let variants: Vec<(&str, ModelKind)> = vec![
-        ("ni_plain", ModelKind::NetworkInteraction(NiConfig::default())),
+        (
+            "ni_plain",
+            ModelKind::NetworkInteraction(NiConfig::default()),
+        ),
         (
             "ni_social_inhibition",
             ModelKind::NetworkInteraction(NiConfig {
@@ -126,7 +141,10 @@ fn ablation_extensions(c: &mut Criterion) {
                 ..NiConfig::default()
             }),
         ),
-        ("ffw_plain", ModelKind::ForagingForWork(FfwConfig::default())),
+        (
+            "ffw_plain",
+            ModelKind::ForagingForWork(FfwConfig::default()),
+        ),
         (
             "ffw_self_reinforcement",
             ModelKind::ForagingForWork(FfwConfig {
@@ -170,7 +188,10 @@ fn ablation_backend(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_backend");
     group.sample_size(10);
     for (name, model) in [
-        ("ffw_behavioural", ModelKind::ForagingForWork(FfwConfig::default())),
+        (
+            "ffw_behavioural",
+            ModelKind::ForagingForWork(FfwConfig::default()),
+        ),
         (
             "ffw_firmware",
             ModelKind::ForagingForWorkFirmware(FfwConfig::default()),
@@ -208,7 +229,12 @@ fn ablation_multicast(c: &mut Criterion) {
             };
             let graph = fork_join(&ForkJoinParams::default());
             let mapping = Mapping::heuristic(&graph, cfg.dims);
-            let mut p = Platform::new(graph, &mapping, &sirtm_core::models::ModelKind::NoIntelligence, cfg);
+            let mut p = Platform::new(
+                graph,
+                &mapping,
+                &sirtm_core::models::ModelKind::NoIntelligence,
+                cfg,
+            );
             p.run_ms(300.0);
             let sinks = p.completions(TaskId::new(2)).max(1);
             (sinks, p.mesh_stats().flit_hops as f64 / sinks as f64)

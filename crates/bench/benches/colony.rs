@@ -73,7 +73,10 @@ fn colony_settle(c: &mut Criterion) {
         for _ in 0..STEPS {
             probe.step();
         }
-        println!("[colony] {class}: settled allocation {:?}", probe.allocation());
+        println!(
+            "[colony] {class}: settled allocation {:?}",
+            probe.allocation()
+        );
         group.bench_function(class, |b| {
             b.iter(|| {
                 let mut colony = build(class, black_box(7));

@@ -14,20 +14,22 @@ fn fig4_traces(c: &mut Criterion) {
     group.sample_size(10);
     for (name, model) in [
         ("no_intelligence", ModelKind::NoIntelligence),
-        ("network_interaction", ModelKind::NetworkInteraction(NiConfig::default())),
-        ("foraging_for_work", ModelKind::ForagingForWork(FfwConfig::default())),
+        (
+            "network_interaction",
+            ModelKind::NetworkInteraction(NiConfig::default()),
+        ),
+        (
+            "foraging_for_work",
+            ModelKind::ForagingForWork(FfwConfig::default()),
+        ),
     ] {
         for faults in [5usize, 42] {
-            group.bench_with_input(
-                BenchmarkId::new(name, faults),
-                &faults,
-                |b, &faults| {
-                    b.iter(|| {
-                        let r = bench_run(model.clone(), faults, black_box(42), &cfg);
-                        black_box(sink_rate(&r))
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, faults), &faults, |b, &faults| {
+                b.iter(|| {
+                    let r = bench_run(model.clone(), faults, black_box(42), &cfg);
+                    black_box(sink_rate(&r))
+                });
+            });
         }
     }
     group.finish();

@@ -84,10 +84,22 @@ fn aim_scan(c: &mut Criterion) {
         io.oldest = i.is_multiple_of(5).then_some((TaskId::new(1), 400));
     };
     for (name, kind) in [
-        ("ni_behavioural", ModelKind::NetworkInteraction(NiConfig::default())),
-        ("ni_firmware", ModelKind::NetworkInteractionFirmware(NiConfig::default())),
-        ("ffw_behavioural", ModelKind::ForagingForWork(FfwConfig::default())),
-        ("ffw_firmware", ModelKind::ForagingForWorkFirmware(FfwConfig::default())),
+        (
+            "ni_behavioural",
+            ModelKind::NetworkInteraction(NiConfig::default()),
+        ),
+        (
+            "ni_firmware",
+            ModelKind::NetworkInteractionFirmware(NiConfig::default()),
+        ),
+        (
+            "ffw_behavioural",
+            ModelKind::ForagingForWork(FfwConfig::default()),
+        ),
+        (
+            "ffw_firmware",
+            ModelKind::ForagingForWorkFirmware(FfwConfig::default()),
+        ),
     ] {
         group.bench_function(name, |b| {
             let mut model = kind.build(3);
@@ -109,9 +121,18 @@ fn picoblaze(c: &mut Criterion) {
     group.bench_function("interpret_alu_loop", |b| {
         // A tight 4-instruction ALU loop.
         let prog = vec![
-            Instruction::Add(sirtm_picoblaze::Register::new(0), sirtm_picoblaze::isa::Operand::Imm(1)),
-            Instruction::Xor(sirtm_picoblaze::Register::new(1), sirtm_picoblaze::isa::Operand::Reg(sirtm_picoblaze::Register::new(0))),
-            Instruction::Shift(sirtm_picoblaze::ShiftOp::Rl, sirtm_picoblaze::Register::new(2)),
+            Instruction::Add(
+                sirtm_picoblaze::Register::new(0),
+                sirtm_picoblaze::isa::Operand::Imm(1),
+            ),
+            Instruction::Xor(
+                sirtm_picoblaze::Register::new(1),
+                sirtm_picoblaze::isa::Operand::Reg(sirtm_picoblaze::Register::new(0)),
+            ),
+            Instruction::Shift(
+                sirtm_picoblaze::ShiftOp::Rl,
+                sirtm_picoblaze::Register::new(2),
+            ),
             Instruction::Jump(Condition::Always, 0),
         ];
         let mut cpu = Picoblaze::new(prog);

@@ -13,8 +13,14 @@ fn table1_models(c: &mut Criterion) {
     group.sample_size(10);
     for (name, model) in [
         ("no_intelligence", ModelKind::NoIntelligence),
-        ("network_interaction", ModelKind::NetworkInteraction(NiConfig::default())),
-        ("foraging_for_work", ModelKind::ForagingForWork(FfwConfig::default())),
+        (
+            "network_interaction",
+            ModelKind::NetworkInteraction(NiConfig::default()),
+        ),
+        (
+            "foraging_for_work",
+            ModelKind::ForagingForWork(FfwConfig::default()),
+        ),
     ] {
         group.bench_function(name, |b| {
             let mut seed = 0u64;

@@ -14,22 +14,24 @@ fn table2_recovery(c: &mut Criterion) {
     group.sample_size(10);
     for (name, model) in [
         ("no_intelligence", ModelKind::NoIntelligence),
-        ("network_interaction", ModelKind::NetworkInteraction(NiConfig::default())),
-        ("foraging_for_work", ModelKind::ForagingForWork(FfwConfig::default())),
+        (
+            "network_interaction",
+            ModelKind::NetworkInteraction(NiConfig::default()),
+        ),
+        (
+            "foraging_for_work",
+            ModelKind::ForagingForWork(FfwConfig::default()),
+        ),
     ] {
         for faults in [8usize, 32] {
-            group.bench_with_input(
-                BenchmarkId::new(name, faults),
-                &faults,
-                |b, &faults| {
-                    let mut seed = 0u64;
-                    b.iter(|| {
-                        seed += 1;
-                        let r = bench_run(model.clone(), faults, black_box(seed), &cfg);
-                        black_box(sink_rate(&r))
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, faults), &faults, |b, &faults| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let r = bench_run(model.clone(), faults, black_box(seed), &cfg);
+                    black_box(sink_rate(&r))
+                });
+            });
         }
     }
     group.finish();

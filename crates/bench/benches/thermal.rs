@@ -57,9 +57,7 @@ fn thermal_governor_ablation(c: &mut Criterion) {
             )
         };
         let (peak, done, alive) = run(1);
-        println!(
-            "[thermal] {name}: peak {peak:.1} C, {done} completions, {alive} alive"
-        );
+        println!("[thermal] {name}: peak {peak:.1} C, {done} completions, {alive} alive");
         group.bench_function(name, |b| b.iter(|| black_box(run(black_box(1)))));
     }
     group.finish();

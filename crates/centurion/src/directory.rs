@@ -118,8 +118,11 @@ impl Directory {
     /// fork wave.
     pub fn pick_distinct(&self, task: TaskId, k: usize) -> Vec<NodeId> {
         let base = task.index() * SLOTS;
-        let mut candidates: Vec<DirEntry> =
-            self.entries[base..base + SLOTS].iter().flatten().copied().collect();
+        let mut candidates: Vec<DirEntry> = self.entries[base..base + SLOTS]
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
         candidates.sort_by_key(|e| (e.dist, e.node));
         let mut out: Vec<NodeId> = Vec::with_capacity(k);
         for e in candidates {
@@ -166,12 +169,10 @@ pub fn gossip_round(
             // Neighbour slots: their best from the previous round, one
             // hop further and bounded by the staleness limit.
             for (d, link) in neighbours[n].iter().enumerate() {
-                let entry = link
-                    .and_then(|m| prev[m].best(task))
-                    .and_then(|e| {
-                        let dist = e.dist.saturating_add(1);
-                        (dist <= dist_max).then_some(DirEntry { node: e.node, dist })
-                    });
+                let entry = link.and_then(|m| prev[m].best(task)).and_then(|e| {
+                    let dist = e.dist.saturating_add(1);
+                    (dist <= dist_max).then_some(DirEntry { node: e.node, dist })
+                });
                 dir.set_slot(task, d, entry);
             }
         }
@@ -211,9 +212,7 @@ mod tests {
         // entry one hop further.
         for round in 1..=5 {
             dirs = gossip_round(&dirs, &locals, &neighbours, 1, 32);
-            let reach = (0..n)
-                .filter(|&i| dirs[i].knows(TaskId::new(0)))
-                .count();
+            let reach = (0..n).filter(|&i| dirs[i].knows(TaskId::new(0))).count();
             assert_eq!(reach, round.min(n), "round {round}");
         }
         // Node 4 sees node 0 at distance 4.
@@ -234,8 +233,14 @@ mod tests {
             dirs = gossip_round(&dirs, &locals, &neighbours, 1, 32);
         }
         // Node 1 is 1 hop from node 0 and 3 hops from node 4.
-        assert_eq!(dirs[1].best(TaskId::new(0)).map(|e| e.node), Some(NodeId::new(0)));
-        assert_eq!(dirs[3].best(TaskId::new(0)).map(|e| e.node), Some(NodeId::new(4)));
+        assert_eq!(
+            dirs[1].best(TaskId::new(0)).map(|e| e.node),
+            Some(NodeId::new(0))
+        );
+        assert_eq!(
+            dirs[3].best(TaskId::new(0)).map(|e| e.node),
+            Some(NodeId::new(4))
+        );
     }
 
     #[test]
@@ -277,8 +282,22 @@ mod tests {
     fn pick_round_robins_over_candidates() {
         let mut d = Directory::new(1);
         let t = TaskId::new(0);
-        d.set_slot(t, 0, Some(DirEntry { node: NodeId::new(10), dist: 2 }));
-        d.set_slot(t, 2, Some(DirEntry { node: NodeId::new(20), dist: 3 }));
+        d.set_slot(
+            t,
+            0,
+            Some(DirEntry {
+                node: NodeId::new(10),
+                dist: 2,
+            }),
+        );
+        d.set_slot(
+            t,
+            2,
+            Some(DirEntry {
+                node: NodeId::new(20),
+                dist: 3,
+            }),
+        );
         let picks: Vec<NodeId> = (0..4).map(|_| d.pick(t).expect("known")).collect();
         assert_eq!(
             picks,

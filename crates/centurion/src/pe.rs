@@ -390,7 +390,10 @@ mod tests {
         p.deliver(packet(2, PacketKind::Data, 1));
         p.deliver(packet(2, PacketKind::Data, 2));
         for now in 0..500 {
-            assert!(p.step(now, &g).is_none(), "2 of 3 join inputs is not enough");
+            assert!(
+                p.step(now, &g).is_none(),
+                "2 of 3 join inputs is not enough"
+            );
         }
         p.deliver(packet(2, PacketKind::Data, 3));
         let mut completed = false;

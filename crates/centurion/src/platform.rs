@@ -3,7 +3,9 @@
 
 use sirtm_core::io::AimIo;
 use sirtm_core::models::{ModelKind, RtmModel};
-use sirtm_noc::{Cycle, Mesh, MeshStats, MulticastService, NodeId, Packet, PacketKind, Port, Router};
+use sirtm_noc::{
+    Cycle, Mesh, MeshStats, MulticastService, NodeId, Packet, PacketKind, Port, Router,
+};
 use sirtm_taskgraph::{Mapping, TaskGraph, TaskId};
 
 use crate::config::PlatformConfig;
@@ -96,7 +98,12 @@ impl Platform {
     ///
     /// Panics if the mapping's grid differs from the configuration's, or
     /// if the configuration is invalid.
-    pub fn new(graph: TaskGraph, mapping: &Mapping, model: &ModelKind, cfg: PlatformConfig) -> Self {
+    pub fn new(
+        graph: TaskGraph,
+        mapping: &Mapping,
+        model: &ModelKind,
+        cfg: PlatformConfig,
+    ) -> Self {
         let n_tasks = graph.len();
         let models = (0..cfg.dims.len()).map(|_| model.build(n_tasks)).collect();
         Self::with_models(graph, mapping, models, model.is_adaptive(), cfg)
@@ -137,7 +144,9 @@ impl Platform {
             pes.push(pe);
         }
         let neighbours = build_neighbours(cfg.dims);
-        let mut dirs: Vec<Directory> = (0..cfg.dims.len()).map(|_| Directory::new(n_tasks)).collect();
+        let mut dirs: Vec<Directory> = (0..cfg.dims.len())
+            .map(|_| Directory::new(n_tasks))
+            .collect();
         // Pre-warm the gossip directories: the loaded mapping is known to
         // every node at t = 0, exactly as a freshly configured platform
         // would be. Adaptation churn still updates them live afterwards.
@@ -492,7 +501,11 @@ impl Platform {
             // Multicast policy: a multi-packet data edge (the fork of
             // Fig. 3) becomes one tree-distributed wave over distinct
             // instances; shared path prefixes are traversed once.
-            if let Some(svc) = self.mcast.as_mut().filter(|_| count > 1 && pkt_kind == PacketKind::Data) {
+            if let Some(svc) = self
+                .mcast
+                .as_mut()
+                .filter(|_| count > 1 && pkt_kind == PacketKind::Data)
+            {
                 let dests = self.dirs[idx].pick_distinct(to, count as usize);
                 if !dests.is_empty() {
                     svc.send(&mut self.mesh, node, &dests, to, pkt_kind, payload);
@@ -526,9 +539,11 @@ impl Platform {
                     (crate::config::SendPolicy::Nearest, _) => self.dirs[idx].pick_nearest(to),
                     // Multicast handled multi-packet data edges above;
                     // what reaches here falls back to round-robin.
-                    (crate::config::SendPolicy::RoundRobin | crate::config::SendPolicy::Multicast, _) => {
-                        self.dirs[idx].pick(to)
-                    }
+                    (
+                        crate::config::SendPolicy::RoundRobin
+                        | crate::config::SendPolicy::Multicast,
+                        _,
+                    ) => self.dirs[idx].pick(to),
                 };
                 match resolved {
                     Some(dest) => {
@@ -574,7 +589,8 @@ impl Platform {
                     (self.graph.spec(t).service_cycles / self.cfg.aim_period).max(1);
                 service_scans * self.cfg.feed_gain_multiplier
             });
-            data.saturating_mul(gain).saturating_add(acks.saturating_mul(255))
+            data.saturating_mul(gain)
+                .saturating_add(acks.saturating_mul(255))
         };
         let mut io = NodeAimIo {
             router: self.mesh.router_mut(node),
@@ -688,9 +704,7 @@ fn build_neighbours(dims: sirtm_taskgraph::GridDims) -> Vec<[Option<usize>; 4]> 
             let coord = sirtm_noc::Coord::new(x, y);
             let mut nb = [None; 4];
             for d in Direction::ALL {
-                nb[d.index()] = coord
-                    .neighbour(d, dims)
-                    .map(|c| c.node(dims).index());
+                nb[d.index()] = coord.neighbour(d, dims).map(|c| c.node(dims).index());
             }
             nb
         })
@@ -783,7 +797,10 @@ mod tests {
         let victim = NodeId::new(5);
         p.kill_pe(victim);
         assert!(!p.pe(victim).is_alive());
-        assert!(p.router(victim).settings().alive, "router survives PE death");
+        assert!(
+            p.router(victim).settings().alive,
+            "router survives PE death"
+        );
         let before = p.completions_total();
         p.run_ms(40.0);
         assert!(p.completions_total() > before, "system keeps working");

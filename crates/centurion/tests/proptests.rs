@@ -98,7 +98,7 @@ proptest! {
         };
         // Chaos must also be survivable under the multicast send policy
         // (relay duties racing kills and knob twiddles).
-        let policy = if seed % 2 == 0 {
+        let policy = if seed.is_multiple_of(2) {
             sirtm_centurion::config::SendPolicy::Nearest
         } else {
             sirtm_centurion::config::SendPolicy::Multicast

@@ -224,7 +224,11 @@ impl Environment {
     ///
     /// Panics if `performers.len()` differs from the task count.
     pub fn step(&mut self, performers: &[usize]) {
-        assert_eq!(performers.len(), self.stimulus.len(), "performer vector size");
+        assert_eq!(
+            performers.len(),
+            self.stimulus.len(),
+            "performer vector size"
+        );
         let rates = self.profile.rates(self.now);
         for j in 0..self.stimulus.len() {
             let delta = rates[j] - self.work_rate * performers[j] as f64;

@@ -189,7 +189,11 @@ mod tests {
         dead.kill();
         let agents = vec![worker(0, 10, 2), dead];
         assert_eq!(mean_individual_entropy(&agents), 0.0);
-        assert_eq!(specialisation_index(&agents), 0.0, "one live worker, one task");
+        assert_eq!(
+            specialisation_index(&agents),
+            0.0,
+            "one live worker, one task"
+        );
     }
 
     #[test]

@@ -56,11 +56,7 @@ pub trait ColonyModel: fmt::Debug {
 /// let history = run_sampled(&mut colony, 100, 10);
 /// assert_eq!(history.len(), 10);
 /// ```
-pub fn run_sampled(
-    colony: &mut dyn ColonyModel,
-    steps: u64,
-    sample_every: u64,
-) -> Vec<Vec<usize>> {
+pub fn run_sampled(colony: &mut dyn ColonyModel, steps: u64, sample_every: u64) -> Vec<Vec<usize>> {
     assert!(sample_every > 0, "sample interval must be non-zero");
     let mut history = Vec::new();
     for i in 1..=steps {

@@ -283,7 +283,11 @@ mod tests {
     #[test]
     fn foragers_spread_down_the_line() {
         let mut c = ForagingForWorkColony::new(30, ForagingParams::default(), 2);
-        assert_eq!(c.allocation(), vec![30, 0, 0], "everyone starts at the head");
+        assert_eq!(
+            c.allocation(),
+            vec![30, 0, 0],
+            "everyone starts at the head"
+        );
         for _ in 0..2000 {
             c.step();
         }
@@ -406,6 +410,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "two zones")]
     fn single_zone_rejected() {
-        ForagingForWorkColony::new(5, ForagingParams { n_zones: 1, ..ForagingParams::default() }, 1);
+        ForagingForWorkColony::new(
+            5,
+            ForagingParams {
+                n_zones: 1,
+                ..ForagingParams::default()
+            },
+            1,
+        );
     }
 }

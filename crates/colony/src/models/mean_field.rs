@@ -154,8 +154,7 @@ impl ColonyModel for MeanFieldColony {
 
     fn step(&mut self) {
         let m = self.params.demand.len();
-        self.work_done += self.fractions.iter().sum::<f64>() * self.n_alive
-            * self.params.work_rate;
+        self.work_done += self.fractions.iter().sum::<f64>() * self.n_alive * self.params.work_rate;
         // Stimulus field first (as the agent models do), then decisions.
         for j in 0..m {
             let delta =
@@ -273,7 +272,10 @@ mod tests {
             for _ in 0..1000 {
                 c.step();
             }
-            c.fractions().iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+            c.fractions()
+                .iter()
+                .map(|f| f.to_bits())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

@@ -232,7 +232,10 @@ mod tests {
     fn stronger_gamma_stronger_cap() {
         let weak = settled_mean(2.0, 6);
         let strong = settled_mean(20.0, 6);
-        assert!(strong < weak, "cap tightens with γ: {strong:.1} vs {weak:.1}");
+        assert!(
+            strong < weak,
+            "cap tightens with γ: {strong:.1} vs {weak:.1}"
+        );
     }
 
     #[test]
@@ -259,8 +262,7 @@ mod tests {
     fn deterministic_replay() {
         let run = || {
             let env = Environment::constant_demand(&[2.0], 0.1);
-            let mut c =
-                SocialInhibitionColony::new(40, env, SocialInhibitionParams::default(), 3);
+            let mut c = SocialInhibitionColony::new(40, env, SocialInhibitionParams::default(), 3);
             for _ in 0..400 {
                 c.step();
             }

@@ -6,9 +6,9 @@
 
 use sirtm_colony::{
     allocation_error, ColonyModel, DemandProfile, Environment, FixedThresholdColony,
-    ForagingForWorkColony, ForagingParams, InfoTransferColony, InfoTransferParams,
-    MeanFieldColony, MeanFieldParams, SelfReinforcementColony, SelfReinforcementParams,
-    SocialInhibitionColony, SocialInhibitionParams, ThresholdParams,
+    ForagingForWorkColony, ForagingParams, InfoTransferColony, InfoTransferParams, MeanFieldColony,
+    MeanFieldParams, SelfReinforcementColony, SelfReinforcementParams, SocialInhibitionColony,
+    SocialInhibitionParams, ThresholdParams,
 };
 
 /// Mean allocation over `window` steps (smooths stochastic wobble).

@@ -30,8 +30,8 @@ use sirtm_picoblaze::{asm, Instruction};
 use sirtm_taskgraph::TaskId;
 
 use crate::io::{AimIo, N_NEIGHBOURS};
-use crate::models::{FfwConfig, NiConfig, RtmModel};
 use crate::models::regs;
+use crate::models::{FfwConfig, NiConfig, RtmModel};
 
 /// Input port: number of tasks.
 pub const IN_NTASKS: u8 = 0x00;
@@ -143,10 +143,9 @@ impl PortIo for FirmwarePorts<'_> {
 
     fn output(&mut self, port: u8, value: u8) {
         match port {
-            OUT_SWITCH
-                if (value as usize) < self.n_tasks => {
-                    self.io.switch_task(TaskId::new(value));
-                }
+            OUT_SWITCH if (value as usize) < self.n_tasks => {
+                self.io.switch_task(TaskId::new(value));
+            }
             OUT_SYNC => {}
             _ => {}
         }
@@ -199,12 +198,23 @@ impl FirmwareModel {
     /// Default instruction budget per scan.
     pub const DEFAULT_BUDGET: u64 = 4096;
 
+    /// Most tasks the AIM port map can monitor: the per-task routed and
+    /// internal banks are 16 ports wide (`0x10..0x20` and `0x20..0x30`).
+    pub const MAX_TASKS: usize = 16;
+
     /// Builds a firmware model from arbitrary assembled instructions.
-    pub fn from_program(
-        program: Vec<Instruction>,
-        name: &'static str,
-        n_tasks: usize,
-    ) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tasks` exceeds [`FirmwareModel::MAX_TASKS`]: beyond 16
+    /// tasks the port map's per-task banks alias each other, so firmware
+    /// would silently read the wrong monitors.
+    pub fn from_program(program: Vec<Instruction>, name: &'static str, n_tasks: usize) -> Self {
+        assert!(
+            n_tasks <= Self::MAX_TASKS,
+            "the AIM port map supports at most {} tasks, got {n_tasks}",
+            Self::MAX_TASKS
+        );
         Self {
             cpu: Picoblaze::new(program),
             config: [0; N_CONFIG_REGS],
@@ -298,7 +308,10 @@ impl RtmModel for FirmwareModel {
             config: &self.config,
             n_tasks: self.n_tasks,
         };
-        match self.cpu.run_until_port_write(OUT_SYNC, self.budget, &mut ports) {
+        match self
+            .cpu
+            .run_until_port_write(OUT_SYNC, self.budget, &mut ports)
+        {
             Ok(RunOutcome::PortWritten(_)) => {}
             Ok(RunOutcome::BudgetExhausted) => self.budget_overruns += 1,
             Err(_) => self.faults += 1,
@@ -426,6 +439,37 @@ mod tests {
         io.routed = vec![10, 0];
         fw.scan(&mut io);
         assert_eq!(io.switches, vec![TaskId::new(0)], "160 >= 100 fires");
+    }
+
+    #[test]
+    fn runtime_fixation_decrease_reclamps_commit_store() {
+        // Lowering NI_FIXATION at runtime must re-clamp the commitment
+        // store, matching NetworkInteraction::configure's immediate clamp.
+        let cfg = NiConfig {
+            threshold: 5,
+            fixation_scans: 200,
+            ..NiConfig::default()
+        };
+        let mut fw = FirmwareModel::network_interaction(2, &cfg);
+        let mut io = MockAimIo::new(2);
+        io.routed = vec![9, 0];
+        fw.scan(&mut io);
+        io.tick();
+        assert!(io.switches.is_empty(), "fixated: the store powers on full");
+        fw.configure(regs::NI_FIXATION, 0);
+        fw.scan(&mut io);
+        assert_eq!(
+            io.switches,
+            vec![TaskId::new(0)],
+            "re-clamped store lets the stored stimulus decide immediately"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 16 tasks")]
+    fn more_than_sixteen_tasks_rejected() {
+        // Beyond 16 tasks the port map's per-task banks alias each other.
+        let _ = FirmwareModel::network_interaction(17, &NiConfig::default());
     }
 
     #[test]

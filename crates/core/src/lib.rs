@@ -50,8 +50,7 @@ pub mod stimulus;
 pub use firmware::FirmwareModel;
 pub use io::{AimIo, MockAimIo};
 pub use models::{
-    FfwConfig, ForagingForWork, ModelKind, NetworkInteraction, NiConfig, NoIntelligence,
-    RtmModel,
+    FfwConfig, ForagingForWork, ModelKind, NetworkInteraction, NiConfig, NoIntelligence, RtmModel,
 };
 pub use pathway::{PathwayBuilder, PathwayModel};
 pub use stimulus::{ImpulseIntegrator, ThresholdUnit, TimeoutTimer, VectorComparator};

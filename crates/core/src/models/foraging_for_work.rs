@@ -202,7 +202,10 @@ mod tests {
         // Net drain is 3 scans of commitment per 5 scans: expiry after
         // roughly 20 / (3/5) ≈ 33 scans, well before the 200-scan horizon.
         assert!(at > 10, "not immediately (scan {at})");
-        assert!(at < 60, "but well before a fully-fed node would (scan {at})");
+        assert!(
+            at < 60,
+            "but well before a fully-fed node would (scan {at})"
+        );
     }
 
     #[test]

@@ -98,19 +98,13 @@ impl ModelKind {
             ModelKind::NetworkInteraction(cfg) => {
                 Box::new(NetworkInteraction::new(n_tasks, cfg.clone()))
             }
-            ModelKind::ForagingForWork(cfg) => {
-                Box::new(ForagingForWork::new(n_tasks, cfg.clone()))
-            }
-            ModelKind::NetworkInteractionFirmware(cfg) => {
-                Box::new(crate::firmware::FirmwareModel::network_interaction(
-                    n_tasks, cfg,
-                ))
-            }
-            ModelKind::ForagingForWorkFirmware(cfg) => {
-                Box::new(crate::firmware::FirmwareModel::foraging_for_work(
-                    n_tasks, cfg,
-                ))
-            }
+            ModelKind::ForagingForWork(cfg) => Box::new(ForagingForWork::new(n_tasks, cfg.clone())),
+            ModelKind::NetworkInteractionFirmware(cfg) => Box::new(
+                crate::firmware::FirmwareModel::network_interaction(n_tasks, cfg),
+            ),
+            ModelKind::ForagingForWorkFirmware(cfg) => Box::new(
+                crate::firmware::FirmwareModel::foraging_for_work(n_tasks, cfg),
+            ),
         }
     }
 

@@ -53,7 +53,11 @@ impl OdeColony {
     /// Panics if the vectors differ in length, are empty, any service rate
     /// is non-positive, or all demands are zero.
     pub fn new(demand: Vec<f64>, service: Vec<f64>, total: f64) -> Self {
-        assert_eq!(demand.len(), service.len(), "demand/service length mismatch");
+        assert_eq!(
+            demand.len(),
+            service.len(),
+            "demand/service length mismatch"
+        );
         assert!(!demand.is_empty(), "at least one task required");
         assert!(
             service.iter().all(|&s| s > 0.0),
@@ -157,7 +161,10 @@ mod tests {
         c.run(200_000, 0.01);
         let fixed = c.analytic_fixed_point();
         for (n, f) in c.populations().iter().zip(&fixed) {
-            assert!((n - f).abs() < 3.0, "population {n:.1} vs fixed point {f:.1}");
+            assert!(
+                (n - f).abs() < 3.0,
+                "population {n:.1} vs fixed point {f:.1}"
+            );
         }
     }
 

@@ -349,7 +349,11 @@ mod tests {
             m.scan(&mut io);
             io.tick();
         }
-        assert_eq!(io.switches, vec![TaskId::new(0)], "2 impulses × 4 scans = 8");
+        assert_eq!(
+            io.switches,
+            vec![TaskId::new(0)],
+            "2 impulses × 4 scans = 8"
+        );
     }
 
     #[test]

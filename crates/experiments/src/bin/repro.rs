@@ -60,7 +60,9 @@ fn parse_args() -> Args {
 
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
-    eprintln!("usage: repro [table1|table2|fig4|graph|thermal|all] [--runs N] [--seed S] [--out DIR]");
+    eprintln!(
+        "usage: repro [table1|table2|fig4|graph|thermal|all] [--runs N] [--seed S] [--out DIR]"
+    );
     std::process::exit(2);
 }
 

@@ -109,11 +109,7 @@ pub fn detect_settling(raw: &[f64], cfg: &DetectorConfig) -> Option<Detection> {
 /// Convenience: settling time in milliseconds for a region starting at
 /// `region_start_ms`, with `window_ms` windows. Censored runs report the
 /// full region length.
-pub fn settling_ms(
-    series: &[f64],
-    window_ms: f64,
-    cfg: &DetectorConfig,
-) -> (f64, f64) {
+pub fn settling_ms(series: &[f64], window_ms: f64, cfg: &DetectorConfig) -> (f64, f64) {
     match detect_settling(series, cfg) {
         Some(d) => ((d.settled_window + 1) as f64 * window_ms, d.steady_value),
         None => {
@@ -190,7 +186,9 @@ mod tests {
         let (ms, steady) = settling_ms(&series, 2.0, &cfg());
         assert_eq!(ms, 2.0, "settled in the first window");
         assert_eq!(steady, 5.0);
-        let wild: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 0.0 } else { 50.0 }).collect();
+        let wild: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 50.0 })
+            .collect();
         let (ms, _) = settling_ms(&wild, 2.0, &cfg());
         assert_eq!(ms, 40.0, "censored at the region length");
     }
@@ -213,7 +211,9 @@ mod tests {
     fn smoothing_hides_shot_noise_from_the_detector() {
         // Alternating 8/12 around a steady 10: raw never holds a ±10%
         // band, the smoothed series settles immediately.
-        let series: Vec<f64> = (0..30).map(|i| if i % 2 == 0 { 8.0 } else { 12.0 }).collect();
+        let series: Vec<f64> = (0..30)
+            .map(|i| if i % 2 == 0 { 8.0 } else { 12.0 })
+            .collect();
         let noisy = DetectorConfig {
             tolerance_frac: 0.1,
             tolerance_abs: 0.1,

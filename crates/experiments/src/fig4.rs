@@ -80,8 +80,7 @@ pub fn render(fig: &Fig4, width: usize) -> String {
             panel.faults, fig.fault_at_ms
         ));
         for t in &panel.traces {
-            let total_ms =
-                t.trace.samples.len() as f64 * t.trace.window_ms;
+            let total_ms = t.trace.samples.len() as f64 * t.trace.window_ms;
             let marker = ((fig.fault_at_ms / total_ms) * width as f64) as usize;
             let mark = |s: String| -> String {
                 let mut chars: Vec<char> = s.chars().collect();

@@ -224,7 +224,10 @@ pub fn run_many(specs: &[RunSpec], cfg: &ExperimentConfig) -> Vec<RunResult> {
             }
         }
     });
-    slots.into_iter().map(|r| r.expect("all runs filled")).collect()
+    slots
+        .into_iter()
+        .map(|r| r.expect("all runs filled"))
+        .collect()
 }
 
 /// The reference throughput every relative-performance figure is

@@ -170,8 +170,7 @@ mod tests {
         let mut r = Recorder::new(10.0, TaskId::new(2));
         r.run_windows(&mut p, 8, |_, _| {});
         let trace = r.into_trace();
-        let total_from_trace: f64 =
-            trace.throughput().iter().sum::<f64>() * trace.window_ms;
+        let total_from_trace: f64 = trace.throughput().iter().sum::<f64>() * trace.window_ms;
         assert!((total_from_trace - p.completions(TaskId::new(2)) as f64).abs() < 1e-6);
     }
 

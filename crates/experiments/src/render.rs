@@ -80,11 +80,7 @@ pub fn downsample(series: &[f64], n: usize) -> Vec<f64> {
 /// # Errors
 ///
 /// Returns any I/O error from creating the parent directory or writing.
-pub fn write_csv(
-    path: &Path,
-    headers: &[&str],
-    rows: &[Vec<String>],
-) -> std::io::Result<()> {
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
@@ -160,12 +156,7 @@ mod tests {
     fn csv_round_trips_through_disk() {
         let dir = std::env::temp_dir().join("sirtm_csv_test");
         let path = dir.join("t.csv");
-        write_csv(
-            &path,
-            &["a", "b"],
-            &[vec!["1".into(), "x,y".into()]],
-        )
-        .expect("writes");
+        write_csv(&path, &["a", "b"], &[vec!["1".into(), "x,y".into()]]).expect("writes");
         let text = std::fs::read_to_string(&path).expect("reads");
         assert_eq!(text, "a,b\n1,\"x,y\"\n");
         let _ = std::fs::remove_dir_all(dir);

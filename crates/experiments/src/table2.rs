@@ -51,10 +51,7 @@ pub fn run(cfg: &ExperimentConfig) -> Table2 {
                 .collect();
             let results = run_many(&specs, cfg);
             let rates: Vec<f64> = results.iter().map(|r| r.final_rate).collect();
-            let recoveries: Vec<f64> = results
-                .iter()
-                .filter_map(|r| r.recovery_ms)
-                .collect();
+            let recoveries: Vec<f64> = results.iter().filter_map(|r| r.recovery_ms).collect();
             if reference_rate.is_none() {
                 // First cell is the baseline, 0 faults: the highlighted row.
                 reference_rate = Some(Quartiles::of(&rates).q2.max(1e-9));

@@ -169,7 +169,10 @@ mod tests {
             r.scenario_victims
         );
         assert!(r.after_rate > 0.0, "the colony keeps producing");
-        assert!(r.after_rate < r.before_rate, "losing a third costs throughput");
+        assert!(
+            r.after_rate < r.before_rate,
+            "losing a third costs throughput"
+        );
         let rendered = render(&r);
         assert!(rendered.contains("open loop"));
         assert!(rendered.contains("closed loop"));

@@ -78,7 +78,10 @@ impl MulticastTree {
     /// Panics if `root` or any destination is off-grid, or `dests` is
     /// empty.
     pub fn xy(root: NodeId, dests: &[NodeId], dims: GridDims) -> Self {
-        assert!(!dests.is_empty(), "multicast needs at least one destination");
+        assert!(
+            !dests.is_empty(),
+            "multicast needs at least one destination"
+        );
         assert!(root.index() < dims.len(), "root off-grid");
         let members: BTreeSet<NodeId> = dests
             .iter()
@@ -107,8 +110,7 @@ impl MulticastTree {
         let mut stack = vec![root];
         while let Some(relay) = stack.pop() {
             let mut targets = Vec::new();
-            let mut frontier: Vec<NodeId> =
-                raw_children.get(&relay).cloned().unwrap_or_default();
+            let mut frontier: Vec<NodeId> = raw_children.get(&relay).cloned().unwrap_or_default();
             while let Some(node) = frontier.pop() {
                 let kids = raw_children.get(&node).cloned().unwrap_or_default();
                 let is_member = members.contains(&node);

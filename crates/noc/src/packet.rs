@@ -144,7 +144,12 @@ impl fmt::Display for Packet {
         write!(
             f,
             "{} {}→{} task={} ({:?}, {} flits)",
-            self.id, self.src, self.dest, self.task, self.kind, self.wire_flits()
+            self.id,
+            self.src,
+            self.dest,
+            self.task,
+            self.kind,
+            self.wire_flits()
         )
     }
 }

@@ -181,7 +181,11 @@ impl RouterMonitors {
     ///
     /// Panics if `buf.len()` differs from the task count.
     pub fn take_routed_into(&mut self, buf: &mut [u32]) {
-        assert_eq!(buf.len(), self.routed_per_task.len(), "buffer size mismatch");
+        assert_eq!(
+            buf.len(),
+            self.routed_per_task.len(),
+            "buffer size mismatch"
+        );
         for (b, c) in buf.iter_mut().zip(self.routed_per_task.iter_mut()) {
             *b = std::mem::take(c);
         }
@@ -269,7 +273,10 @@ impl RouterPlan {
     }
 
     pub(crate) fn moves(&self) -> impl Iterator<Item = Move> + '_ {
-        self.moves[..self.n_moves as usize].iter().flatten().copied()
+        self.moves[..self.n_moves as usize]
+            .iter()
+            .flatten()
+            .copied()
     }
 
     pub(crate) fn consumes(&self) -> impl Iterator<Item = InPort> + '_ {
@@ -437,14 +444,10 @@ impl Router {
         match cmd {
             RcapCommand::SetDeadlockTimeout(t) => self.settings.deadlock_timeout = t,
             RcapCommand::SetRedirectAge(a) => self.settings.redirect_age = a,
-            RcapCommand::SetOpportunisticDelivery(on) => {
-                self.settings.opportunistic_delivery = on
-            }
+            RcapCommand::SetOpportunisticDelivery(on) => self.settings.opportunistic_delivery = on,
             RcapCommand::SetRouteMode(m) => self.settings.route_mode = m,
             RcapCommand::SetPortEnabled(p, on) => self.settings.port_enabled[p.index()] = on,
-            RcapCommand::AimWrite { reg, value } => {
-                self.pending_aim_writes.push_back((reg, value))
-            }
+            RcapCommand::AimWrite { reg, value } => self.pending_aim_writes.push_back((reg, value)),
         }
     }
 
@@ -555,9 +558,7 @@ impl Router {
             return false;
         }
         match output {
-            OutPort::Link(d) => {
-                self.settings.port_enabled[Port::from(d).index()] && credit(d)
-            }
+            OutPort::Link(d) => self.settings.port_enabled[Port::from(d).index()] && credit(d),
             OutPort::Internal => self.settings.port_enabled[Port::Internal.index()],
             OutPort::Rcap => self.settings.port_enabled[Port::Rcap.index()],
         }
@@ -566,9 +567,7 @@ impl Router {
     /// Whether an already-allocated circuit over `output` can advance.
     fn output_flowing(&self, output: OutPort, credit: &dyn Fn(Direction) -> bool) -> bool {
         match output {
-            OutPort::Link(d) => {
-                self.settings.port_enabled[Port::from(d).index()] && credit(d)
-            }
+            OutPort::Link(d) => self.settings.port_enabled[Port::from(d).index()] && credit(d),
             OutPort::Internal => self.settings.port_enabled[Port::Internal.index()],
             OutPort::Rcap => self.settings.port_enabled[Port::Rcap.index()],
         }
@@ -916,7 +915,7 @@ mod tests {
         r.settings_mut().redirect_age = 100;
         r.settings_mut().local_task = Some(TaskId::new(2));
         let p = packet(30, 2, 0); // not for us, task matches
-        // Too young: routed normally.
+                                  // Too young: routed normally.
         assert_ne!(r.preferences(&p, 50), [Some(OutPort::Internal), None]);
         // Old enough: absorbed.
         assert_eq!(r.preferences(&p, 150), [Some(OutPort::Internal), None]);

@@ -279,10 +279,7 @@ mod tests {
         let corner = Coord::new(0, 0);
         assert_eq!(corner.neighbour(Direction::North, d), None);
         assert_eq!(corner.neighbour(Direction::West, d), None);
-        assert_eq!(
-            corner.neighbour(Direction::East, d),
-            Some(Coord::new(1, 0))
-        );
+        assert_eq!(corner.neighbour(Direction::East, d), Some(Coord::new(1, 0)));
         assert_eq!(
             corner.neighbour(Direction::South, d),
             Some(Coord::new(0, 1))

@@ -1,8 +1,6 @@
 //! Behavioural integration tests for the wormhole mesh.
 
-use sirtm_noc::{
-    Mesh, NodeId, PacketKind, Port, RcapCommand, RouteMode, RouterConfig,
-};
+use sirtm_noc::{Mesh, NodeId, PacketKind, Port, RcapCommand, RouteMode, RouterConfig};
 use sirtm_taskgraph::{GridDims, TaskId};
 
 fn mesh(w: u16, h: u16) -> Mesh {

@@ -157,13 +157,10 @@ impl<'a> Assembler<'a> {
             return Ok(n);
         }
         let key = tok.trim().to_ascii_uppercase();
-        self.constants
-            .get(&key)
-            .copied()
-            .ok_or_else(|| AsmError {
-                line,
-                kind: AsmErrorKind::UnknownSymbol(tok.trim().to_string()),
-            })
+        self.constants.get(&key).copied().ok_or_else(|| AsmError {
+            line,
+            kind: AsmErrorKind::UnknownSymbol(tok.trim().to_string()),
+        })
     }
 
     fn imm8(&self, tok: &str, line: usize) -> Result<u8, AsmError> {
@@ -298,9 +295,7 @@ pub fn assemble(source: &str) -> Result<Vec<Instruction>, AsmError> {
                 if line.operands.len() != 2 {
                     return Err(AsmError {
                         line: line.number,
-                        kind: AsmErrorKind::BadOperands(
-                            "CONSTANT takes `name, value`".to_string(),
-                        ),
+                        kind: AsmErrorKind::BadOperands("CONSTANT takes `name, value`".to_string()),
                     });
                 }
                 let name = line.operands[0].to_ascii_uppercase();
@@ -335,7 +330,10 @@ pub fn assemble(source: &str) -> Result<Vec<Instruction>, AsmError> {
     let mut program = Vec::with_capacity(asm.lines.len());
     for line in std::mem::take(&mut asm.lines) {
         let n = line.number;
-        let m = line.mnemonic.as_deref().expect("pass 1 kept only mnemonics");
+        let m = line
+            .mnemonic
+            .as_deref()
+            .expect("pass 1 kept only mnemonics");
         let ops = &line.operands;
         let two_ops = |what: &str| -> Result<(), AsmError> {
             if ops.len() == 2 {
@@ -428,10 +426,7 @@ pub fn assemble(source: &str) -> Result<Vec<Instruction>, AsmError> {
                     }
                     let rx = parse_register(ops[0]).ok_or_else(|| AsmError {
                         line: n,
-                        kind: AsmErrorKind::BadOperands(format!(
-                            "`{}` is not a register",
-                            ops[0]
-                        )),
+                        kind: AsmErrorKind::BadOperands(format!("`{}` is not a register", ops[0])),
                     })?;
                     Instruction::Shift(op, rx)
                 }
@@ -484,9 +479,18 @@ mod tests {
     #[test]
     fn numeric_literal_bases() {
         let prog = assemble("LOAD s0, 10\nLOAD s1, 0x10\nLOAD s2, 0b10\n").expect("valid");
-        assert_eq!(prog[0], Instruction::Load(Register::new(0), Operand::Imm(10)));
-        assert_eq!(prog[1], Instruction::Load(Register::new(1), Operand::Imm(16)));
-        assert_eq!(prog[2], Instruction::Load(Register::new(2), Operand::Imm(2)));
+        assert_eq!(
+            prog[0],
+            Instruction::Load(Register::new(0), Operand::Imm(10))
+        );
+        assert_eq!(
+            prog[1],
+            Instruction::Load(Register::new(1), Operand::Imm(16))
+        );
+        assert_eq!(
+            prog[2],
+            Instruction::Load(Register::new(2), Operand::Imm(2))
+        );
     }
 
     #[test]

@@ -27,7 +27,9 @@ const SX_SHIFT: u32 = 8;
 
 fn alu_base(op: u32, sx: Register, operand: Operand) -> u32 {
     match operand {
-        Operand::Reg(sy) => (op << OP_SHIFT) | ((sx.raw() as u32) << SX_SHIFT) | ((sy.raw() as u32) << 4),
+        Operand::Reg(sy) => {
+            (op << OP_SHIFT) | ((sx.raw() as u32) << SX_SHIFT) | ((sy.raw() as u32) << 4)
+        }
         Operand::Imm(kk) => ((op + 1) << OP_SHIFT) | ((sx.raw() as u32) << SX_SHIFT) | kk as u32,
     }
 }
@@ -38,7 +40,9 @@ fn mem_base(op_direct: u32, sx: Register, addr: Address) -> u32 {
             (op_direct << OP_SHIFT) | ((sx.raw() as u32) << SX_SHIFT) | kk as u32
         }
         Address::Indirect(sy) => {
-            ((op_direct + 1) << OP_SHIFT) | ((sx.raw() as u32) << SX_SHIFT) | ((sy.raw() as u32) << 4)
+            ((op_direct + 1) << OP_SHIFT)
+                | ((sx.raw() as u32) << SX_SHIFT)
+                | ((sy.raw() as u32) << 4)
         }
     }
 }

@@ -98,7 +98,10 @@ impl fmt::Display for VmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VmError::PcOutOfRange { pc, len } => {
-                write!(f, "program counter 0x{pc:03X} outside program of {len} words")
+                write!(
+                    f,
+                    "program counter 0x{pc:03X} outside program of {len} words"
+                )
             }
             VmError::StackOverflow { pc } => {
                 write!(f, "call stack overflow (depth {STACK_DEPTH}) at 0x{pc:03X}")
@@ -252,13 +255,10 @@ impl Picoblaze {
     /// errors are inspectable.
     pub fn step<P: PortIo + ?Sized>(&mut self, io: &mut P) -> Result<(), VmError> {
         let pc = self.pc;
-        let instr = *self
-            .program
-            .get(pc as usize)
-            .ok_or(VmError::PcOutOfRange {
-                pc,
-                len: self.program.len(),
-            })?;
+        let instr = *self.program.get(pc as usize).ok_or(VmError::PcOutOfRange {
+            pc,
+            len: self.program.len(),
+        })?;
         let mut next_pc = pc.wrapping_add(1);
         use Instruction::*;
         match instr {
@@ -560,12 +560,18 @@ mod tests {
     fn test_sets_parity_in_carry() {
         // 0b0111 has odd parity when masked with 0xFF.
         let (cpu, _) = run(
-            vec![Load(r(0), Operand::Imm(0x07)), Test(r(0), Operand::Imm(0xFF))],
+            vec![
+                Load(r(0), Operand::Imm(0x07)),
+                Test(r(0), Operand::Imm(0xFF)),
+            ],
             2,
         );
         assert_eq!(cpu.flags(), (false, true));
         let (cpu, _) = run(
-            vec![Load(r(0), Operand::Imm(0x03)), Test(r(0), Operand::Imm(0xFF))],
+            vec![
+                Load(r(0), Operand::Imm(0x03)),
+                Test(r(0), Operand::Imm(0xFF)),
+            ],
             2,
         );
         assert_eq!(cpu.flags(), (false, false));
@@ -660,11 +666,11 @@ mod tests {
     #[test]
     fn call_and_return() {
         let prog = vec![
-            Call(Condition::Always, 3),      // 0
-            Load(r(1), Operand::Imm(7)),     // 1 (after return)
-            Jump(Condition::Always, 2),      // 2 spin
-            Load(r(0), Operand::Imm(5)),     // 3 subroutine
-            Return(Condition::Always),       // 4
+            Call(Condition::Always, 3),  // 0
+            Load(r(1), Operand::Imm(7)), // 1 (after return)
+            Jump(Condition::Always, 2),  // 2 spin
+            Load(r(0), Operand::Imm(5)), // 3 subroutine
+            Return(Condition::Always),   // 4
         ];
         let (cpu, _) = run(prog, 4);
         assert_eq!(cpu.reg(r(0)), 5);
@@ -676,11 +682,11 @@ mod tests {
         let prog = vec![
             Call(Condition::Always, 2),
             Jump(Condition::Always, 1),
-            Load(r(0), Operand::Imm(1)),     // 2: clears Z? (load keeps flags)
-            Compare(r(0), Operand::Imm(9)),  // 3: Z clear
-            Return(Condition::Zero),         // 4: not taken
-            Load(r(1), Operand::Imm(0xCC)),  // 5: executed
-            Return(Condition::Always),       // 6
+            Load(r(0), Operand::Imm(1)), // 2: clears Z? (load keeps flags)
+            Compare(r(0), Operand::Imm(9)), // 3: Z clear
+            Return(Condition::Zero),     // 4: not taken
+            Load(r(1), Operand::Imm(0xCC)), // 5: executed
+            Return(Condition::Always),   // 6
         ];
         let (cpu, _) = run(prog, 7);
         assert_eq!(cpu.reg(r(1)), 0xCC);
@@ -761,7 +767,9 @@ mod tests {
 
     #[test]
     fn vm_error_display() {
-        assert!(VmError::StackOverflow { pc: 3 }.to_string().contains("overflow"));
+        assert!(VmError::StackOverflow { pc: 3 }
+            .to_string()
+            .contains("overflow"));
         assert!(VmError::PcOutOfRange { pc: 9, len: 4 }
             .to_string()
             .contains("outside"));

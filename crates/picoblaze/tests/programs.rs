@@ -122,7 +122,11 @@ fn nested_subroutines_to_full_depth() {
     // Depth check: `start`'s CALL plus 29 recursive CALLs = 30 frames.
     let mut io = SparseIo::new();
     let cpu = run_to_sync(src, &mut io, 100_000);
-    assert_eq!(cpu.reg(sirtm_picoblaze::Register::new(0)), 30, "fully unwound");
+    assert_eq!(
+        cpu.reg(sirtm_picoblaze::Register::new(0)),
+        30,
+        "fully unwound"
+    );
 }
 
 #[test]

@@ -158,8 +158,11 @@ impl FlowAnalysis {
     ///
     /// Panics if `n_nodes` is smaller than the number of demanded tasks.
     pub fn proportional_allocation(&self, n_nodes: usize) -> Vec<usize> {
-        let demanded: Vec<&TaskDemand> =
-            self.demands.iter().filter(|d| d.demand_nodes > 0.0).collect();
+        let demanded: Vec<&TaskDemand> = self
+            .demands
+            .iter()
+            .filter(|d| d.demand_nodes > 0.0)
+            .collect();
         assert!(
             n_nodes >= demanded.len(),
             "need at least one node per demanded task"
@@ -219,9 +222,7 @@ mod tests {
         // Task 1 completes at the generation rate.
         assert!((flow.demands()[0].completion_rate - r1).abs() < 1e-12);
         // Task 2 completes `branches` times as often.
-        assert!(
-            (flow.demands()[1].completion_rate - r1 * p.branches as f64).abs() < 1e-12
-        );
+        assert!((flow.demands()[1].completion_rate - r1 * p.branches as f64).abs() < 1e-12);
         // Task 3 joins all branches back to the source rate.
         assert!((flow.demands()[2].completion_rate - r1).abs() < 1e-12);
     }

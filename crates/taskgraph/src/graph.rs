@@ -172,10 +172,7 @@ impl TaskGraph {
     /// task-3 completions).
     pub fn sinks(&self) -> Vec<TaskId> {
         self.task_ids()
-            .filter(|&t| {
-                self.outputs(t)
-                    .all(|e| e.kind != EdgeKind::Data)
-            })
+            .filter(|&t| self.outputs(t).all(|e| e.kind != EdgeKind::Data))
             .collect()
     }
 
@@ -231,7 +228,13 @@ impl TaskGraphBuilder {
 
     /// Adds a data edge: each completion of `from` emits `count` packets of
     /// `payload_flits` flits addressed to task `to`.
-    pub fn data_edge(&mut self, from: TaskId, to: TaskId, count: u8, payload_flits: u8) -> &mut Self {
+    pub fn data_edge(
+        &mut self,
+        from: TaskId,
+        to: TaskId,
+        count: u8,
+        payload_flits: u8,
+    ) -> &mut Self {
         self.edges.push(TaskEdge {
             from,
             to,
@@ -462,8 +465,8 @@ mod tests {
         b.data_edge(a, w, 1, 1);
         b.data_edge(j, w, 1, 1); // j only *produces*; reachable via nothing
         b.feedback_edge(w, j, 1, 1); // feedback does not count as join input
-        // j is unreachable via data edges too, but join check should fire
-        // first or the unreachable check — either way the graph is invalid.
+                                     // j is unreachable via data edges too, but join check should fire
+                                     // first or the unreachable check — either way the graph is invalid.
         assert!(b.build().is_err());
     }
 

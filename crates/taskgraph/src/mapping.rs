@@ -75,7 +75,10 @@ impl GridDims {
     ///
     /// Panics if the coordinate is out of bounds.
     pub fn index(self, x: u16, y: u16) -> usize {
-        assert!(x < self.width && y < self.height, "coordinate out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "coordinate out of bounds"
+        );
         y as usize * self.width as usize + x as usize
     }
 
@@ -86,7 +89,10 @@ impl GridDims {
     /// Panics if `idx >= self.len()`.
     pub fn xy(self, idx: usize) -> (u16, u16) {
         assert!(idx < self.len(), "index out of bounds");
-        ((idx % self.width as usize) as u16, (idx / self.width as usize) as u16)
+        (
+            (idx % self.width as usize) as u16,
+            (idx / self.width as usize) as u16,
+        )
     }
 
     /// Manhattan distance between two nodes given by linear index.
@@ -425,7 +431,10 @@ mod tests {
             hd < rd,
             "heuristic distance {hd:.2} should beat random {rd:.2}"
         );
-        assert!(hd <= 1.30, "clustered layout should stay tight, got {hd:.2}");
+        assert!(
+            hd <= 1.30,
+            "clustered layout should stay tight, got {hd:.2}"
+        );
     }
 
     #[test]

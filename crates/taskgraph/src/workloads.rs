@@ -74,7 +74,8 @@ pub fn fork_join(params: &ForkJoinParams) -> TaskGraph {
     b.data_edge(t1, t2, params.branches, params.data_flits);
     b.data_edge(t2, t3, 1, params.data_flits);
     b.feedback_edge(t3, t1, 1, params.ack_flits);
-    b.build().expect("fork-join parameters always form a valid graph")
+    b.build()
+        .expect("fork-join parameters always form a valid graph")
 }
 
 /// Builds a linear pipeline of `stages` tasks (source first), each stage
@@ -95,7 +96,8 @@ pub fn pipeline(stages: u8, generation_period: u32, service: u32) -> TaskGraph {
         prev = t;
     }
     b.feedback_edge(prev, first, 1, 1);
-    b.build().expect("pipeline parameters always form a valid graph")
+    b.build()
+        .expect("pipeline parameters always form a valid graph")
 }
 
 /// Builds a diamond: source → two parallel workers → join, with an ack edge

@@ -4,9 +4,7 @@ use proptest::prelude::*;
 
 use sirtm_rng::Xoshiro256StarStar;
 use sirtm_taskgraph::workloads::{fork_join, ForkJoinParams};
-use sirtm_taskgraph::{
-    FlowAnalysis, GridDims, Mapping, TaskGraphBuilder, TaskId, TaskSpec,
-};
+use sirtm_taskgraph::{FlowAnalysis, GridDims, Mapping, TaskGraphBuilder, TaskId, TaskSpec};
 
 /// Strategy: a random layered DAG with one source, arbitrary forward data
 /// edges and optional feedback edges — always structurally valid.
@@ -16,7 +14,11 @@ fn layered_graph() -> impl Strategy<Value = sirtm_taskgraph::TaskGraph> {
         let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
         let mut b = TaskGraphBuilder::new();
         let mut ids = Vec::new();
-        ids.push(b.task(TaskSpec::source("t0", 10 + rng.below_u64(50) as u32, 100 + rng.below_u64(400) as u32)));
+        ids.push(b.task(TaskSpec::source(
+            "t0",
+            10 + rng.below_u64(50) as u32,
+            100 + rng.below_u64(400) as u32,
+        )));
         for i in 1..n_tasks {
             ids.push(b.task(TaskSpec::worker(
                 format!("t{i}"),
@@ -27,7 +29,12 @@ fn layered_graph() -> impl Strategy<Value = sirtm_taskgraph::TaskGraph> {
         // earlier task (reachability), plus some random extra edges.
         for i in 1..n_tasks {
             let from = ids[rng.below_u64(i as u64) as usize];
-            b.data_edge(from, ids[i], 1 + rng.below_u64(3) as u8, 1 + rng.below_u64(4) as u8);
+            b.data_edge(
+                from,
+                ids[i],
+                1 + rng.below_u64(3) as u8,
+                1 + rng.below_u64(4) as u8,
+            );
         }
         for _ in 0..rng.below_u64(4) {
             let a = rng.below_u64(n_tasks as u64) as usize;

@@ -81,7 +81,10 @@ impl ThermalConfig {
     /// violates the explicit-Euler stability bound, or an inverted
     /// warn/trip ordering — all construction-time programming errors.
     pub fn validate(&self) {
-        assert!(self.cell_capacity_j_per_k > 0.0, "cell capacity must be positive");
+        assert!(
+            self.cell_capacity_j_per_k > 0.0,
+            "cell capacity must be positive"
+        );
         assert!(
             self.lateral_conductance_w_per_k >= 0.0,
             "lateral conductance must be non-negative"

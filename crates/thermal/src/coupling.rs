@@ -13,7 +13,9 @@ use sirtm_centurion::Platform;
 use sirtm_noc::NodeId;
 
 use crate::config::ThermalConfig;
-use crate::governor::{GovernorConfig, NoGovernor, ThermalAction, ThermalGovernor, ThresholdGovernor};
+use crate::governor::{
+    GovernorConfig, NoGovernor, ThermalAction, ThermalGovernor, ThresholdGovernor,
+};
 use crate::grid::ThermalGrid;
 use crate::power::{PowerModel, PowerModelConfig};
 use crate::sensor::{SensorBank, SensorConfig};
@@ -76,7 +78,12 @@ impl ThermalTrace {
         for s in &self.samples {
             out.push_str(&format!(
                 "{:.3},{:.3},{:.3},{},{:.1},{},{:.4}\n",
-                s.t_ms, s.max_temp_c, s.mean_temp_c, s.alive, s.mean_freq_mhz, s.completions,
+                s.t_ms,
+                s.max_temp_c,
+                s.mean_temp_c,
+                s.alive,
+                s.mean_freq_mhz,
+                s.completions,
                 s.power_w
             ));
         }
@@ -143,7 +150,8 @@ impl ThermalLoop {
     ) -> Self {
         let n = platform.config().dims.len();
         assert_eq!(
-            thermal_cfg.dims, platform.config().dims,
+            thermal_cfg.dims,
+            platform.config().dims,
             "thermal grid dimensions must match the platform"
         );
         assert_eq!(sensors.len(), n, "one sensor per node");

@@ -115,8 +115,14 @@ impl GovernorConfig {
         );
         assert!(self.hot_fire > 0, "hot_fire must be non-zero");
         assert!(self.cool_fire > 0, "cool_fire must be non-zero");
-        assert!(self.recover_margin_k > 0.0, "recover margin must be positive");
-        assert!(self.trip_persistence > 0, "trip persistence must be non-zero");
+        assert!(
+            self.recover_margin_k > 0.0,
+            "recover margin must be positive"
+        );
+        assert!(
+            self.trip_persistence > 0,
+            "trip persistence must be non-zero"
+        );
     }
 }
 
@@ -203,7 +209,11 @@ impl ThresholdGovernor {
     }
 
     fn step_down(&self) -> Option<u16> {
-        self.ladder.iter().rev().find(|&&f| f < self.freq_mhz).copied()
+        self.ladder
+            .iter()
+            .rev()
+            .find(|&&f| f < self.freq_mhz)
+            .copied()
     }
 
     fn step_up(&self) -> Option<u16> {

@@ -95,7 +95,10 @@ impl ThermalGrid {
 
     /// Hottest cell temperature.
     pub fn max_temp(&self) -> f64 {
-        self.temp_c.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.temp_c
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Mean die temperature.
@@ -113,7 +116,9 @@ impl ThermalGrid {
             .map(|(i, &t)| (t, i))
             .collect();
         hot.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-        hot.into_iter().map(|(_, i)| NodeId::new(i as u16)).collect()
+        hot.into_iter()
+            .map(|(_, i)| NodeId::new(i as u16))
+            .collect()
     }
 
     /// Overwrites every cell with `temp_c` (test/reset helper).
@@ -130,7 +135,11 @@ impl ThermalGrid {
     /// Panics if `power_w.len()` differs from the cell count, any power
     /// is negative or non-finite, or `duration_s` is negative.
     pub fn step(&mut self, duration_s: f64, power_w: &[f64]) {
-        assert_eq!(power_w.len(), self.temp_c.len(), "power vector size mismatch");
+        assert_eq!(
+            power_w.len(),
+            self.temp_c.len(),
+            "power vector size mismatch"
+        );
         assert!(duration_s >= 0.0, "duration must be non-negative");
         assert!(
             power_w.iter().all(|p| p.is_finite() && *p >= 0.0),
@@ -169,7 +178,11 @@ impl ThermalGrid {
     ///
     /// Panics if `power_w.len()` differs from the cell count.
     pub fn steady_state(&self, power_w: &[f64]) -> Vec<f64> {
-        assert_eq!(power_w.len(), self.temp_c.len(), "power vector size mismatch");
+        assert_eq!(
+            power_w.len(),
+            self.temp_c.len(),
+            "power vector size mismatch"
+        );
         let g_v = self.cfg.vertical_conductance_w_per_k;
         let g_l = self.cfg.lateral_conductance_w_per_k;
         let amb = self.cfg.ambient_c;

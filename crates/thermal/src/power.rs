@@ -187,9 +187,7 @@ mod tests {
     fn total_power_includes_all_terms() {
         let m = PowerModel::default();
         let p = m.power_w(100, 0.5, 45.0);
-        assert!(
-            (p - (m.dynamic_w(100, 0.5) + m.leakage_w(45.0) + 0.01)).abs() < 1e-15
-        );
+        assert!((p - (m.dynamic_w(100, 0.5) + m.leakage_w(45.0) + 0.01)).abs() < 1e-15);
     }
 
     #[test]

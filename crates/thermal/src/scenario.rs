@@ -278,7 +278,10 @@ mod tests {
             );
         }
         let victims = report.victims.len();
-        assert!(victims < dims.len() / 2, "the cold fringe survives: {victims}");
+        assert!(
+            victims < dims.len() / 2,
+            "the cold fringe survives: {victims}"
+        );
     }
 
     #[test]

@@ -214,7 +214,10 @@ mod tests {
     #[test]
     fn quantisation_error_sub_kelvin_at_default() {
         let ro = RingOscillator::new(SensorConfig::default(), 1.0);
-        assert!(ro.quantisation_error_k() < 0.1, "default RO resolves <0.1 K");
+        assert!(
+            ro.quantisation_error_k() < 0.1,
+            "default RO resolves <0.1 K"
+        );
     }
 
     #[test]
@@ -249,7 +252,11 @@ mod tests {
         let temps: Vec<f64> = (0..8).map(|i| 40.0 + i as f64 * 7.0).collect();
         for i in 0..8 {
             let est = bank.estimate_c(NodeId::new(i as u16), &temps);
-            assert!((est - temps[i]).abs() < 0.5, "node {i}: {est} vs {}", temps[i]);
+            assert!(
+                (est - temps[i]).abs() < 0.5,
+                "node {i}: {est} vs {}",
+                temps[i]
+            );
         }
     }
 

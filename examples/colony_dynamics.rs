@@ -15,9 +15,9 @@
 
 use sirtm_colony::{
     allocation_error, specialisation_index, ColonyModel, Environment, FixedThresholdColony,
-    ForagingForWorkColony, ForagingParams, InfoTransferColony, InfoTransferParams,
-    MeanFieldColony, MeanFieldParams, SelfReinforcementColony, SelfReinforcementParams,
-    SocialInhibitionColony, SocialInhibitionParams, ThresholdParams,
+    ForagingForWorkColony, ForagingParams, InfoTransferColony, InfoTransferParams, MeanFieldColony,
+    MeanFieldParams, SelfReinforcementColony, SelfReinforcementParams, SocialInhibitionColony,
+    SocialInhibitionParams, ThresholdParams,
 };
 
 const DEMAND: [f64; 3] = [2.0, 1.0, 0.5];
@@ -54,10 +54,16 @@ fn report(colony: &mut dyn ColonyModel, spec_index: Option<f64>) {
 fn main() {
     let env = Environment::constant_demand(&DEMAND, 0.1);
 
-    let mut class1 = FixedThresholdColony::new(AGENTS, env.clone(), ThresholdParams::default(), SEED);
-    let mut class2 = InfoTransferColony::new(AGENTS, env.clone(), InfoTransferParams::default(), SEED);
-    let mut class3 =
-        SelfReinforcementColony::new(AGENTS, env.clone(), SelfReinforcementParams::default(), SEED);
+    let mut class1 =
+        FixedThresholdColony::new(AGENTS, env.clone(), ThresholdParams::default(), SEED);
+    let mut class2 =
+        InfoTransferColony::new(AGENTS, env.clone(), InfoTransferParams::default(), SEED);
+    let mut class3 = SelfReinforcementColony::new(
+        AGENTS,
+        env.clone(),
+        SelfReinforcementParams::default(),
+        SEED,
+    );
     let mut class4 =
         SocialInhibitionColony::new(AGENTS, env, SocialInhibitionParams::default(), SEED);
     let mut class5 = ForagingForWorkColony::new(AGENTS, ForagingParams::default(), SEED);

@@ -29,7 +29,10 @@ fn main() {
     // discover a good one on its own.
     let mut rng = Xoshiro256StarStar::seed_from_u64(2020);
     let mapping = Mapping::random_uniform(&graph, cfg.dims, &mut rng);
-    println!("random initial distribution: {:?}", mapping.counts(graph.len()));
+    println!(
+        "random initial distribution: {:?}",
+        mapping.counts(graph.len())
+    );
 
     // Every node gets a Foraging-for-Work AIM (the paper's best model).
     let model = ModelKind::ForagingForWork(FfwConfig::default());
@@ -40,8 +43,7 @@ fn main() {
         let before = platform.completions(TaskId::new(2));
         let t_before = platform.now_ms();
         platform.run_ms(checkpoint - t_before);
-        let rate = (platform.completions(TaskId::new(2)) - before) as f64
-            / (checkpoint - t_before);
+        let rate = (platform.completions(TaskId::new(2)) - before) as f64 / (checkpoint - t_before);
         println!(
             "t={checkpoint:>4.0} ms  throughput {rate:>5.2} sinks/ms  \
              distribution {:?}  switches {}",

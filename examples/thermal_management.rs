@@ -55,7 +55,8 @@ fn main() {
         2020,
     );
     open.run_ms(600.0);
-    println!("open loop   : peak {:6.1} C (trip {:.0} C) — unmanaged overclock cooks the die",
+    println!(
+        "open loop   : peak {:6.1} C (trip {:.0} C) — unmanaged overclock cooks the die",
         open.trace().peak_temp_c(),
         thermal_cfg.trip_temp_c,
     );

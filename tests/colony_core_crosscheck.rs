@@ -39,7 +39,10 @@ fn three_formulations_agree_on_demand_proportions() {
         mf.step();
     }
     let mf_alloc = normalised(
-        &mf.fractions().iter().map(|&f| f * 120.0).collect::<Vec<_>>(),
+        &mf.fractions()
+            .iter()
+            .map(|&f| f * 120.0)
+            .collect::<Vec<_>>(),
     );
 
     // Formulation 3: the stochastic agent-based colony, time-averaged.

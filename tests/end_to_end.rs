@@ -164,10 +164,7 @@ fn colony_generalises_to_other_task_graphs() {
     // The intelligence is workload-agnostic: run the pipeline and diamond
     // graphs (not in the paper) through the same machinery.
     let cfg = small_cfg();
-    for graph in [
-        workloads::pipeline(4, 300, 80),
-        workloads::diamond(400),
-    ] {
+    for graph in [workloads::pipeline(4, 300, 80), workloads::diamond(400)] {
         let sink = graph.sinks()[0];
         let mut rng = Xoshiro256StarStar::seed_from_u64(13);
         let mapping = Mapping::random_uniform(&graph, cfg.dims, &mut rng);

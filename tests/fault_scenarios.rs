@@ -130,8 +130,5 @@ fn activity_map_shows_the_colony_working() {
     p.run_ms(200.0);
     let map = render::activity_map(&p, 20.0);
     let active = map.chars().filter(|&c| c == '#').count();
-    assert!(
-        active > 40,
-        "most of the grid should be active:\n{map}"
-    );
+    assert!(active > 40, "most of the grid should be active:\n{map}");
 }

@@ -46,7 +46,11 @@ fn ffw_self_organises_a_pipeline() {
 fn ni_self_organises_a_pipeline() {
     let graph = workloads::pipeline(4, 400, 80);
     let sink = TaskId::new(3);
-    let mut p = adaptive_platform(graph, ModelKind::NetworkInteraction(NiConfig::default()), 43);
+    let mut p = adaptive_platform(
+        graph,
+        ModelKind::NetworkInteraction(NiConfig::default()),
+        43,
+    );
     p.run_ms(400.0);
     let rate = sink_rate(&mut p, sink, 100.0);
     assert!(rate > 0.5, "NI pipeline sink rate {rate:.2}/ms");
@@ -109,5 +113,8 @@ fn diamond_survives_losing_a_branch_region() {
     p.run_ms(400.0);
     let after = sink_rate(&mut p, sink, 100.0);
     assert_eq!(p.alive_count(), 96);
-    assert!(after > 0.3, "diamond keeps joining after region loss: {after:.2}/ms");
+    assert!(
+        after > 0.3,
+        "diamond keeps joining after region loss: {after:.2}/ms"
+    );
 }
