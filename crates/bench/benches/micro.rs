@@ -8,7 +8,9 @@ use std::hint::black_box;
 use sirtm_centurion::{Platform, PlatformConfig};
 use sirtm_core::io::MockAimIo;
 use sirtm_core::models::{FfwConfig, ModelKind, NiConfig};
-use sirtm_noc::{Mesh, NodeId, PacketKind, RouterConfig};
+use sirtm_noc::{
+    Coord, Mesh, NodeId, Packet, PacketId, PacketKind, Router, RouterConfig, RouterPlan,
+};
 use sirtm_picoblaze::vm::{Picoblaze, SparseIo};
 use sirtm_picoblaze::{asm, Condition, Instruction};
 use sirtm_rng::{Rng, Xoshiro256StarStar};
@@ -35,7 +37,75 @@ fn mesh_cycle(c: &mut Criterion) {
                 mesh.inject(src, dst, TaskId::new(0), PacketKind::Data, 4);
             }
             mesh.step();
+            drain_deliveries(&mut mesh);
             black_box(mesh.cycle())
+        });
+    });
+    group.bench_function("saturated_128_routers", |b| {
+        // Every router holds a backlog: the plan/arbitrate path runs for
+        // all 128 tiles every cycle (contrast with the idle fast path).
+        let mut mesh = Mesh::new(dims, RouterConfig::default());
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        b.iter(|| {
+            while mesh.stats().in_flight() < 512 {
+                let src = NodeId::new(rng.range_u32(0..128) as u16);
+                let dst = NodeId::new(rng.range_u32(0..128) as u16);
+                mesh.inject(src, dst, TaskId::new(0), PacketKind::Data, 4);
+            }
+            mesh.step();
+            drain_deliveries(&mut mesh);
+            black_box(mesh.cycle())
+        });
+    });
+    group.finish();
+}
+
+/// Drains every delivered packet, as the platform does each cycle —
+/// without this the delivered queues grow across the measurement and the
+/// iterations are not stationary.
+fn drain_deliveries(mesh: &mut Mesh) {
+    for k in 0..mesh.fresh_delivered().len() {
+        let node = NodeId::new(mesh.fresh_delivered()[k]);
+        while mesh.pop_delivered(node).is_some() {}
+    }
+}
+
+/// Phase-1 planning cost of one router, isolated from the fabric: the
+/// idle case is what [`Router::has_work`] gating skips, the backlogged
+/// case is what a saturated tile pays every cycle.
+fn router_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_plan");
+    let make_router = || {
+        let mut r = Router::new(NodeId::new(9), Coord::new(1, 1), &RouterConfig::default());
+        r.set_grid_width(8);
+        r
+    };
+    group.bench_function("idle", |b| {
+        let router = make_router();
+        let mut plan = RouterPlan::default();
+        b.iter(|| {
+            router.plan_into(0, &|_| true, &mut plan);
+            black_box(plan.is_empty())
+        });
+    });
+    group.bench_function("backlogged", |b| {
+        let mut router = make_router();
+        for i in 0..8u64 {
+            router.enqueue_inject(Packet {
+                id: PacketId::new(i),
+                src: NodeId::new(9),
+                dest: NodeId::new((i % 16) as u16),
+                task: TaskId::new((i % 3) as u8),
+                kind: PacketKind::Data,
+                payload_flits: 4,
+                created_at: 0,
+                bounces: 0,
+            });
+        }
+        let mut plan = RouterPlan::default();
+        b.iter(|| {
+            router.plan_into(0, &|_| true, &mut plan);
+            black_box(plan.move_count())
         });
     });
     group.finish();
@@ -151,5 +221,12 @@ fn picoblaze(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, mesh_cycle, platform_cycle, aim_scan, picoblaze);
+criterion_group!(
+    benches,
+    mesh_cycle,
+    router_plan,
+    platform_cycle,
+    aim_scan,
+    picoblaze
+);
 criterion_main!(benches);

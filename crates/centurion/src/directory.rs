@@ -115,17 +115,38 @@ impl Directory {
 
     /// Up to `k` *distinct* known instances of `task`, nearest first
     /// (ties to the lowest node id) — the destination set of a multicast
-    /// fork wave.
+    /// fork wave. Allocates; the hot loop uses
+    /// [`Directory::pick_distinct_into`].
     pub fn pick_distinct(&self, task: TaskId, k: usize) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(k);
+        self.pick_distinct_into(task, k, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Directory::pick_distinct`]: clears `out` and
+    /// fills it with up to `k` distinct instances, nearest first. The
+    /// candidate set is at most [`SLOTS`] entries, so ordering happens in
+    /// a fixed stack buffer.
+    pub fn pick_distinct_into(&self, task: TaskId, k: usize, out: &mut Vec<NodeId>) {
+        out.clear();
         let base = task.index() * SLOTS;
-        let mut candidates: Vec<DirEntry> = self.entries[base..base + SLOTS]
-            .iter()
-            .flatten()
-            .copied()
-            .collect();
-        candidates.sort_by_key(|e| (e.dist, e.node));
-        let mut out: Vec<NodeId> = Vec::with_capacity(k);
-        for e in candidates {
+        let mut candidates = [None::<DirEntry>; SLOTS];
+        let mut n = 0;
+        for e in self.entries[base..base + SLOTS].iter().flatten() {
+            // Insertion sort by (dist, node) into the fixed buffer.
+            let mut i = n;
+            while i > 0 {
+                let prev = candidates[i - 1].expect("filled below i");
+                if (prev.dist, prev.node) <= (e.dist, e.node) {
+                    break;
+                }
+                candidates[i] = candidates[i - 1];
+                i -= 1;
+            }
+            candidates[i] = Some(*e);
+            n += 1;
+        }
+        for e in candidates[..n].iter().flatten() {
             // Distinct nodes only: the same instance can appear through
             // several neighbour slots at different distances.
             if !out.contains(&e.node) {
@@ -135,7 +156,6 @@ impl Directory {
                 }
             }
         }
-        out
     }
 
     /// Clears every entry (used when a node dies).
@@ -149,6 +169,9 @@ impl Directory {
 /// `locals[n]` is node `n`'s advertised task (alive nodes only);
 /// `neighbours[n][d]` is the node index of `n`'s neighbour in direction
 /// `d` (N, E, S, W), if any. Reads `prev`, writes a fresh set of tables.
+///
+/// Allocates the returned tables; the platform hot loop double-buffers
+/// through [`gossip_round_into`] instead.
 pub fn gossip_round(
     prev: &[Directory],
     locals: &[Option<TaskId>],
@@ -157,7 +180,31 @@ pub fn gossip_round(
     dist_max: u8,
 ) -> Vec<Directory> {
     let mut next: Vec<Directory> = prev.to_vec();
+    gossip_round_into(prev, locals, neighbours, n_tasks, dist_max, &mut next);
+    next
+}
+
+/// Allocation-free [`gossip_round`]: recomputes every table of `next`
+/// from `prev` in place. `next` must hold one directory per node, sized
+/// for `n_tasks` (the platform's reused double buffer). Every entry slot
+/// is overwritten and the sender-side round-robin pointers are carried
+/// over from `prev`, so the result is identical to [`gossip_round`].
+///
+/// # Panics
+///
+/// Panics if `next` and `prev` differ in length or task count.
+pub fn gossip_round_into(
+    prev: &[Directory],
+    locals: &[Option<TaskId>],
+    neighbours: &[[Option<usize>; 4]],
+    n_tasks: usize,
+    dist_max: u8,
+    next: &mut [Directory],
+) {
+    assert_eq!(prev.len(), next.len(), "grid size mismatch");
     for (n, dir) in next.iter_mut().enumerate() {
+        assert_eq!(dir.n_tasks, prev[n].n_tasks, "task count mismatch");
+        dir.rr.copy_from_slice(&prev[n].rr);
         for t in 0..n_tasks {
             let task = TaskId::new(t as u8);
             // Self slot: advertise own task at distance 0.
@@ -177,7 +224,6 @@ pub fn gossip_round(
             }
         }
     }
-    next
 }
 
 #[cfg(test)]

@@ -76,8 +76,12 @@ impl ProcessingElement {
             nominal_mhz,
             clock_enabled: true,
             alive: true,
-            queue: VecDeque::new(),
-            foreign: VecDeque::new(),
+            // Queue depths are bounded by their caps (the foreign buffer
+            // briefly holds one extra packet while displacing), so sizing
+            // them up front keeps the steady-state hot loop allocation
+            // free from the first cycle.
+            queue: VecDeque::with_capacity(queue_cap),
+            foreign: VecDeque::with_capacity(foreign_cap + 1),
             queue_cap,
             foreign_cap,
             working: false,
@@ -172,6 +176,38 @@ impl ProcessingElement {
         }
     }
 
+    /// The next cycle at which stepping this PE could change state, or
+    /// `None` when every step is a provable no-op until an external event
+    /// (a delivery, task switch, clock un-gating or revival) re-arms it.
+    /// The platform's activity-gated stepper skips a PE whose next event
+    /// lies in the future; anything that might change the answer must
+    /// re-arm the PE in the platform's event table.
+    ///
+    /// A returned cycle may already be in the past (e.g. a work item whose
+    /// completion was delayed by clock gating); it means "due now".
+    pub fn next_event(&self) -> Option<Cycle> {
+        if !self.alive || !self.clock_enabled {
+            return None;
+        }
+        self.task?;
+        if self.working {
+            return Some(self.busy_until);
+        }
+        // Idle source: the generation timer. Idle worker: nothing until a
+        // delivery (acquisition happens in the same cycle's step, so an
+        // idle worker never sits on a runnable queue between steps).
+        self.gen_next
+    }
+
+    /// Credits `cycles` of busy time without stepping — the platform's
+    /// fast-forward applies the exact increments the per-cycle stepper
+    /// would have made for a PE that stays mid-work over a whole skipped
+    /// stretch.
+    pub(crate) fn credit_busy(&mut self, cycles: u64) {
+        debug_assert!(self.working && self.alive && self.clock_enabled);
+        self.busy_cycles += cycles;
+    }
+
     /// Reads and clears the feed counters: `(data packets accepted, acks
     /// consumed)` since the last read. The platform converts these into
     /// the AIM's work-proportional feed amount.
@@ -197,6 +233,9 @@ impl ProcessingElement {
     /// belongs here (the platform bounces them). Foreign packets matching
     /// the new task become work; for source tasks the generation timer is
     /// restarted with a node-specific phase.
+    ///
+    /// Convenience wrapper over [`ProcessingElement::switch_task_into`]
+    /// that allocates the eviction list (tests and construction paths).
     pub fn switch_task(
         &mut self,
         task: TaskId,
@@ -204,19 +243,37 @@ impl ProcessingElement {
         now: Cycle,
         count_switch: bool,
     ) -> Vec<Packet> {
+        let mut evicted = Vec::new();
+        self.switch_task_into(task, graph, now, count_switch, &mut evicted);
+        evicted
+    }
+
+    /// Allocation-free task switch: displaced packets are appended to the
+    /// caller-supplied `evicted` buffer (the platform's reused scratch)
+    /// instead of a fresh `Vec`. Foreign packets are re-filtered in place.
+    pub fn switch_task_into(
+        &mut self,
+        task: TaskId,
+        graph: &TaskGraph,
+        now: Cycle,
+        count_switch: bool,
+        evicted: &mut Vec<Packet>,
+    ) {
         if self.task == Some(task) || !self.alive {
-            return Vec::new();
+            return;
         }
         if count_switch {
             self.stats.switches += 1;
         }
-        let mut evicted: Vec<Packet> = self.queue.drain(..).collect();
+        evicted.extend(self.queue.drain(..));
         self.task = Some(task);
         self.working = false;
-        // Adopt matching foreign packets: this is FFW's "sink and process
-        // it locally".
-        let mut kept = VecDeque::new();
-        for pkt in self.foreign.drain(..) {
+        // Adopt matching foreign packets — FFW's "sink and process it
+        // locally" — by rotating the deque once in place: each packet is
+        // popped, then either consumed, queued, evicted or pushed back,
+        // preserving arrival order without a second buffer.
+        for _ in 0..self.foreign.len() {
+            let pkt = self.foreign.pop_front().expect("rotating within len");
             if pkt.task == task {
                 if pkt.kind == sirtm_noc::PacketKind::Ack {
                     self.stats.acks_consumed += 1;
@@ -228,15 +285,13 @@ impl ProcessingElement {
                     evicted.push(pkt);
                 }
             } else {
-                kept.push_back(pkt);
+                self.foreign.push_back(pkt);
             }
         }
-        self.foreign = kept;
         let spec = graph.spec(task);
         self.gen_next = spec
             .generation_period
             .map(|p| now + 1 + (self.node.index() as u64 * 37) % p as u64);
-        evicted
     }
 
     /// Offers a delivered packet. On [`Accept::Overflow`] the displaced

@@ -9,8 +9,11 @@ use sirtm_noc::{
 use sirtm_taskgraph::{Mapping, TaskGraph, TaskId};
 
 use crate::config::PlatformConfig;
-use crate::directory::{gossip_round, Directory};
+use crate::directory::{gossip_round, gossip_round_into, Directory};
 use crate::pe::{Accept, PeStats, ProcessingElement};
+
+/// "Never" sentinel for the per-PE event table.
+const NEVER: Cycle = Cycle::MAX;
 
 /// Platform-level counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -88,6 +91,46 @@ pub struct Platform {
     mcast: Option<MulticastService>,
     cycle: Cycle,
     stats: PlatformStats,
+
+    // ---- activity-gating state (see DESIGN: "Performance architecture")
+    /// Per-node `models[idx].is_passive()`, cached so the hot loop can
+    /// elide scan assembly without a virtual call.
+    passive: Vec<bool>,
+    /// Next cycle at which stepping PE `idx` could change state
+    /// ([`NEVER`] = quiescent until an external event re-arms it).
+    pe_next: Vec<Cycle>,
+    /// PEs that are mid-work, alive and un-gated: cycles skipped by the
+    /// stepper are credited to their busy integral instead.
+    credit: Vec<bool>,
+    /// Incrementally maintained copy of every node's advertised task —
+    /// what the naive stepper recomputes per gossip round.
+    locals: Vec<Option<TaskId>>,
+    /// Gossip double buffer: the next round is computed here, then
+    /// swapped with `dirs`.
+    dirs_next: Vec<Directory>,
+    /// Set once a gossip round reproduces its input exactly; the round is
+    /// then a provable fixpoint and is skipped until an advertised task
+    /// or directory changes.
+    gossip_converged: bool,
+    /// `scan_buckets[now % aim_period]` = nodes whose staggered AIM scan
+    /// is due at that residue (ascending node order).
+    scan_buckets: Vec<Vec<u32>>,
+    /// Per-residue count of alive, non-passive nodes — the scan events
+    /// the fast-forward must stop for.
+    scan_residue_live: Vec<u32>,
+    /// AIM register writes this platform has drained from routers;
+    /// compared against the mesh's arrival counter to detect outstanding
+    /// writes.
+    aim_writes_drained: u64,
+    /// Set by the naive stepper: the event tables above may be stale and
+    /// are rebuilt before the next optimized step.
+    events_stale: bool,
+    // Reused per-step scratch (hoisted so steady-state stepping never
+    // touches the heap).
+    delivery_scratch: Vec<u16>,
+    edge_scratch: Vec<(TaskId, u8, u8, sirtm_taskgraph::EdgeKind)>,
+    evict_scratch: Vec<Packet>,
+    mcast_dests: Vec<NodeId>,
 }
 
 impl Platform {
@@ -156,6 +199,18 @@ impl Platform {
         }
         let mcast = (cfg.send_policy == crate::config::SendPolicy::Multicast)
             .then(|| MulticastService::new(cfg.dims));
+        let passive: Vec<bool> = models.iter().map(|m| m.is_passive()).collect();
+        let n = cfg.dims.len();
+        let period = cfg.aim_period as usize;
+        let mut scan_buckets = vec![Vec::new(); period];
+        let mut scan_residue_live = vec![0u32; period];
+        for (idx, &is_passive) in passive.iter().enumerate() {
+            let r = scan_residue(idx, period as u64) as usize;
+            scan_buckets[r].push(idx as u32);
+            if !is_passive {
+                scan_residue_live[r] += 1;
+            }
+        }
         Self {
             stats: PlatformStats {
                 completions_per_task: vec![0; n_tasks],
@@ -167,10 +222,24 @@ impl Platform {
             mesh,
             pes,
             models,
+            dirs_next: dirs.clone(),
             dirs,
             neighbours,
             cycle: 0,
             cfg,
+            passive,
+            pe_next: vec![0; n],
+            credit: vec![false; n],
+            locals,
+            gossip_converged: false,
+            scan_buckets,
+            scan_residue_live,
+            aim_writes_drained: 0,
+            events_stale: false,
+            delivery_scratch: Vec::with_capacity(n),
+            edge_scratch: Vec::new(),
+            evict_scratch: Vec::new(),
+            mcast_dests: Vec::new(),
         }
     }
 
@@ -245,9 +314,16 @@ impl Platform {
         self.stats.completions_per_task[task.index()]
     }
 
+    /// Cumulative completions per task, as a borrow — readers sampling
+    /// every window (recorders, thermal models, render paths) index this
+    /// slice instead of cloning the counter vector.
+    pub fn completions_per_task(&self) -> &[u64] {
+        &self.stats.completions_per_task
+    }
+
     /// Cumulative completions across all tasks.
     pub fn completions_total(&self) -> u64 {
-        self.stats.completions_per_task.iter().sum()
+        self.completions_per_task().iter().sum()
     }
 
     /// Number of alive nodes that completed work at or after `since` —
@@ -297,11 +373,23 @@ impl Platform {
     ///
     /// Panics if `node` is off-grid.
     pub fn kill_pe(&mut self, node: NodeId) {
-        self.pes[node.index()].kill();
+        let idx = node.index();
+        let was_alive = self.pes[idx].is_alive();
+        self.pes[idx].kill();
         let router = self.mesh.router_mut(node);
         router.settings_mut().local_task = None;
         router.settings_mut().port_enabled[Port::Internal.index()] = false;
-        self.dirs[node.index()].clear();
+        self.dirs[idx].clear();
+        // Event-table upkeep: a dead PE never has events, its scan can no
+        // longer decide anything, and the directories must re-converge.
+        self.pe_next[idx] = NEVER;
+        self.credit[idx] = false;
+        self.locals[idx] = None;
+        self.gossip_converged = false;
+        if was_alive && !self.passive[idx] {
+            let r = scan_residue(idx, self.cfg.aim_period as u64) as usize;
+            self.scan_residue_live[r] -= 1;
+        }
     }
 
     /// Kills the whole tile: PE and router (global-circuitry faults).
@@ -322,6 +410,9 @@ impl Platform {
     /// Panics if `node` is off-grid.
     pub fn hang_pe(&mut self, node: NodeId) {
         self.pes[node.index()].set_clock_enabled(false);
+        // A gated PE's steps are no-ops (and it accrues no busy time).
+        self.pe_next[node.index()] = NEVER;
+        self.credit[node.index()] = false;
     }
 
     /// Resumes a hung PE.
@@ -331,6 +422,8 @@ impl Platform {
     /// Panics if `node` is off-grid.
     pub fn resume_pe(&mut self, node: NodeId) {
         self.pes[node.index()].set_clock_enabled(true);
+        // Due immediately: the next step re-derives the real event.
+        self.pe_next[node.index()] = self.cycle;
     }
 
     /// DVFS knob: sets a node's clock, clamped to the platform range.
@@ -363,31 +456,180 @@ impl Platform {
         for (idx, pe) in self.pes.iter_mut().enumerate() {
             if let Some(task) = pe.task() {
                 if let Some(period) = self.graph.spec(task).generation_period {
-                    let _ = idx;
                     pe.set_generation_phase(now + 1 + rng.below_u64(period as u64));
+                    // Re-arm: the next step re-derives the new phase.
+                    self.pe_next[idx] = now;
                 }
             }
         }
     }
 
-    /// Runs for `ms` milliseconds of simulated time.
+    /// Runs for `ms` milliseconds of simulated time through the
+    /// activity-gated stepper (fast-forwarding quiescent stretches).
     pub fn run_ms(&mut self, ms: f64) {
         let target = self.cycle + self.cfg.ms_to_cycles(ms);
+        self.run_until(target);
+    }
+
+    /// Runs for `cycles` cycles through the activity-gated stepper.
+    pub fn run_cycles(&mut self, cycles: Cycle) {
+        self.run_until(self.cycle + cycles);
+    }
+
+    /// Runs for `ms` milliseconds through the naive reference stepper
+    /// ([`Platform::step_naive`]); the differential oracle's driver.
+    pub fn run_ms_naive(&mut self, ms: f64) {
+        let target = self.cycle + self.cfg.ms_to_cycles(ms);
+        while self.cycle < target {
+            self.step_naive();
+        }
+    }
+
+    /// Advances to `target` with the optimized stepper, fast-forwarding
+    /// whole stretches in which the fabric is settled-idle, no PE has a
+    /// due event, no adaptive AIM scan is due and the gossip directories
+    /// are at a proven fixpoint. Never advances past `target`, so
+    /// windowed observers sample the same instants as a per-cycle loop.
+    pub fn run_until(&mut self, target: Cycle) {
         while self.cycle < target {
             self.step();
+            if self.cycle >= target || !self.mesh.is_settled_idle() {
+                continue;
+            }
+            if self.mesh.aim_writes_enqueued() > self.aim_writes_drained {
+                // Undrained remote register writes pin the scan schedule.
+                continue;
+            }
+            let mut next = target;
+            for &e in &self.pe_next {
+                if e < next {
+                    next = e;
+                }
+            }
+            if let Some(s) = self.next_scan_event() {
+                next = next.min(s);
+            }
+            if !self.gossip_converged {
+                next = next.min(next_multiple(self.cycle, self.cfg.gossip_period as u64));
+            }
+            if next > self.cycle {
+                let dt = next - self.cycle;
+                for idx in 0..self.pes.len() {
+                    if self.credit[idx] {
+                        // Exactly the +1-per-cycle the naive stepper
+                        // would apply to a PE that stays mid-work (its
+                        // completion bounds the jump, so the whole
+                        // stretch is busy time).
+                        self.pes[idx].credit_busy(dt);
+                    }
+                }
+                self.mesh.skip_idle_cycles(dt);
+                self.cycle = next;
+            }
         }
     }
 
-    /// Runs for `cycles` cycles.
-    pub fn run_cycles(&mut self, cycles: Cycle) {
-        for _ in 0..cycles {
-            self.step();
-        }
+    /// The next cycle (at or after the current one) at which any alive,
+    /// non-passive node's staggered AIM scan is due; `None` when no such
+    /// node remains and scans cannot change a decision.
+    fn next_scan_event(&self) -> Option<Cycle> {
+        let period = self.cfg.aim_period as u64;
+        (self.cycle..self.cycle + period)
+            .find(|t| self.scan_residue_live[(t % period) as usize] > 0)
     }
 
-    /// Advances the platform by one cycle: deliveries → PE work and
-    /// emissions → staggered AIM scans → gossip → NoC.
+    /// Advances the platform by one cycle with the activity-gated hot
+    /// loop: fabric-reported deliveries → due PEs (skipped PEs provably
+    /// change nothing) → bucketed AIM scans → gossip (elided at fixpoint)
+    /// → NoC. Decision-for-decision identical to
+    /// [`Platform::step_naive`], which `tests/differential.rs` enforces.
     pub fn step(&mut self) {
+        if self.events_stale {
+            self.rebuild_event_state();
+        }
+        let now = self.cycle;
+        // 1. Deliveries from the fabric into the PEs. Only nodes the
+        // fabric delivered to during the last cycle can hold packets, and
+        // the mesh hands us exactly that set (ascending, like the naive
+        // full scan).
+        if !self.mesh.fresh_delivered().is_empty() {
+            let mut list = std::mem::take(&mut self.delivery_scratch);
+            list.clear();
+            list.extend_from_slice(self.mesh.fresh_delivered());
+            for &raw in &list {
+                let idx = raw as usize;
+                let node = NodeId::new(raw);
+                while let Some(pkt) = self.mesh.pop_delivered(node) {
+                    if let Some(svc) = self.mcast.as_mut() {
+                        // Pure relay stops forward the wave and consume
+                        // the copy; member stops fall through to PE
+                        // delivery.
+                        if !svc.on_delivered(&mut self.mesh, node, &pkt) {
+                            continue;
+                        }
+                    }
+                    self.deliver(idx, pkt);
+                }
+            }
+            self.delivery_scratch = list;
+        }
+        // 2. PE work; completions emit packets along the task graph. A PE
+        // whose next event lies ahead is either inert (skipped outright)
+        // or mid-work (credited the busy cycle its step would have
+        // recorded).
+        for idx in 0..self.pes.len() {
+            if self.pe_next[idx] <= now {
+                if let Some(task) = self.pes[idx].step(now, &self.graph) {
+                    self.stats.completions_per_task[task.index()] += 1;
+                    self.emit_outputs(idx, task);
+                }
+                let pe = &self.pes[idx];
+                self.pe_next[idx] = pe.next_event().unwrap_or(NEVER);
+                self.credit[idx] = pe.is_busy() && pe.is_alive() && pe.clock_enabled();
+            } else if self.credit[idx] {
+                self.pes[idx].credit_busy(1);
+            }
+        }
+        // 3. Phase-staggered AIM scans (unsynchronised hardware AIMs),
+        // via the precomputed residue buckets instead of 128 modulo
+        // tests.
+        let r = (now % self.cfg.aim_period as u64) as usize;
+        for k in 0..self.scan_buckets[r].len() {
+            let idx = self.scan_buckets[r][k] as usize;
+            self.scan_fast(idx, now);
+        }
+        // 4. Gossip directory round, double-buffered; once a round
+        // reproduces its input it is a fixpoint and is skipped until an
+        // advertised task or directory changes.
+        if now.is_multiple_of(self.cfg.gossip_period as u64) && !self.gossip_converged {
+            let mut next = std::mem::take(&mut self.dirs_next);
+            gossip_round_into(
+                &self.dirs,
+                &self.locals,
+                &self.neighbours,
+                self.n_tasks,
+                self.cfg.dir_dist_max,
+                &mut next,
+            );
+            if next == self.dirs {
+                self.gossip_converged = true;
+                self.dirs_next = next;
+            } else {
+                self.dirs_next = std::mem::replace(&mut self.dirs, next);
+            }
+        }
+        // 5. Fabric cycle.
+        self.mesh.step();
+        self.cycle += 1;
+    }
+
+    /// Advances the platform by one cycle with the original exhaustive
+    /// loop: every router drained, every PE stepped, every scan condition
+    /// tested, every gossip round recomputed from scratch. Retained as
+    /// the differential oracle for [`Platform::step`] (and as the bench
+    /// baseline); it makes no use of the activity-gating state.
+    pub fn step_naive(&mut self) {
+        self.events_stale = true;
         let now = self.cycle;
         // 1. Deliveries from the fabric into the PEs.
         for idx in 0..self.pes.len() {
@@ -440,7 +682,23 @@ impl Platform {
         self.cycle += 1;
     }
 
+    /// Rebuilds the activity-gating tables after naive stepping (which
+    /// bypasses their upkeep): every PE is marked due so its state
+    /// re-derives itself, and gossip convergence is re-proven.
+    fn rebuild_event_state(&mut self) {
+        for (idx, pe) in self.pes.iter().enumerate() {
+            self.pe_next[idx] = self.cycle;
+            self.credit[idx] = pe.is_busy() && pe.is_alive() && pe.clock_enabled();
+        }
+        self.gossip_converged = false;
+        self.events_stale = false;
+    }
+
     fn deliver(&mut self, idx: usize, pkt: Packet) {
+        // A delivery can make the PE runnable: re-arm it for this cycle's
+        // PE pass (spurious re-arms are harmless — the naive stepper
+        // steps every PE every cycle).
+        self.pe_next[idx] = self.pe_next[idx].min(self.cycle);
         let (accept, displaced) = self.pes[idx].deliver(pkt);
         match accept {
             Accept::Overflow => {
@@ -488,12 +746,14 @@ impl Platform {
     /// Emits the output packets of a completed `task` work item at `idx`.
     fn emit_outputs(&mut self, idx: usize, task: TaskId) {
         let node = NodeId::new(idx as u16);
-        let edges: Vec<(TaskId, u8, u8, sirtm_taskgraph::EdgeKind)> = self
-            .graph
-            .outputs(task)
-            .map(|e| (e.to, e.count, e.payload_flits, e.kind))
-            .collect();
-        for (to, count, payload, kind) in edges {
+        let mut edges = std::mem::take(&mut self.edge_scratch);
+        edges.clear();
+        edges.extend(
+            self.graph
+                .outputs(task)
+                .map(|e| (e.to, e.count, e.payload_flits, e.kind)),
+        );
+        for &(to, count, payload, kind) in &edges {
             let pkt_kind = match kind {
                 sirtm_taskgraph::EdgeKind::Data => PacketKind::Data,
                 sirtm_taskgraph::EdgeKind::Feedback => PacketKind::Ack,
@@ -506,7 +766,8 @@ impl Platform {
                 .as_mut()
                 .filter(|_| count > 1 && pkt_kind == PacketKind::Data)
             {
-                let dests = self.dirs[idx].pick_distinct(to, count as usize);
+                let mut dests = std::mem::take(&mut self.mcast_dests);
+                self.dirs[idx].pick_distinct_into(to, count as usize, &mut dests);
                 if !dests.is_empty() {
                     svc.send(&mut self.mesh, node, &dests, to, pkt_kind, payload);
                     self.stats.multicast_groups += 1;
@@ -525,8 +786,12 @@ impl Platform {
                             }
                         }
                     }
+                    dests.clear();
+                    self.mcast_dests = dests;
                     continue;
                 }
+                dests.clear();
+                self.mcast_dests = dests;
             }
             for _ in 0..count {
                 // Data flows to the nearest instance (locality builds the
@@ -560,15 +825,44 @@ impl Platform {
                 }
             }
         }
+        self.edge_scratch = edges;
+    }
+
+    /// One AIM scan of node `idx`, eliding the sense/decide assembly for
+    /// passive models: a passive scan reads nothing and decides nothing,
+    /// so the only platform state the full path would touch is the
+    /// reset-on-read feed counters (and any pending register writes) —
+    /// which this shortcut touches identically.
+    fn scan_fast(&mut self, idx: usize, now: Cycle) {
+        if !self.passive[idx] {
+            self.scan(idx, now);
+            return;
+        }
+        self.drain_aim_writes(idx);
+        if !self.pes[idx].is_alive() {
+            return;
+        }
+        let _ = self.pes[idx].take_feed_counts();
+    }
+
+    /// Drains remote AIM register writes that arrived through RCAP into
+    /// the node's model, without disturbing the mesh's settled state when
+    /// there is nothing to drain.
+    fn drain_aim_writes(&mut self, idx: usize) {
+        let node = NodeId::new(idx as u16);
+        if self.mesh.router(node).aim_write_backlog() == 0 {
+            return;
+        }
+        while let Some((reg, value)) = self.mesh.aim_router_mut(node).pop_aim_write() {
+            self.aim_writes_drained += 1;
+            self.models[idx].configure(reg, value);
+        }
     }
 
     /// One AIM scan of node `idx`.
     fn scan(&mut self, idx: usize, now: Cycle) {
         let node = NodeId::new(idx as u16);
-        // Remote AIM writes that arrived through RCAP.
-        for (reg, value) in self.mesh.router_mut(node).take_aim_writes() {
-            self.models[idx].configure(reg, value);
-        }
+        self.drain_aim_writes(idx);
         if !self.pes[idx].is_alive() {
             return;
         }
@@ -593,7 +887,9 @@ impl Platform {
                 .saturating_add(acks.saturating_mul(255))
         };
         let mut io = NodeAimIo {
-            router: self.mesh.router_mut(node),
+            // The scan only resets monitors and reads state — it creates
+            // no router work, so it must not disturb the settled proof.
+            router: self.mesh.aim_router_mut(node),
             pe: &self.pes[idx],
             neighbours: nb,
             now,
@@ -615,12 +911,22 @@ impl Platform {
             return;
         }
         self.stats.task_switches += 1;
-        let evicted = self.pes[idx].switch_task(task, &self.graph, now, true);
+        let mut evicted = std::mem::take(&mut self.evict_scratch);
+        evicted.clear();
+        self.pes[idx].switch_task_into(task, &self.graph, now, true, &mut evicted);
         let node = NodeId::new(idx as u16);
-        self.mesh.router_mut(node).settings_mut().local_task = Some(task);
-        for pkt in evicted {
+        // Settings-only update: no router work is created.
+        self.mesh.aim_router_mut(node).settings_mut().local_task = Some(task);
+        for pkt in evicted.drain(..) {
             self.bounce(idx, pkt);
         }
+        self.evict_scratch = evicted;
+        // Event-table upkeep: the advertised task changed (gossip must
+        // re-converge) and the PE may now be runnable.
+        self.locals[idx] = Some(task);
+        self.gossip_converged = false;
+        self.pe_next[idx] = now;
+        self.credit[idx] = false;
     }
 }
 
@@ -693,6 +999,18 @@ impl AimIo for NodeAimIo<'_> {
     fn switch_task(&mut self, task: TaskId) {
         self.switch_to = Some(task);
     }
+}
+
+/// Residue class (mod `period`) at which node `idx`'s phase-staggered AIM
+/// scan fires: `(now + idx·7) ≡ 0 (mod period)` ⟺ `now ≡ this (mod
+/// period)`.
+fn scan_residue(idx: usize, period: u64) -> u64 {
+    (period - (idx as u64 * 7) % period) % period
+}
+
+/// Smallest multiple of `step` at or after `at`.
+fn next_multiple(at: Cycle, step: u64) -> Cycle {
+    at.next_multiple_of(step)
 }
 
 /// Builds the per-node neighbour index table (N, E, S, W).

@@ -1,0 +1,219 @@
+//! Differential oracle: the activity-gated stepper ([`Platform::step`] /
+//! [`Platform::run_until`]) must be decision-for-decision identical to
+//! the retained naive stepper ([`Platform::step_naive`]).
+//!
+//! Two platforms are built from the same seed and driven through the same
+//! fault-injection scenario — one per-cycle through the naive loop, one
+//! through the optimized loop (which fast-forwards quiescent stretches).
+//! At every sample window the full observable surface is compared:
+//! platform counters, per-task completions, mesh statistics, task
+//! distribution and every node's debug snapshot (including the busy-cycle
+//! integrals the thermal models difference).
+
+use sirtm_centurion::{Platform, PlatformConfig};
+use sirtm_core::models::{FfwConfig, ModelKind, NiConfig};
+use sirtm_noc::NodeId;
+use sirtm_rng::{Rng, Xoshiro256StarStar};
+use sirtm_taskgraph::workloads::{fork_join, ForkJoinParams};
+use sirtm_taskgraph::{GridDims, Mapping};
+
+fn config(dims: GridDims) -> PlatformConfig {
+    PlatformConfig {
+        dims,
+        dir_dist_max: 12,
+        ..PlatformConfig::default()
+    }
+}
+
+fn build(model: &ModelKind, seed: u64, dims: GridDims) -> Platform {
+    let cfg = config(dims);
+    let graph = fork_join(&ForkJoinParams::default());
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let mapping = if model.is_adaptive() {
+        Mapping::random_uniform(&graph, cfg.dims, &mut rng)
+    } else {
+        Mapping::heuristic(&graph, cfg.dims)
+    };
+    let mut p = Platform::new(graph, &mapping, model, cfg);
+    p.randomize_phases(&mut rng);
+    p
+}
+
+/// Everything a window sample observes, plus every node's snapshot.
+#[derive(Debug, PartialEq)]
+struct Observation {
+    cycle: u64,
+    completions: Vec<u64>,
+    sends: u64,
+    send_failures: u64,
+    bounces: u64,
+    bounce_drops: u64,
+    switches: u64,
+    multicast_groups: u64,
+    mesh: sirtm_noc::MeshStats,
+    task_counts: Vec<usize>,
+    alive: usize,
+    nodes_active: usize,
+    snapshots: Vec<sirtm_centurion::NodeSnapshot>,
+}
+
+fn observe(p: &Platform, window_cycles: u64) -> Observation {
+    let stats = p.stats();
+    Observation {
+        cycle: p.now(),
+        completions: p.completions_per_task().to_vec(),
+        sends: stats.sends,
+        send_failures: stats.send_failures,
+        bounces: stats.bounces,
+        bounce_drops: stats.bounce_drops,
+        switches: stats.task_switches,
+        multicast_groups: stats.multicast_groups,
+        mesh: p.mesh_stats(),
+        task_counts: p.task_counts(),
+        alive: p.alive_count(),
+        nodes_active: p.nodes_active_since(p.now().saturating_sub(window_cycles)),
+        snapshots: (0..p.config().dims.len())
+            .map(|i| p.node_snapshot(NodeId::new(i as u16)))
+            .collect(),
+    }
+}
+
+/// The deterministic fault set of a seed (same victims on both twins).
+fn victims(seed: u64, n_nodes: usize, k: usize) -> Vec<NodeId> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed ^ 0x5EED_FA17);
+    let mut out = Vec::new();
+    while out.len() < k {
+        let v = NodeId::new(rng.range_u32(0..n_nodes as u32) as u16);
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Drives the naive and optimized twins through the same windowed
+/// fault-injection scenario and asserts identical observations at every
+/// window boundary.
+fn assert_twins_agree(model: ModelKind, seed: u64, dims: GridDims) {
+    let mut naive = build(&model, seed, dims);
+    let mut fast = build(&model, seed, dims);
+    let window_ms = 2.0;
+    let window_cycles = naive.config().ms_to_cycles(window_ms);
+    let total_windows = 60usize;
+    let fault_window = 30usize;
+    let hang_window = 20usize;
+    let resume_window = 40usize;
+    let config_window = 10usize;
+    let kills = victims(seed, dims.len(), 3);
+    let hang = NodeId::new((seed % dims.len() as u64) as u16);
+    for w in 0..total_windows {
+        if w == fault_window {
+            for &v in &kills {
+                naive.kill_pe(v);
+                fast.kill_pe(v);
+            }
+        }
+        if w == hang_window {
+            naive.hang_pe(hang);
+            fast.hang_pe(hang);
+        }
+        if w == resume_window {
+            naive.resume_pe(hang);
+            fast.resume_pe(hang);
+        }
+        if w == config_window && model.is_adaptive() {
+            // In-band reconfiguration exercises the RCAP/aim-write path
+            // (and, on the optimized twin, the outstanding-write guard
+            // that pins its fast-forward).
+            for p in [&mut naive, &mut fast] {
+                p.send_config(
+                    NodeId::new(0),
+                    NodeId::new((dims.len() - 1) as u16),
+                    sirtm_noc::RcapCommand::AimWrite {
+                        reg: sirtm_core::models::regs::NI_THRESHOLD,
+                        value: 9,
+                    },
+                );
+            }
+        }
+        for _ in 0..window_cycles {
+            naive.step_naive();
+        }
+        fast.run_until(fast.now() + window_cycles);
+        let a = observe(&naive, window_cycles);
+        let b = observe(&fast, window_cycles);
+        assert_eq!(
+            a, b,
+            "steppers diverged: model {model:?}, seed {seed}, window {w}"
+        );
+    }
+}
+
+#[test]
+fn ffw_twins_agree_across_seeds() {
+    for seed in [1, 2, 3] {
+        assert_twins_agree(
+            ModelKind::ForagingForWork(FfwConfig::default()),
+            seed,
+            GridDims::new(4, 4),
+        );
+    }
+}
+
+#[test]
+fn ni_twins_agree_across_seeds() {
+    for seed in [1, 2, 3] {
+        assert_twins_agree(
+            ModelKind::NetworkInteraction(NiConfig::default()),
+            seed,
+            GridDims::new(4, 4),
+        );
+    }
+}
+
+#[test]
+fn baseline_twins_agree_with_fast_forward() {
+    // The passive baseline is where the optimized stepper jumps whole
+    // quiescent stretches; the fault scenario forces re-settling.
+    for seed in [1, 2, 3] {
+        assert_twins_agree(ModelKind::NoIntelligence, seed, GridDims::new(4, 4));
+    }
+}
+
+#[test]
+fn ffw_twins_agree_on_the_full_grid() {
+    assert_twins_agree(
+        ModelKind::ForagingForWork(FfwConfig::default()),
+        7,
+        GridDims::new(8, 8),
+    );
+}
+
+#[test]
+fn interleaving_steppers_is_safe() {
+    // Mixing naive and optimized stepping on ONE platform must match a
+    // pure naive twin: the optimized stepper rebuilds its event tables
+    // after naive cycles touched state behind their back.
+    let model = ModelKind::ForagingForWork(FfwConfig::default());
+    let dims = GridDims::new(4, 4);
+    let mut naive = build(&model, 11, dims);
+    let mut mixed = build(&model, 11, dims);
+    let window = naive.config().ms_to_cycles(2.0);
+    for w in 0..40usize {
+        for _ in 0..window {
+            naive.step_naive();
+        }
+        if w % 2 == 0 {
+            for _ in 0..window {
+                mixed.step_naive();
+            }
+        } else {
+            mixed.run_until(mixed.now() + window);
+        }
+        assert_eq!(
+            observe(&naive, window),
+            observe(&mixed, window),
+            "window {w}"
+        );
+    }
+}

@@ -64,6 +64,16 @@ pub trait RtmModel: fmt::Debug {
         let _ = (reg, value);
     }
 
+    /// `true` when [`RtmModel::scan`] is a guaranteed no-op: it neither
+    /// reads the [`AimIo`] surface nor mutates model state. The platform
+    /// uses this to elide scan assembly for such models on its hot path —
+    /// the elision is decision-identical because a passive scan could not
+    /// have observed or changed anything. Only return `true` when that
+    /// guarantee holds unconditionally.
+    fn is_passive(&self) -> bool {
+        false
+    }
+
     /// Returns internal state to power-on defaults.
     fn reset(&mut self) {}
 }

@@ -38,5 +38,7 @@ pub use buffer::FlitBuffer;
 pub use mesh::{Mesh, MeshStats};
 pub use multicast::{MulticastService, MulticastStats, MulticastTree};
 pub use packet::{Flit, Packet, PacketId, PacketKind, RcapCommand, RouteMode};
-pub use router::{InPort, OutPort, Router, RouterConfig, RouterMonitors, RouterSettings};
+pub use router::{
+    InPort, OutPort, Router, RouterConfig, RouterMonitors, RouterPlan, RouterSettings,
+};
 pub use types::{Coord, Cycle, Direction, NodeId, Port};

@@ -73,6 +73,21 @@ pub struct Mesh {
     plans: Vec<RouterPlan>,
     /// Reusable link-transfer staging buffer.
     transfers: Vec<(usize, Direction, Flit)>,
+    /// Nodes that completed a packet delivery during the most recent
+    /// [`Mesh::step`], ascending and deduplicated — the platform's
+    /// activity-gated delivery pass iterates exactly this set instead of
+    /// scanning every router.
+    fresh_delivered: Vec<u16>,
+    /// `true` once a step's work scan found every router quiescent and no
+    /// packet has been injected (and no router mutably borrowed) since.
+    /// While set, [`Mesh::step`] is O(1) and the fabric is provably
+    /// inert, which is what licenses the platform's fast-forward jumps.
+    settled: bool,
+    /// Cumulative `AimWrite` commands that reached any router (via RCAP
+    /// consumption or the direct debug path). The platform differences
+    /// this against its own drain count to know whether register writes
+    /// are still outstanding anywhere.
+    aim_writes_enqueued: u64,
 }
 
 impl Mesh {
@@ -89,6 +104,9 @@ impl Mesh {
         Self {
             plans: vec![RouterPlan::default(); dims.len()],
             transfers: Vec::new(),
+            fresh_delivered: Vec::with_capacity(dims.len()),
+            settled: false,
+            aim_writes_enqueued: 0,
             dims,
             routers,
             cycle: 0,
@@ -123,10 +141,29 @@ impl Mesh {
 
     /// Mutable access to a router (AIM / debug interface path).
     ///
+    /// Conservatively clears the settled flag: arbitrary router mutation
+    /// (e.g. a direct `enqueue_inject`) may create work, so the next
+    /// [`Mesh::step`] re-runs the full quiescence scan.
+    ///
     /// # Panics
     ///
     /// Panics if `node` is off-grid.
     pub fn router_mut(&mut self, node: NodeId) -> &mut Router {
+        self.settled = false;
+        &mut self.routers[node.index()]
+    }
+
+    /// Mutable router access for the AIM scan path: monitor
+    /// reset-on-read, register-write drains and settings updates. The
+    /// caller must not create router *work* through this borrow (no
+    /// `enqueue_inject`); in exchange, unlike [`Mesh::router_mut`], the
+    /// settled proof stays intact — an idle fabric keeps its O(1) step
+    /// while the platform's scans run every cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is off-grid.
+    pub fn aim_router_mut(&mut self, node: NodeId) -> &mut Router {
         &mut self.routers[node.index()]
     }
 
@@ -164,6 +201,7 @@ impl Mesh {
         };
         self.routers[src.index()].enqueue_inject(pkt);
         self.stats.injected += 1;
+        self.settled = false;
         id
     }
 
@@ -190,6 +228,7 @@ impl Mesh {
         };
         self.routers[src.index()].enqueue_inject(bounced);
         self.stats.injected += 1;
+        self.settled = false;
         id
     }
 
@@ -205,12 +244,62 @@ impl Mesh {
     ///
     /// Panics if `node` is off-grid.
     pub fn apply_config_direct(&mut self, node: NodeId, cmd: RcapCommand) {
+        if matches!(cmd, RcapCommand::AimWrite { .. }) {
+            self.aim_writes_enqueued += 1;
+        }
         self.routers[node.index()].apply_config(cmd);
     }
 
     /// Drains packets delivered to `node`.
+    ///
+    /// Allocates; the platform hot loop uses [`Mesh::pop_delivered`].
     pub fn take_delivered(&mut self, node: NodeId) -> Vec<Packet> {
         self.routers[node.index()].take_delivered()
+    }
+
+    /// Pops the oldest packet delivered to `node` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is off-grid.
+    pub fn pop_delivered(&mut self, node: NodeId) -> Option<Packet> {
+        self.routers[node.index()].pop_delivered()
+    }
+
+    /// Nodes that received a completed packet delivery during the most
+    /// recent [`Mesh::step`], ascending and deduplicated. Queues drained
+    /// every cycle (as the platform does) therefore hold packets only for
+    /// nodes in this list.
+    pub fn fresh_delivered(&self) -> &[u16] {
+        &self.fresh_delivered
+    }
+
+    /// Cumulative `AimWrite` commands that have reached any router.
+    pub fn aim_writes_enqueued(&self) -> u64 {
+        self.aim_writes_enqueued
+    }
+
+    /// `true` when the fabric is provably inert: the last step's work scan
+    /// found every router quiescent (no buffered flit, no queued
+    /// injection, not even deadlock-recovery drainage in progress) and
+    /// nothing has been injected or mutably touched since. Deliberately
+    /// *not* derived from [`MeshStats::in_flight`]: a killed tile
+    /// discards packets without delivering or dropping them, which would
+    /// pin that counter above zero — and fast-forwarding — forever.
+    pub fn is_settled_idle(&self) -> bool {
+        self.settled
+    }
+
+    /// Advances the clock by `cycles` without stepping — the platform's
+    /// fast-forward over provably idle stretches. Each skipped cycle is
+    /// exactly equivalent to a [`Mesh::step`] call in the settled state.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Mesh::is_settled_idle`] holds.
+    pub fn skip_idle_cycles(&mut self, cycles: Cycle) {
+        assert!(self.is_settled_idle(), "fast-forward on an active fabric");
+        self.cycle += cycles;
     }
 
     /// `true` when no flits or packets remain anywhere in the fabric.
@@ -251,6 +340,14 @@ impl Mesh {
     /// Advances the fabric by one cycle.
     pub fn step(&mut self) {
         let now = self.cycle;
+        self.fresh_delivered.clear();
+        // O(1) fast path: the previous step's scan proved every router
+        // quiescent and nothing has been injected since, so this cycle is
+        // a pure clock tick.
+        if self.settled {
+            self.cycle += 1;
+            return;
+        }
         // Phase 1: plan all moves against start-of-cycle state. Quiescent
         // routers (no buffered flits, nothing to inject) are skipped —
         // the common case on a lightly loaded grid.
@@ -267,6 +364,7 @@ impl Mesh {
             self.plans[idx] = plan;
         }
         if !any_work {
+            self.settled = true;
             self.cycle += 1;
             return;
         }
@@ -308,11 +406,19 @@ impl Mesh {
                             self.stats.delivered += 1;
                             self.stats.latency_sum += latency;
                             self.stats.latency_max = self.stats.latency_max.max(latency);
+                            // Phase 2 walks routers in ascending order, so
+                            // the fresh-delivery list stays sorted.
+                            if self.fresh_delivered.last() != Some(&(idx as u16)) {
+                                self.fresh_delivered.push(idx as u16);
+                            }
                         }
                     }
                     OutPort::Rcap => {
                         if let Flit::Head { pkt, .. } = flit {
                             if let PacketKind::Config(cmd) = pkt.kind {
+                                if matches!(cmd, RcapCommand::AimWrite { .. }) {
+                                    self.aim_writes_enqueued += 1;
+                                }
                                 router.apply_config(cmd);
                             }
                             self.stats.config_consumed += 1;

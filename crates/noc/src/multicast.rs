@@ -261,8 +261,7 @@ impl MulticastService {
     ) -> MulticastTree {
         let tree = MulticastTree::xy(src, dests, self.dims);
         self.stats.groups_sent += 1;
-        let targets: Vec<NodeId> = tree.targets(src).to_vec();
-        for hop in targets {
+        for &hop in tree.targets(src) {
             let id = mesh.inject(src, hop, task, kind, payload_flits);
             self.stats.copies_injected += 1;
             self.pending.insert(id, (tree.clone(), hop));
@@ -280,8 +279,7 @@ impl MulticastService {
             return true;
         };
         debug_assert_eq!(stop, node, "relay copy surfaced at the wrong stop");
-        let targets: Vec<NodeId> = tree.targets(node).to_vec();
-        for hop in targets {
+        for &hop in tree.targets(node) {
             let id = mesh.inject(node, hop, pkt.task, pkt.kind, pkt.payload_flits);
             self.stats.copies_injected += 1;
             self.pending.insert(id, (tree.clone(), hop));

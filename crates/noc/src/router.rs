@@ -249,7 +249,7 @@ pub(crate) struct Move {
 /// Reusable per-router plan buffer: at most one move per output port and
 /// one consume per input port, so fixed arrays avoid per-cycle heap work.
 #[derive(Debug, Clone, Default)]
-pub(crate) struct RouterPlan {
+pub struct RouterPlan {
     moves: [Option<Move>; 6],
     n_moves: u8,
     consumes: [Option<InPort>; 5],
@@ -257,9 +257,15 @@ pub(crate) struct RouterPlan {
 }
 
 impl RouterPlan {
-    pub(crate) fn clear(&mut self) {
+    /// Resets the plan for reuse.
+    pub fn clear(&mut self) {
         self.n_moves = 0;
         self.n_consumes = 0;
+    }
+
+    /// Number of planned crossbar traversals.
+    pub fn move_count(&self) -> usize {
+        self.n_moves as usize
     }
 
     fn push_move(&mut self, m: Move) {
@@ -286,7 +292,8 @@ impl RouterPlan {
             .copied()
     }
 
-    pub(crate) fn is_empty(&self) -> bool {
+    /// Whether nothing was planned.
+    pub fn is_empty(&self) -> bool {
         self.n_moves == 0 && self.n_consumes == 0
     }
 }
@@ -387,8 +394,18 @@ impl Router {
     }
 
     /// Drains all packets delivered to the local node.
+    ///
+    /// Allocates the returned `Vec`; tests and debug tooling use this.
+    /// The simulation hot loop drains through [`Router::pop_delivered`]
+    /// instead, which performs no heap allocation.
     pub fn take_delivered(&mut self) -> Vec<Packet> {
         self.delivered.drain(..).collect()
+    }
+
+    /// Pops the oldest packet delivered to the local node, if any —
+    /// the allocation-free drain the platform hot loop uses.
+    pub fn pop_delivered(&mut self) -> Option<Packet> {
+        self.delivered.pop_front()
     }
 
     /// Peeks the delivered queue length without draining.
@@ -397,8 +414,22 @@ impl Router {
     }
 
     /// Drains AIM register writes received through RCAP.
+    ///
+    /// Allocates the returned `Vec`; the hot loop drains through
+    /// [`Router::pop_aim_write`] instead.
     pub fn take_aim_writes(&mut self) -> Vec<(u8, u8)> {
         self.pending_aim_writes.drain(..).collect()
+    }
+
+    /// Pops the oldest pending AIM register write, if any (allocation-free
+    /// drain).
+    pub fn pop_aim_write(&mut self) -> Option<(u8, u8)> {
+        self.pending_aim_writes.pop_front()
+    }
+
+    /// Number of AIM register writes waiting to be drained by a scan.
+    pub fn aim_write_backlog(&self) -> usize {
+        self.pending_aim_writes.len()
     }
 
     /// Occupancy of the input buffer for link direction `dir`.
@@ -548,7 +579,9 @@ impl Router {
         self.dims_width as usize
     }
 
-    pub(crate) fn set_grid_width(&mut self, width: u16) {
+    /// Stashes the owning grid's width (normally done by the mesh at
+    /// construction; public so a router can be benched standalone).
+    pub fn set_grid_width(&mut self, width: u16) {
         self.dims_width = width;
     }
 
@@ -576,20 +609,17 @@ impl Router {
     /// Whether any flit or queued packet could possibly move this cycle —
     /// the idle fast path skips planning entirely for quiescent routers
     /// (the common case on a lightly loaded grid).
-    pub(crate) fn has_work(&self) -> bool {
+    pub fn has_work(&self) -> bool {
         self.settings.alive
             && (!self.inject_queue.is_empty() || self.inputs.iter().any(|b| !b.is_empty()))
     }
 
     /// Phase-1 planning: decides which flits traverse the crossbar this
     /// cycle. Pure with respect to router state; the mesh applies the
-    /// plan in phase 2.
-    pub(crate) fn plan_into(
-        &self,
-        now: Cycle,
-        credit: &dyn Fn(Direction) -> bool,
-        plan: &mut RouterPlan,
-    ) {
+    /// plan in phase 2. Public so the bench harness can time the planning
+    /// phase in isolation; `credit` answers whether a link output can
+    /// accept a flit.
+    pub fn plan_into(&self, now: Cycle, credit: &dyn Fn(Direction) -> bool, plan: &mut RouterPlan) {
         plan.clear();
         if !self.settings.alive {
             return;
