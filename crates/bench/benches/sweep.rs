@@ -1,0 +1,43 @@
+//! Scenario sweep orchestrator throughput: runs/sec of the light 4x4
+//! preset at 1, 4 and 8 worker threads.
+//!
+//! `BENCH_sweep.json` (checked in at the repo root) is produced by
+//! `scenarios bench`, which wall-clocks a 64-run sweep of the same
+//! preset; this criterion target tracks per-configuration timing so
+//! scaling regressions are attributable to a thread count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sirtm_scenario::{presets, run_sweep, SeedScheme, SweepOptions, SweepSpec};
+
+/// Runs per measured sweep — small enough for the vendored criterion's
+/// 200 ms budget, large enough to keep all 8 workers fed.
+const RUNS: usize = 16;
+
+fn sweep_spec() -> SweepSpec {
+    SweepSpec {
+        name: "bench".to_string(),
+        base: presets::preset("light-4x4").expect("known preset"),
+        axes: vec![],
+        replicates: RUNS,
+        seeds: SeedScheme::Derived { root: 1 },
+    }
+}
+
+fn sweep(c: &mut Criterion) {
+    let spec = sweep_spec();
+    let mut group = c.benchmark_group("sweep");
+    for threads in [1usize, 4, 8] {
+        group.bench_function(format!("light-4x4/{RUNS}runs/{threads}threads"), |b| {
+            b.iter(|| {
+                let result = run_sweep(&spec, SweepOptions { threads });
+                black_box(result.cells.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sweep);
+criterion_main!(benches);

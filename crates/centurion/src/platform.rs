@@ -436,6 +436,39 @@ impl Platform {
         self.pes[node.index()].set_frequency_mhz(mhz.clamp(lo, hi));
     }
 
+    /// DVFS knob over the whole grid: sets every node's clock, clamped to
+    /// the platform range (a global throttle / overclock event).
+    pub fn set_frequency_all(&mut self, mhz: u16) {
+        for i in 0..self.pes.len() {
+            self.set_frequency(NodeId::new(i as u16), mhz);
+        }
+    }
+
+    /// Workload-phase knob: retunes the spontaneous generation period of
+    /// source task `task` to `period_cycles`. The change takes effect
+    /// from each source node's next generation instant (the pending phase
+    /// is kept, so randomised clock phases survive the shift).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is not a source task of the running graph, or if
+    /// `period_cycles` is zero.
+    pub fn set_generation_period(&mut self, task: TaskId, period_cycles: u32) {
+        assert!(period_cycles > 0, "generation period must be non-zero");
+        assert!(
+            self.graph.spec(task).is_source(),
+            "task {task} is not a source"
+        );
+        self.graph.spec_mut(task).generation_period = Some(period_cycles);
+        // Re-arm affected PEs: their cached next event may now be wrong
+        // in either direction; due-now re-derivation is always safe.
+        for idx in 0..self.pes.len() {
+            if self.pes[idx].task() == Some(task) {
+                self.pe_next[idx] = self.pe_next[idx].min(self.cycle);
+            }
+        }
+    }
+
     /// Sends a configuration packet through the NoC to a router's RCAP
     /// (the experiment controller's in-band path).
     pub fn send_config(&mut self, from: NodeId, to: NodeId, cmd: sirtm_noc::RcapCommand) {
@@ -1223,6 +1256,42 @@ mod tests {
             ..PlatformConfig::default()
         };
         cfg.validate();
+    }
+
+    #[test]
+    fn generation_period_shift_changes_the_source_rate() {
+        let mut p = heuristic_platform(ModelKind::NoIntelligence);
+        p.run_ms(40.0);
+        let rate = |p: &mut Platform, ms: f64| {
+            let before = p.completions(TaskId::new(0));
+            p.run_ms(ms);
+            (p.completions(TaskId::new(0)) - before) as f64 / ms
+        };
+        let before = rate(&mut p, 40.0);
+        // Halve the period: the sources fire twice as often.
+        p.set_generation_period(TaskId::new(0), 200);
+        p.run_ms(8.0); // absorb the pending old-phase generation
+        let after = rate(&mut p, 40.0);
+        assert!(
+            after > before * 1.6,
+            "doubled source rate: {before:.3} -> {after:.3}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a source")]
+    fn generation_period_rejects_workers() {
+        let mut p = heuristic_platform(ModelKind::NoIntelligence);
+        p.set_generation_period(TaskId::new(1), 100);
+    }
+
+    #[test]
+    fn set_frequency_all_clamps_every_node() {
+        let mut p = heuristic_platform(ModelKind::NoIntelligence);
+        p.set_frequency_all(900);
+        for i in 0..16 {
+            assert_eq!(p.pe(NodeId::new(i)).frequency_mhz(), 300);
+        }
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! The scenario engine driver: list, inspect, run and verify
+//! declarative scenario sweeps.
+//!
+//! ```text
+//! scenarios list                              preset library
+//! scenarios show NAME                         print a preset's spec JSON
+//! scenarios run NAME [--runs N] [--threads T] [--seed S]
+//!               [--out PATH] [--csv PATH]     sweep a preset
+//! scenarios run --spec FILE [...]             sweep a spec loaded from JSON
+//! scenarios check PATH                        re-parse a sweep artefact
+//! scenarios bench [--out PATH]                runs/sec at 1/4/8 threads
+//! ```
+//!
+//! `run` executes `--runs` replicates of the scenario on `--threads`
+//! workers (0 = all cores) and writes the JSON artefact (default
+//! `target/sirtm/<name>.json`); `check` exits non-zero unless the
+//! artefact parses and every per-run row carries finite measures.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use sirtm_experiments::render;
+use sirtm_scenario::{
+    check_artifact, presets, run_sweep, ScenarioSpec, SeedScheme, SweepOptions, SweepResult,
+    SweepSpec,
+};
+
+fn die(msg: &str) -> ! {
+    eprintln!("scenarios: {msg}");
+    eprintln!(
+        "usage: scenarios [list|show NAME|run NAME|check PATH|bench] \
+         [--spec FILE] [--runs N] [--threads T] [--seed S] [--out PATH] [--csv PATH]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    command: String,
+    target: Option<String>,
+    spec_file: Option<PathBuf>,
+    runs: usize,
+    threads: usize,
+    seed: u64,
+    out: Option<PathBuf>,
+    csv: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        command: "list".to_string(),
+        target: None,
+        spec_file: None,
+        runs: 8,
+        threads: 0,
+        seed: 2020,
+        out: None,
+        csv: None,
+    };
+    let mut it = std::env::args().skip(1);
+    if let Some(cmd) = it.next() {
+        args.command = cmd;
+    }
+    while let Some(flag) = it.next() {
+        let mut next_val = |what: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{what} needs a value")))
+        };
+        match flag.as_str() {
+            "--spec" => args.spec_file = Some(PathBuf::from(next_val("--spec"))),
+            "--runs" => {
+                args.runs = next_val("--runs")
+                    .parse()
+                    .unwrap_or_else(|_| die("--runs needs a number"));
+            }
+            "--threads" => {
+                args.threads = next_val("--threads")
+                    .parse()
+                    .unwrap_or_else(|_| die("--threads needs a number"));
+            }
+            "--seed" => {
+                args.seed = next_val("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed needs a number"));
+            }
+            "--out" => args.out = Some(PathBuf::from(next_val("--out"))),
+            "--csv" => args.csv = Some(PathBuf::from(next_val("--csv"))),
+            other if args.target.is_none() && !other.starts_with("--") => {
+                args.target = Some(other.to_string());
+            }
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+    args
+}
+
+fn list() {
+    println!("Preset scenarios:");
+    for name in presets::PRESET_NAMES {
+        println!("  {name:<18} {}", presets::describe(name));
+    }
+}
+
+fn resolve_spec(args: &Args) -> ScenarioSpec {
+    if let Some(path) = &args.spec_file {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())));
+        return ScenarioSpec::from_json_text(&text)
+            .unwrap_or_else(|e| die(&format!("bad spec {}: {e}", path.display())));
+    }
+    let name = args
+        .target
+        .as_deref()
+        .unwrap_or_else(|| die("run needs a preset name or --spec FILE"));
+    presets::preset(name).unwrap_or_else(|| die(&format!("unknown preset `{name}`")))
+}
+
+fn summary_table(result: &SweepResult) -> String {
+    let headers = [
+        "cell",
+        "runs",
+        "settle Q2 (ms)",
+        "recovery Q2 (ms)",
+        "rate Q2",
+        "rate mean",
+    ];
+    let rows: Vec<Vec<String>> = result
+        .cells
+        .iter()
+        .map(|c| {
+            let label = if c.labels.is_empty() {
+                c.spec.name.clone()
+            } else {
+                c.labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            vec![
+                label,
+                c.runs.len().to_string(),
+                format!("{:.1}", c.settle_ms.q2),
+                c.recovery_ms
+                    .map(|q| format!("{:.1}", q.q2))
+                    .unwrap_or_else(|| "-".to_string()),
+                format!("{:.3}", c.final_rate.q2),
+                format!("{:.3}", c.final_rate_online.mean),
+            ]
+        })
+        .collect();
+    render::ascii_table(&headers, &rows)
+}
+
+fn run(args: &Args) {
+    let base = resolve_spec(args);
+    let name = base.name.clone();
+    let sweep = SweepSpec {
+        name: name.clone(),
+        base,
+        axes: vec![],
+        replicates: args.runs,
+        seeds: SeedScheme::Derived { root: args.seed },
+    };
+    let started = Instant::now();
+    let result = run_sweep(
+        &sweep,
+        SweepOptions {
+            threads: args.threads,
+        },
+    );
+    let elapsed = started.elapsed();
+    println!(
+        "sweep `{name}`: {} runs on {} threads in {elapsed:.1?} ({:.1} runs/sec)",
+        sweep.run_count(),
+        result.threads_used,
+        sweep.run_count() as f64 / elapsed.as_secs_f64()
+    );
+    println!("{}", summary_table(&result));
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(format!("target/sirtm/{name}.json")));
+    result
+        .write_json(&out)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", out.display())));
+    println!("artefact: {}", out.display());
+    if let Some(csv) = &args.csv {
+        result
+            .write_csv(csv)
+            .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", csv.display())));
+        println!("csv     : {}", csv.display());
+    }
+}
+
+fn show(args: &Args) {
+    let spec = resolve_spec(args);
+    print!("{}", spec.to_json_pretty());
+}
+
+fn check(args: &Args) {
+    let path = args
+        .target
+        .as_deref()
+        .unwrap_or_else(|| die("check needs an artefact path"));
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    match check_artifact(&text) {
+        Ok(runs) => println!("{path}: OK ({runs} runs)"),
+        Err(e) => die(&format!("{path}: INVALID: {e}")),
+    }
+}
+
+fn bench(args: &Args) {
+    // Runs/sec of the light 4x4 preset at 1, 4 and 8 workers — the
+    // checked-in `BENCH_sweep.json` datapoint.
+    const RUNS: usize = 64;
+    let base = presets::preset("light-4x4").expect("known preset");
+    let mut rows = Vec::new();
+    for threads in [1usize, 4, 8] {
+        let sweep = SweepSpec {
+            name: "bench".to_string(),
+            base: base.clone(),
+            axes: vec![],
+            replicates: RUNS,
+            seeds: SeedScheme::Derived { root: 1 },
+        };
+        let started = Instant::now();
+        let result = run_sweep(&sweep, SweepOptions { threads });
+        let secs = started.elapsed().as_secs_f64();
+        let rps = RUNS as f64 / secs;
+        eprintln!(
+            "  {threads} thread(s): {RUNS} runs in {secs:.2}s = {rps:.1} runs/sec \
+             ({} used)",
+            result.threads_used
+        );
+        rows.push((threads, rps));
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"sweep\",\n");
+    json.push_str(
+        "  \"description\": \"Scenario sweep throughput: 64 runs of the light-4x4 preset \
+         (120 ms, 4x4 grid, 3-fault event) through the deterministic orchestrator at \
+         1/4/8 worker threads. Thread scaling is bounded by the recording machine's \
+         available parallelism.\",\n",
+    );
+    json.push_str("  \"unit\": \"runs/sec\",\n");
+    json.push_str(&format!("  \"machine_cores\": {cores},\n"));
+    json.push_str("  \"configs\": [\n");
+    for (i, (threads, rps)) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"preset\": \"light-4x4\", \"runs\": {RUNS}, \"threads\": {threads}, \
+             \"runs_per_sec\": {rps:.1}}}{sep}\n"
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_sweep.json"));
+    std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("cannot write bench json: {e}")));
+    eprintln!("wrote {}", out.display());
+}
+
+fn main() {
+    let args = parse_args();
+    match args.command.as_str() {
+        "list" => list(),
+        "show" => show(&args),
+        "run" => run(&args),
+        "check" => check(&args),
+        "bench" => bench(&args),
+        other => die(&format!("unknown command `{other}`")),
+    }
+}

@@ -1,15 +1,22 @@
-//! The experiment harness: builds platforms, injects faults, records
-//! traces and extracts the paper's per-run measures.
+//! The experiment harness, as a thin legacy-shaped wrapper over the
+//! scenario engine: an [`ExperimentConfig`] plus a [`RunSpec`] is
+//! exactly one [`ScenarioSpec`], and every run executes through
+//! [`sirtm_scenario::run_spec`]. The conversion is bit-compatible with
+//! the original hand-rolled harness — same seeds, same mappings, same
+//! victims, same measures — which `tests/scenario_equivalence.rs` pins.
 
 use sirtm_centurion::{Platform, PlatformConfig};
 use sirtm_core::models::ModelKind;
-use sirtm_faults::{generators, Fault, FaultEvent, FaultKind, FaultSchedule};
-use sirtm_rng::Xoshiro256StarStar;
+use sirtm_faults::Fault;
+use sirtm_scenario::timeline::CompiledAction;
+use sirtm_scenario::{
+    parallel_map, EventAction, EventSpec, MappingSpec, ScenarioSpec, Timeline, WorkloadSpec,
+};
 use sirtm_taskgraph::workloads::{fork_join, ForkJoinParams};
-use sirtm_taskgraph::{Mapping, TaskGraph, TaskId};
+use sirtm_taskgraph::{TaskGraph, TaskId};
 
-use crate::detect::{settling_ms, DetectorConfig};
-use crate::recorder::{Recorder, RunTrace};
+use crate::detect::DetectorConfig;
+use crate::recorder::RunTrace;
 
 /// Shared configuration of a reproduction experiment.
 #[derive(Debug, Clone)]
@@ -54,6 +61,33 @@ impl ExperimentConfig {
     pub fn sink(&self) -> TaskId {
         TaskId::new((self.graph().len() - 1) as u8)
     }
+
+    /// The scenario this configuration describes for `model` with
+    /// `faults` random PE deaths at the injection instant — the paper's
+    /// protocol as data. The settle region always ends at the injection
+    /// instant, faulted or not (fault-free twins are measured over the
+    /// same pre-fault region).
+    pub fn scenario(&self, model: &ModelKind, faults: usize) -> ScenarioSpec {
+        ScenarioSpec {
+            name: format!("{}-{}f", model.name(), faults),
+            platform: self.platform.clone(),
+            model: model.clone(),
+            workload: WorkloadSpec::ForkJoin(self.workload.clone()),
+            mapping: MappingSpec::Auto,
+            duration_ms: self.duration_ms,
+            window_ms: self.window_ms,
+            settle_region_ms: Some(self.fault_at_ms),
+            detector: self.detector,
+            events: if faults > 0 {
+                vec![EventSpec {
+                    at_ms: self.fault_at_ms,
+                    action: EventAction::RandomPeFaults { count: faults },
+                }]
+            } else {
+                Vec::new()
+            },
+        }
+    }
 }
 
 /// One run to execute.
@@ -86,148 +120,45 @@ pub struct RunResult {
     pub final_rate: f64,
 }
 
-/// Builds the initial mapping for a model: the paper starts the
-/// bio-inspired models from a random topology and the baseline from the
-/// fixed Manhattan heuristic.
-pub fn initial_mapping(
-    model: &ModelKind,
-    graph: &TaskGraph,
-    cfg: &PlatformConfig,
-    rng: &mut Xoshiro256StarStar,
-) -> Mapping {
-    if model.is_adaptive() {
-        Mapping::random_uniform(graph, cfg.dims, rng)
-    } else {
-        Mapping::heuristic(graph, cfg.dims)
-    }
-}
-
 /// Builds the platform for a run (mapping, phases, model) without running
 /// it — examples and ablations reuse this.
 pub fn build_platform(spec: &RunSpec, cfg: &ExperimentConfig) -> Platform {
-    let graph = cfg.graph();
-    let mut rng = Xoshiro256StarStar::seed_from_u64(spec.seed);
-    let mapping = initial_mapping(&spec.model, &graph, &cfg.platform, &mut rng);
-    let mut platform = Platform::new(graph, &mapping, &spec.model, cfg.platform.clone());
-    platform.randomize_phases(&mut rng);
-    platform
+    sirtm_scenario::build_platform(&cfg.scenario(&spec.model, spec.faults), spec.seed)
 }
 
 /// The deterministic fault set of a run (same seed → same victims, shared
 /// across models for paired comparison).
 pub fn fault_set(spec: &RunSpec, cfg: &ExperimentConfig) -> Vec<Fault> {
-    let mut rng = Xoshiro256StarStar::seed_from_u64(spec.seed ^ 0x5EED_FA17);
-    generators::random_nodes(cfg.platform.dims, spec.faults, FaultKind::PeDead, &mut rng)
+    let timeline = Timeline::compile(&cfg.scenario(&spec.model, spec.faults), spec.seed);
+    timeline
+        .events()
+        .iter()
+        .filter_map(|e| match &e.action {
+            CompiledAction::Faults(faults) => Some(faults.clone()),
+            _ => None,
+        })
+        .next()
+        .unwrap_or_default()
 }
 
 /// Executes one run end to end.
 pub fn run_one(spec: &RunSpec, cfg: &ExperimentConfig) -> RunResult {
-    let mut platform = build_platform(spec, cfg);
-    let mut schedule = if spec.faults > 0 {
-        FaultSchedule::from_events(vec![FaultEvent {
-            at: cfg.platform.ms_to_cycles(cfg.fault_at_ms),
-            faults: fault_set(spec, cfg),
-        }])
-    } else {
-        FaultSchedule::new()
-    };
-    let total_windows = (cfg.duration_ms / cfg.window_ms).round() as usize;
-    let mut recorder = Recorder::new(cfg.window_ms, cfg.sink());
-    recorder.run_windows(&mut platform, total_windows, |_, p| {
-        schedule.poll(p);
-    });
-    let trace = recorder.into_trace();
-    let fault_window = (cfg.fault_at_ms / cfg.window_ms).round() as usize;
-    let cut = fault_window.min(trace.samples.len());
-    // A run has settled when the application throughput, the switch rate
-    // AND the task distribution have all reached and held their steady
-    // regions — the paper's "settling period as the task topology adapts".
-    let n_tasks = trace
-        .samples
-        .first()
-        .map(|s| s.task_counts.len())
-        .unwrap_or(0);
-    let count_detector = DetectorConfig {
-        tolerance_frac: 0.05,
-        tolerance_abs: 2.0, // nodes
-        ..cfg.detector
-    };
-    let task_series: Vec<Vec<f64>> = (0..n_tasks).map(|t| trace.task_count_series(t)).collect();
-    let settle_of = |range: std::ops::Range<usize>, thr: &[f64], sw: &[f64]| -> (f64, f64) {
-        let (t_ms, steady) = settling_ms(&thr[range.clone()], cfg.window_ms, &cfg.detector);
-        let (s_ms, _) = settling_ms(&sw[range.clone()], cfg.window_ms, &cfg.detector);
-        let mut settle = t_ms.max(s_ms);
-        for series in &task_series {
-            let (c_ms, _) = settling_ms(&series[range.clone()], cfg.window_ms, &count_detector);
-            settle = settle.max(c_ms);
-        }
-        (settle, steady)
-    };
-    let throughput = trace.throughput();
-    let switch_series = trace.switches();
-    let (settle_ms, pre_fault_rate) = settle_of(0..cut, &throughput, &switch_series);
-    let (recovery_ms, final_rate) = if spec.faults > 0 {
-        let (r, f) = settle_of(
-            fault_window..trace.samples.len(),
-            &throughput,
-            &switch_series,
-        );
-        (Some(r), f)
-    } else {
-        let all = trace.throughput();
-        let n = all.len().min(cfg.detector.steady_windows);
-        let f = all[all.len() - n..].iter().sum::<f64>() / n as f64;
-        (None, f)
-    };
+    let outcome = sirtm_scenario::run_spec(&cfg.scenario(&spec.model, spec.faults), spec.seed);
     RunResult {
         spec: spec.clone(),
-        trace,
-        settle_ms,
-        pre_fault_rate,
-        recovery_ms,
-        final_rate,
+        trace: outcome.trace,
+        settle_ms: outcome.settle_ms,
+        pre_fault_rate: outcome.pre_rate,
+        recovery_ms: outcome.recovery_ms,
+        final_rate: outcome.final_rate,
     }
 }
 
-/// Executes many runs, fanned out over the machine's cores. Results come
-/// back in input order regardless of scheduling (bit-identical to a
-/// sequential pass).
+/// Executes many runs, fanned out over the machine's cores through the
+/// sweep orchestrator's pool. Results come back in input order
+/// regardless of scheduling (bit-identical to a sequential pass).
 pub fn run_many(specs: &[RunSpec], cfg: &ExperimentConfig) -> Vec<RunResult> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(specs.len().max(1));
-    if workers <= 1 || specs.len() <= 1 {
-        return specs.iter().map(|s| run_one(s, cfg)).collect();
-    }
-    let mut slots: Vec<Option<RunResult>> = (0..specs.len()).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..workers {
-            let next = &next;
-            handles.push(scope.spawn(move || {
-                let mut local = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= specs.len() {
-                        break;
-                    }
-                    local.push((i, run_one(&specs[i], cfg)));
-                }
-                local
-            }));
-        }
-        for h in handles {
-            for (i, r) in h.join().expect("worker panicked") {
-                slots[i] = Some(r);
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|r| r.expect("all runs filled"))
-        .collect()
+    parallel_map(specs.len(), 0, |i| run_one(&specs[i], cfg))
 }
 
 /// The reference throughput every relative-performance figure is
@@ -339,6 +270,7 @@ mod tests {
             &cfg,
         );
         assert_eq!(a, b, "paired comparison needs identical victims");
+        assert_eq!(a.len(), 8);
     }
 
     #[test]
@@ -356,5 +288,17 @@ mod tests {
         for (p, s) in parallel.iter().zip(&sequential) {
             assert_eq!(p.trace, s.trace);
         }
+    }
+
+    #[test]
+    fn scenario_conversion_mirrors_the_protocol() {
+        let cfg = quick_cfg();
+        let spec = cfg.scenario(&ModelKind::NoIntelligence, 5);
+        assert_eq!(spec.duration_ms, 120.0);
+        assert_eq!(spec.settle_region_ms, Some(60.0));
+        assert_eq!(spec.events.len(), 1);
+        let clean = cfg.scenario(&ModelKind::NoIntelligence, 0);
+        assert!(clean.events.is_empty());
+        assert_eq!(clean.settle_region_ms, Some(60.0), "paper's settle region");
     }
 }

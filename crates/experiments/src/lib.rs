@@ -7,10 +7,16 @@
 //! | Table II (recovery vs faults) | [`table2`] | `repro -- table2` |
 //! | Fig. 4 (time series, 5 & 42 faults) | [`fig4`] | `repro -- fig4` |
 //!
-//! Building blocks: [`harness`] (run construction and fan-out),
-//! [`recorder`] (windowed series), [`detect`] (settling/recovery
-//! detection), [`stats`] (quartiles) and [`render`] (ASCII tables,
-//! sparklines, CSV).
+//! Every table is a thin view over the scenario engine
+//! ([`sirtm_scenario`]): the experiment configurations convert to
+//! declarative [`sirtm_scenario::ScenarioSpec`]s, the tables are
+//! [`sirtm_scenario::SweepSpec`]s, and execution goes through the
+//! parallel deterministic sweep orchestrator. The measurement stack
+//! ([`recorder`], [`detect`], [`stats`]) lives in `sirtm-scenario` and
+//! is re-exported here under its historical paths.
+//!
+//! Building blocks: [`harness`] (legacy-shaped run construction over
+//! scenario specs) and [`render`] (ASCII tables, sparklines, CSV).
 //!
 //! # Examples
 //!
@@ -32,15 +38,14 @@
 //! assert!(result.recovery_ms.is_some());
 //! ```
 
-pub mod detect;
 pub mod fig4;
 pub mod harness;
-pub mod recorder;
 pub mod render;
-pub mod stats;
 pub mod table1;
 pub mod table2;
 pub mod thermal_ext;
+
+pub use sirtm_scenario::{detect, recorder, stats};
 
 pub use harness::{run_many, run_one, ExperimentConfig, RunResult, RunSpec};
 pub use stats::Quartiles;

@@ -4,10 +4,16 @@
 //! time without fault injection. Shown are median (Q2) and 25th/75th
 //! percentiles (Q1/Q3) for 100 independent, randomly initialised runs of
 //! each experiment."
+//!
+//! The table is one declarative sweep: the three paper models crossed
+//! with nothing, seeded `1000 + i` (see
+//! [`sirtm_scenario::presets::table1_sweep`]), executed by the parallel
+//! deterministic orchestrator.
 
 use sirtm_core::models::{FfwConfig, ModelKind, NiConfig};
+use sirtm_scenario::{presets, run_sweep, SweepOptions, SweepSpec};
 
-use crate::harness::{run_many, ExperimentConfig, RunSpec};
+use crate::harness::ExperimentConfig;
 use crate::stats::Quartiles;
 
 /// One Table I row.
@@ -47,30 +53,43 @@ pub fn paper_models() -> Vec<(String, ModelKind)> {
     ]
 }
 
+/// The display name of a model's report name (`"ffw"` → `"Foraging For
+/// Work"`); unknown names pass through, so sweeps over new models still
+/// render.
+pub fn display_name(report: &str) -> String {
+    paper_models()
+        .into_iter()
+        .find(|(_, kind)| kind.name() == report)
+        .map(|(name, _)| name)
+        .unwrap_or_else(|| report.to_string())
+}
+
+/// The model report name recorded in a sweep cell's labels.
+pub(crate) fn cell_model(cell: &sirtm_scenario::CellResult) -> String {
+    cell.labels
+        .iter()
+        .find(|(k, _)| k == "model")
+        .map(|(_, v)| v.clone())
+        .unwrap_or_else(|| cell.spec.model.name().to_string())
+}
+
+/// Table I as a sweep spec (fault-free, model axis, historical seeds).
+pub fn sweep(cfg: &ExperimentConfig) -> SweepSpec {
+    presets::table1_sweep(cfg.scenario(&ModelKind::NoIntelligence, 0), cfg.runs)
+}
+
 /// Regenerates Table I.
 pub fn run(cfg: &ExperimentConfig) -> Table1 {
-    let mut per_model = Vec::new();
-    for (name, model) in paper_models() {
-        let specs: Vec<RunSpec> = (0..cfg.runs)
-            .map(|i| RunSpec {
-                model: model.clone(),
-                faults: 0,
-                seed: 1000 + i as u64,
-            })
-            .collect();
-        let results = run_many(&specs, cfg);
-        let settles: Vec<f64> = results.iter().map(|r| r.settle_ms).collect();
-        let rates: Vec<f64> = results.iter().map(|r| r.final_rate).collect();
-        per_model.push((name, settles, rates));
-    }
+    let result = run_sweep(&sweep(cfg), SweepOptions::default());
     // Normalise to the baseline's own median (the paper's highlighted row).
-    let reference_rate = Quartiles::of(&per_model[0].2).q2.max(1e-9);
-    let rows = per_model
-        .into_iter()
-        .map(|(model, settles, rates)| Table1Row {
-            model,
-            settle_ms: Quartiles::of(&settles),
-            relative_pct: Quartiles::of(&rates).scaled(100.0 / reference_rate),
+    let reference_rate = result.cells[0].final_rate.q2.max(1e-9);
+    let rows = result
+        .cells
+        .iter()
+        .map(|cell| Table1Row {
+            model: display_name(&cell_model(cell)),
+            settle_ms: cell.settle_ms,
+            relative_pct: cell.final_rate.scaled(100.0 / reference_rate),
         })
         .collect();
     Table1 {

@@ -5,10 +5,15 @@
 //! time following fault injection at 500 ms. Shown are median (Q2) and
 //! 25th/75th percentiles (Q1/Q3) for 100 independent, randomly
 //! initialised runs of each experiment."
+//!
+//! The table is one declarative sweep: model × fault level (see
+//! [`sirtm_scenario::presets::table2_sweep`]), seeded `20000 + i`.
 
-use crate::harness::{run_many, ExperimentConfig, RunSpec};
+use sirtm_core::models::ModelKind;
+use sirtm_scenario::{presets, run_sweep, SweepOptions, SweepSpec};
+
+use crate::harness::ExperimentConfig;
 use crate::stats::Quartiles;
-use crate::table1::paper_models;
 
 /// The paper's fault sweep.
 pub const FAULT_LEVELS: [usize; 6] = [0, 2, 4, 8, 16, 32];
@@ -36,37 +41,36 @@ pub struct Table2 {
     pub reference_rate: f64,
 }
 
+/// Table II as a sweep spec (model × fault axes, historical seeds).
+pub fn sweep(cfg: &ExperimentConfig) -> SweepSpec {
+    presets::table2_sweep(
+        cfg.scenario(&ModelKind::NoIntelligence, 0),
+        cfg.fault_at_ms,
+        &FAULT_LEVELS,
+        cfg.runs,
+    )
+}
+
 /// Regenerates Table II.
 pub fn run(cfg: &ExperimentConfig) -> Table2 {
-    let mut rows = Vec::new();
-    let mut reference_rate = None;
-    for (name, model) in paper_models() {
-        for &faults in &FAULT_LEVELS {
-            let specs: Vec<RunSpec> = (0..cfg.runs)
-                .map(|i| RunSpec {
-                    model: model.clone(),
-                    faults,
-                    seed: 20_000 + i as u64,
-                })
-                .collect();
-            let results = run_many(&specs, cfg);
-            let rates: Vec<f64> = results.iter().map(|r| r.final_rate).collect();
-            let recoveries: Vec<f64> = results.iter().filter_map(|r| r.recovery_ms).collect();
-            if reference_rate.is_none() {
-                // First cell is the baseline, 0 faults: the highlighted row.
-                reference_rate = Some(Quartiles::of(&rates).q2.max(1e-9));
-            }
-            rows.push((name.clone(), faults, recoveries, rates));
-        }
-    }
-    let reference_rate = reference_rate.expect("at least one cell");
-    let rows = rows
-        .into_iter()
-        .map(|(model, faults, recoveries, rates)| Table2Row {
-            model,
-            faults,
-            recovery_ms: (!recoveries.is_empty()).then(|| Quartiles::of(&recoveries)),
-            relative_pct: Quartiles::of(&rates).scaled(100.0 / reference_rate),
+    let result = run_sweep(&sweep(cfg), SweepOptions::default());
+    // First cell is the baseline, 0 faults: the highlighted row.
+    let reference_rate = result.cells[0].final_rate.q2.max(1e-9);
+    let rows = result
+        .cells
+        .iter()
+        .map(|cell| Table2Row {
+            // The cell's own labels are authoritative (axis order is an
+            // orchestrator detail, not a contract).
+            model: crate::table1::display_name(&crate::table1::cell_model(cell)),
+            faults: cell
+                .labels
+                .iter()
+                .find(|(k, _)| k == "faults")
+                .and_then(|(_, v)| v.parse().ok())
+                .expect("table2 cells carry a fault level"),
+            recovery_ms: cell.recovery_ms,
+            relative_pct: cell.final_rate.scaled(100.0 / reference_rate),
         })
         .collect();
     Table2 {

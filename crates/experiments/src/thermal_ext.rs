@@ -7,9 +7,9 @@
 use sirtm_centurion::{Platform, PlatformConfig};
 use sirtm_core::models::{FfwConfig, ModelKind};
 use sirtm_noc::NodeId;
-use sirtm_rng::Xoshiro256StarStar;
+use sirtm_scenario::ScenarioSpec;
 use sirtm_taskgraph::workloads::{fork_join, ForkJoinParams};
-use sirtm_taskgraph::{Mapping, TaskId};
+use sirtm_taskgraph::Mapping;
 use sirtm_thermal::{
     thermal_fault_scenario, GovernorConfig, ThermalConfig, ThermalLoop, ThermalScenario,
 };
@@ -86,21 +86,19 @@ pub fn run(seed: u64) -> ThermalExtResult {
         .last()
         .expect("governed run records samples");
 
-    // The physics-generated fault case, recovered by FFW.
+    // The physics-generated fault case, recovered by FFW. The physics
+    // pre-run reports the victim set; the colony itself is built from a
+    // declarative scenario spec (event-free — the precomputed schedule
+    // is applied directly to avoid re-running the physics).
     let fault_at = platform_cfg.ms_to_cycles(500.0);
     let (mut schedule, report) =
         thermal_fault_scenario(&ThermalScenario::default(), &thermal_cfg, fault_at);
-    let graph = fork_join(&ForkJoinParams::default());
-    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
-    let mapping = Mapping::random_uniform(&graph, platform_cfg.dims, &mut rng);
-    let mut colony = Platform::new(
-        graph,
-        &mapping,
-        &ModelKind::ForagingForWork(FfwConfig::default()),
-        platform_cfg.clone(),
+    let spec = ScenarioSpec::new(
+        "thermal-ext-recovery",
+        ModelKind::ForagingForWork(FfwConfig::default()),
     );
-    colony.randomize_phases(&mut rng);
-    let sink = TaskId::new(2);
+    let mut colony = sirtm_scenario::build_platform(&spec, seed);
+    let sink = spec.sink();
     colony.run_ms(400.0);
     let before_rate = {
         let start = colony.completions(sink);

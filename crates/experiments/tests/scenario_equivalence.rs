@@ -1,0 +1,140 @@
+//! The spec path ≡ harness path guarantee: a hand-composed
+//! `ScenarioSpec` sweep reproduces a Table I row's aggregate statistics
+//! bit-identically to the legacy `run_many`-over-`RunSpec`s pipeline,
+//! and the full Table I built from sweeps matches per-row recomputation.
+
+use sirtm_core::models::{FfwConfig, ModelKind};
+use sirtm_experiments::harness::{run_many, ExperimentConfig, RunSpec};
+use sirtm_experiments::{table1, Quartiles};
+use sirtm_scenario::{
+    run_sweep, Axis, MappingSpec, ScenarioSpec, SeedScheme, SweepOptions, SweepSpec, WorkloadSpec,
+};
+
+fn quick_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        runs: 4,
+        duration_ms: 250.0,
+        fault_at_ms: 250.0,
+        window_ms: 2.0,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// A Table I row spec composed from scratch — no `ExperimentConfig`
+/// conversion involved, proving the declarative surface alone carries
+/// the paper's protocol.
+fn handmade_row_spec(model: ModelKind, cfg: &ExperimentConfig) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "table1-row".to_string(),
+        platform: cfg.platform.clone(),
+        model,
+        workload: WorkloadSpec::ForkJoin(cfg.workload.clone()),
+        mapping: MappingSpec::Auto,
+        duration_ms: cfg.duration_ms,
+        window_ms: cfg.window_ms,
+        settle_region_ms: Some(cfg.fault_at_ms),
+        detector: cfg.detector,
+        events: Vec::new(),
+    }
+}
+
+#[test]
+fn handmade_spec_sweep_reproduces_a_table1_row_bitwise() {
+    let cfg = quick_cfg();
+    let model = ModelKind::ForagingForWork(FfwConfig::default());
+
+    // Legacy harness path: explicit RunSpecs with the historical seeds.
+    let specs: Vec<RunSpec> = (0..cfg.runs)
+        .map(|i| RunSpec {
+            model: model.clone(),
+            faults: 0,
+            seed: 1000 + i as u64,
+        })
+        .collect();
+    let results = run_many(&specs, &cfg);
+    let legacy_settle = Quartiles::of(&results.iter().map(|r| r.settle_ms).collect::<Vec<_>>());
+    let legacy_rate = Quartiles::of(&results.iter().map(|r| r.final_rate).collect::<Vec<_>>());
+
+    // Spec path: one declarative sweep, 8 worker threads.
+    let sweep = SweepSpec {
+        name: "table1-row".to_string(),
+        base: handmade_row_spec(model, &cfg),
+        axes: vec![],
+        replicates: cfg.runs,
+        seeds: SeedScheme::Sequential { base: 1000 },
+    };
+    let swept = run_sweep(&sweep, SweepOptions { threads: 8 });
+    let cell = &swept.cells[0];
+
+    assert_eq!(cell.settle_ms.q1.to_bits(), legacy_settle.q1.to_bits());
+    assert_eq!(cell.settle_ms.q2.to_bits(), legacy_settle.q2.to_bits());
+    assert_eq!(cell.settle_ms.q3.to_bits(), legacy_settle.q3.to_bits());
+    assert_eq!(cell.final_rate.q2.to_bits(), legacy_rate.q2.to_bits());
+    for (run, result) in cell.runs.iter().zip(&results) {
+        assert_eq!(run.seed, result.spec.seed);
+        assert_eq!(run.settle_ms.to_bits(), result.settle_ms.to_bits());
+        assert_eq!(run.final_rate.to_bits(), result.final_rate.to_bits());
+        assert_eq!(run.pre_rate.to_bits(), result.pre_fault_rate.to_bits());
+    }
+}
+
+#[test]
+fn table1_from_sweep_matches_per_row_recomputation() {
+    let cfg = quick_cfg();
+    let table = table1::run(&cfg);
+    for (name, model) in table1::paper_models() {
+        let specs: Vec<RunSpec> = (0..cfg.runs)
+            .map(|i| RunSpec {
+                model: model.clone(),
+                faults: 0,
+                seed: 1000 + i as u64,
+            })
+            .collect();
+        let results = run_many(&specs, &cfg);
+        let settle = Quartiles::of(&results.iter().map(|r| r.settle_ms).collect::<Vec<_>>());
+        let row = table
+            .rows
+            .iter()
+            .find(|r| r.model == name)
+            .expect("row exists");
+        assert_eq!(row.settle_ms.q2.to_bits(), settle.q2.to_bits(), "{name}");
+    }
+}
+
+#[test]
+fn faulted_sweep_cell_matches_the_harness_twin() {
+    let cfg = ExperimentConfig {
+        runs: 3,
+        duration_ms: 160.0,
+        fault_at_ms: 80.0,
+        window_ms: 4.0,
+        ..ExperimentConfig::default()
+    };
+    let specs: Vec<RunSpec> = (0..cfg.runs)
+        .map(|i| RunSpec {
+            model: ModelKind::NoIntelligence,
+            faults: 8,
+            seed: 20_000 + i as u64,
+        })
+        .collect();
+    let results = run_many(&specs, &cfg);
+
+    let sweep = SweepSpec {
+        name: "t2-cell".to_string(),
+        base: cfg.scenario(&ModelKind::NoIntelligence, 0),
+        axes: vec![Axis::RandomFaults {
+            at_ms: cfg.fault_at_ms,
+            counts: vec![8],
+        }],
+        replicates: cfg.runs,
+        seeds: SeedScheme::Sequential { base: 20_000 },
+    };
+    let swept = run_sweep(&sweep, SweepOptions { threads: 3 });
+    for (run, result) in swept.cells[0].runs.iter().zip(&results) {
+        assert_eq!(
+            run.recovery_ms.map(f64::to_bits),
+            result.recovery_ms.map(f64::to_bits)
+        );
+        assert_eq!(run.final_rate.to_bits(), result.final_rate.to_bits());
+    }
+}

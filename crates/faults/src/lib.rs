@@ -127,14 +127,17 @@ pub mod generators {
     use super::*;
 
     /// `n` distinct uniformly random nodes (the paper's random node
-    /// failures).
+    /// failures). Asking for more nodes than the grid holds faults the
+    /// whole grid — the same saturating semantics as
+    /// `ColonyModel::kill_agents`, where killing more agents than are
+    /// alive kills them all.
     pub fn random_nodes<R: Rng>(
         dims: GridDims,
         n: usize,
         kind: FaultKind,
         rng: &mut R,
     ) -> Vec<Fault> {
-        rng.sample_indices(dims.len(), n)
+        rng.sample_indices(dims.len(), n.min(dims.len()))
             .into_iter()
             .map(|i| Fault {
                 node: NodeId::new(i as u16),
@@ -206,6 +209,20 @@ mod tests {
         nodes.sort();
         nodes.dedup();
         assert_eq!(nodes.len(), 42);
+    }
+
+    #[test]
+    fn random_nodes_saturate_at_the_grid_size() {
+        // Consistent with `ColonyModel::kill_agents`: a request larger
+        // than the population takes out everyone instead of panicking.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(6);
+        let faults =
+            generators::random_nodes(GridDims::new(4, 4), 500, FaultKind::PeDead, &mut rng);
+        assert_eq!(faults.len(), 16);
+        let mut nodes: Vec<_> = faults.iter().map(|f| f.node).collect();
+        nodes.sort();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 16, "the whole grid, each node once");
     }
 
     #[test]

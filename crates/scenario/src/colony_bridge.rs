@@ -1,0 +1,83 @@
+//! Mirroring a scenario's fault timeline onto a substrate-free colony.
+//!
+//! The agent-based models in `sirtm-colony` are the biological reference
+//! for the embedded engines, so a platform-level kill schedule has a
+//! colony-level analogue: every PE death in the timeline maps to one
+//! agent death through [`ColonyModel::kill_agents`]. Both layers share
+//! the same saturating edge semantics — killing more individuals than
+//! exist kills them all (see `sirtm_faults::generators::random_nodes`),
+//! which `tests/fault_scenarios.rs` cross-checks.
+
+use sirtm_colony::ColonyModel;
+
+use crate::timeline::Timeline;
+
+/// Applies the timeline's PE deaths (`PeDead` + `TileDead`) to a colony
+/// as one kill wave; returns the number of deaths requested (which may
+/// exceed the colony's population — the colony saturates).
+pub fn apply_pe_deaths(timeline: &Timeline, colony: &mut dyn ColonyModel) -> usize {
+    let deaths = timeline.pe_death_count();
+    if deaths > 0 {
+        colony.kill_agents(deaths);
+    }
+    deaths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirtm_colony::{Environment, FixedThresholdColony, ThresholdParams};
+    use sirtm_core::models::ModelKind;
+    use sirtm_taskgraph::GridDims;
+
+    use crate::spec::{EventAction, EventSpec, ScenarioSpec};
+
+    fn colony(agents: usize) -> FixedThresholdColony {
+        FixedThresholdColony::new(
+            agents,
+            Environment::constant_demand(&[1.0, 1.0], 0.1),
+            ThresholdParams::default(),
+            3,
+        )
+    }
+
+    fn timeline_with_kills(count: usize) -> Timeline {
+        let mut spec = ScenarioSpec::new("bridge", ModelKind::NoIntelligence);
+        spec.platform.dims = GridDims::new(4, 4);
+        spec.duration_ms = 100.0;
+        spec.events = vec![EventSpec {
+            at_ms: 10.0,
+            action: EventAction::RandomPeFaults { count },
+        }];
+        Timeline::compile(&spec, 1)
+    }
+
+    #[test]
+    fn pe_deaths_map_to_agent_deaths() {
+        let timeline = timeline_with_kills(5);
+        let mut c = colony(20);
+        assert_eq!(apply_pe_deaths(&timeline, &mut c), 5);
+        assert_eq!(c.alive_agents(), 15);
+    }
+
+    #[test]
+    fn oversized_waves_saturate_on_both_layers() {
+        // The grid clamps at 16 victims; a 10-agent colony then loses
+        // everyone rather than panicking — the shared edge semantics.
+        let timeline = timeline_with_kills(10_000);
+        assert_eq!(timeline.pe_death_count(), 16);
+        let mut c = colony(10);
+        apply_pe_deaths(&timeline, &mut c);
+        assert_eq!(c.alive_agents(), 0);
+    }
+
+    #[test]
+    fn eventless_timelines_leave_the_colony_alone() {
+        let mut spec = ScenarioSpec::new("calm", ModelKind::NoIntelligence);
+        spec.duration_ms = 100.0;
+        let timeline = Timeline::compile(&spec, 1);
+        let mut c = colony(12);
+        assert_eq!(apply_pe_deaths(&timeline, &mut c), 0);
+        assert_eq!(c.alive_agents(), 12);
+    }
+}

@@ -1,0 +1,62 @@
+//! The scenario engine: declarative experiment specs, typed event
+//! timelines and the parallel deterministic sweep orchestrator.
+//!
+//! The paper's evaluation is a handful of hand-coded tables; this crate
+//! turns "an experiment" into data. A [`ScenarioSpec`] composes a
+//! workload, a grid, an intelligence model, a duration and a timeline
+//! of typed perturbation events (fault waves, thermal runaways, DVFS
+//! moves, workload-phase shifts); a [`SweepSpec`] crosses axes of specs
+//! into a run matrix with per-run deterministic seed derivation; and
+//! [`run_sweep`] executes the matrix on a self-scheduling thread pool
+//! with **bit-identical results regardless of thread count and run
+//! order**, streaming constant-size summaries into online aggregates
+//! and JSON/CSV artefacts.
+//!
+//! | Layer | Module |
+//! |---|---|
+//! | Declarative specs + JSON ser/de | [`spec`], [`json`] |
+//! | Event compilation & application | [`timeline`] |
+//! | One run: build → run → measure | [`run`] |
+//! | Matrix expansion & orchestration | [`sweep`] |
+//! | Named preset library | [`presets`] |
+//! | Windowed recording | [`recorder`] |
+//! | Settling/recovery detection | [`detect`] |
+//! | Aggregation (quartiles, online) | [`stats`] |
+//! | Colony-level fault mirroring | [`colony_bridge`] |
+//!
+//! # Examples
+//!
+//! ```
+//! use sirtm_scenario::{presets, run_sweep, SweepOptions, SweepSpec, SeedScheme};
+//!
+//! let sweep = SweepSpec {
+//!     name: "smoke".into(),
+//!     base: presets::preset("light-4x4").expect("known preset"),
+//!     axes: vec![],
+//!     replicates: 2,
+//!     seeds: SeedScheme::Derived { root: 1 },
+//! };
+//! let result = run_sweep(&sweep, SweepOptions { threads: 2 });
+//! assert_eq!(result.cells.len(), 1);
+//! assert_eq!(result.cells[0].runs.len(), 2);
+//! ```
+
+pub mod colony_bridge;
+pub mod detect;
+pub mod json;
+pub mod presets;
+pub mod recorder;
+pub mod run;
+pub mod spec;
+pub mod stats;
+pub mod sweep;
+pub mod timeline;
+
+pub use run::{build_platform, run_spec, RunOutcome, RunSummary};
+pub use spec::{EventAction, EventSpec, MappingSpec, ScenarioSpec, ThermalEventSpec, WorkloadSpec};
+pub use stats::{OnlineStats, Quartiles};
+pub use sweep::{
+    check_artifact, parallel_map, run_sweep, Axis, CellResult, RunPlan, SeedScheme, SweepOptions,
+    SweepResult, SweepSpec,
+};
+pub use timeline::Timeline;

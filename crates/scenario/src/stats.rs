@@ -76,6 +76,78 @@ pub fn mean(samples: &[f64]) -> f64 {
     samples.iter().sum::<f64>() / samples.len() as f64
 }
 
+/// Constant-memory running aggregate (Welford's online algorithm): the
+/// sweep orchestrator streams per-run measures into these instead of
+/// retaining full traces. Pushing in a fixed order makes the result
+/// bit-deterministic, so the orchestrator accumulates in run-plan order
+/// after the parallel phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineStats {
+    /// Number of samples pushed.
+    pub count: u64,
+    /// Running mean.
+    pub mean: f64,
+    /// Sum of squared deviations from the mean (Welford's `M2`).
+    pub m2: f64,
+    /// Smallest sample seen (`+inf` before the first push renders as 0).
+    pub min: f64,
+    /// Largest sample seen.
+    pub max: f64,
+}
+
+impl Default for OnlineStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineStats {
+    /// An empty aggregate (`min`/`max` start at ±∞ so the first push
+    /// always wins).
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one sample into the aggregate.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Population variance (0 for fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Folds a whole slice.
+    pub fn of(samples: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &x in samples {
+            s.push(x);
+        }
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +204,32 @@ mod tests {
     #[test]
     fn mean_is_arithmetic() {
         assert_eq!(mean(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn online_stats_match_the_batch_formulas() {
+        let samples = [4.0, 7.0, 13.0, 16.0];
+        let s = OnlineStats::of(&samples);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 10.0).abs() < 1e-12);
+        assert!((s.variance() - 22.5).abs() < 1e-9);
+        assert_eq!(s.min, 4.0);
+        assert_eq!(s.max, 16.0);
+    }
+
+    #[test]
+    fn online_stats_degenerate_cases() {
+        let empty = OnlineStats::new();
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.variance(), 0.0);
+        // Default must agree with new(): min/max start at ±∞ so the
+        // first pushed sample always wins.
+        let mut d = OnlineStats::default();
+        d.push(5.0);
+        assert_eq!((d.min, d.max), (5.0, 5.0));
+        let one = OnlineStats::of(&[3.0]);
+        assert_eq!(one.mean, 3.0);
+        assert_eq!(one.stddev(), 0.0);
+        assert_eq!((one.min, one.max), (3.0, 3.0));
     }
 }

@@ -1,0 +1,323 @@
+//! Compilation of a spec's event list into a concrete, pollable
+//! timeline of platform mutations.
+//!
+//! Random victim sets are resolved here, deterministically from the run
+//! seed: the compiler derives one RNG from `seed ^ 0x5EED_FA17` (the
+//! historical fault-set stream, so legacy experiment seeds reproduce
+//! bit-identically) and draws each random event's victims in listed
+//! order. Thermal events run their physics pre-run during compilation,
+//! so execution itself stays a pure fault application.
+
+use sirtm_centurion::{Platform, PlatformConfig};
+use sirtm_faults::{generators, Fault, FaultKind};
+use sirtm_noc::{Cycle, Direction, NodeId};
+use sirtm_rng::{Rng, Xoshiro256StarStar};
+use sirtm_taskgraph::TaskId;
+use sirtm_thermal::{thermal_fault_scenario, ThermalConfig, ThermalScenario};
+
+use crate::spec::{EventAction, ScenarioSpec};
+
+/// Seed salt of the fault-victim stream (shared with the legacy harness
+/// so recorded experiment seeds keep their victim sets).
+pub const FAULT_SEED_SALT: u64 = 0x5EED_FA17;
+
+/// One compiled, concrete platform mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledAction {
+    /// Apply these faults through the debug interface.
+    Faults(Vec<Fault>),
+    /// Set every node's clock.
+    SetFrequencyAll(u16),
+    /// Set these nodes' clocks.
+    SetFrequencyNodes(Vec<NodeId>, u16),
+    /// Retune a source task's generation period.
+    SetGenerationPeriod(TaskId, u32),
+}
+
+/// A compiled event: an instant plus a concrete action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledEvent {
+    /// Firing instant in cycles.
+    pub at: Cycle,
+    /// The mutation to apply.
+    pub action: CompiledAction,
+}
+
+/// An ordered, compiled perturbation timeline. Apply with
+/// [`Timeline::poll`] while the platform runs, exactly like a
+/// [`sirtm_faults::FaultSchedule`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    events: Vec<CompiledEvent>,
+    next: usize,
+}
+
+impl Timeline {
+    /// Compiles a spec's events for one run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event references geometry outside the spec's grid
+    /// (e.g. a clock region past the last row).
+    pub fn compile(spec: &ScenarioSpec, seed: u64) -> Self {
+        let dims = spec.grid();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed ^ FAULT_SEED_SALT);
+        let mut events: Vec<CompiledEvent> = spec
+            .events
+            .iter()
+            .map(|e| {
+                let at = spec.platform.ms_to_cycles(e.at_ms);
+                let action = match &e.action {
+                    EventAction::RandomPeFaults { count } => CompiledAction::Faults(
+                        generators::random_nodes(dims, *count, FaultKind::PeDead, &mut rng),
+                    ),
+                    EventAction::RandomHangs { count } => CompiledAction::Faults(
+                        generators::random_nodes(dims, *count, FaultKind::PeHang, &mut rng),
+                    ),
+                    EventAction::RandomLinkFaults { count } => {
+                        let count = (*count).min(dims.len());
+                        let nodes = rng.sample_indices(dims.len(), count);
+                        CompiledAction::Faults(
+                            nodes
+                                .into_iter()
+                                .map(|i| Fault {
+                                    node: NodeId::new(i as u16),
+                                    kind: FaultKind::LinkDown(
+                                        Direction::ALL[rng.range_usize(0..4)],
+                                    ),
+                                })
+                                .collect(),
+                        )
+                    }
+                    EventAction::ClockRegionFaults { first_row, rows } => CompiledAction::Faults(
+                        generators::clock_region(dims, *first_row, *rows, FaultKind::TileDead),
+                    ),
+                    EventAction::HotspotFaults { x, y, radius } => {
+                        let centre = NodeId::new(dims.index(*x, *y) as u16);
+                        CompiledAction::Faults(generators::hotspot(
+                            dims,
+                            centre,
+                            *radius,
+                            FaultKind::PeDead,
+                        ))
+                    }
+                    EventAction::ThermalFaults(t) => {
+                        let scenario = ThermalScenario {
+                            platform: PlatformConfig {
+                                dims,
+                                ..PlatformConfig::default()
+                            },
+                            overclock_mhz: t.overclock_mhz,
+                            generation_period: t.generation_period,
+                            runaway_ms: t.runaway_ms,
+                            overclock_rows: t.overclock_rows,
+                            ..ThermalScenario::default()
+                        };
+                        let thermal = ThermalConfig {
+                            dims,
+                            ..ThermalConfig::default()
+                        };
+                        let (_, report) = thermal_fault_scenario(&scenario, &thermal, at);
+                        CompiledAction::Faults(
+                            report
+                                .victim_nodes()
+                                .into_iter()
+                                .map(|node| Fault {
+                                    node,
+                                    kind: FaultKind::PeDead,
+                                })
+                                .collect(),
+                        )
+                    }
+                    EventAction::SetFrequencyAll { mhz } => CompiledAction::SetFrequencyAll(*mhz),
+                    EventAction::SetFrequencyRows {
+                        first_row,
+                        rows,
+                        mhz,
+                    } => {
+                        assert!(
+                            first_row + rows <= dims.height(),
+                            "frequency region outside grid"
+                        );
+                        let nodes = (*first_row..first_row + rows)
+                            .flat_map(|y| (0..dims.width()).map(move |x| (x, y)))
+                            .map(|(x, y)| NodeId::new(dims.index(x, y) as u16))
+                            .collect();
+                        CompiledAction::SetFrequencyNodes(nodes, *mhz)
+                    }
+                    EventAction::SetGenerationPeriod {
+                        task,
+                        period_cycles,
+                    } => CompiledAction::SetGenerationPeriod(TaskId::new(*task), *period_cycles),
+                };
+                CompiledEvent { at, action }
+            })
+            .collect();
+        // Stable: simultaneous events keep their listed order.
+        events.sort_by_key(|e| e.at);
+        Self { events, next: 0 }
+    }
+
+    /// The compiled events, in firing order.
+    pub fn events(&self) -> &[CompiledEvent] {
+        &self.events
+    }
+
+    /// Whether every event has fired.
+    pub fn exhausted(&self) -> bool {
+        self.next >= self.events.len()
+    }
+
+    /// Total PE-death faults across all events (`PeDead` and `TileDead`)
+    /// — the count a colony-level mirror of this timeline kills through
+    /// [`sirtm_colony::ColonyModel::kill_agents`].
+    pub fn pe_death_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.action {
+                CompiledAction::Faults(faults) => Some(
+                    faults
+                        .iter()
+                        .filter(|f| matches!(f.kind, FaultKind::PeDead | FaultKind::TileDead))
+                        .count(),
+                ),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Applies every event whose instant is `<= platform.now()`; returns
+    /// the number of events applied. Call once per window.
+    pub fn poll(&mut self, platform: &mut Platform) -> usize {
+        let now = platform.now();
+        let mut applied = 0;
+        while self.next < self.events.len() && self.events[self.next].at <= now {
+            Self::apply(&self.events[self.next].action, platform);
+            self.next += 1;
+            applied += 1;
+        }
+        applied
+    }
+
+    /// Rewinds the timeline (for replay on a fresh platform).
+    pub fn reset(&mut self) {
+        self.next = 0;
+    }
+
+    fn apply(action: &CompiledAction, platform: &mut Platform) {
+        match action {
+            CompiledAction::Faults(faults) => {
+                for f in faults {
+                    f.apply(platform);
+                }
+            }
+            CompiledAction::SetFrequencyAll(mhz) => platform.set_frequency_all(*mhz),
+            CompiledAction::SetFrequencyNodes(nodes, mhz) => {
+                for &node in nodes {
+                    platform.set_frequency(node, *mhz);
+                }
+            }
+            CompiledAction::SetGenerationPeriod(task, period) => {
+                platform.set_generation_period(*task, *period);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirtm_core::models::ModelKind;
+    use sirtm_taskgraph::GridDims;
+
+    use crate::spec::{EventSpec, ScenarioSpec};
+
+    fn small_spec(events: Vec<EventSpec>) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::new("t", ModelKind::NoIntelligence);
+        spec.platform.dims = GridDims::new(4, 4);
+        spec.platform.dir_dist_max = 12;
+        spec.duration_ms = 100.0;
+        spec.events = events;
+        spec
+    }
+
+    #[test]
+    fn compilation_is_seed_deterministic_and_seed_sensitive() {
+        let spec = small_spec(vec![EventSpec {
+            at_ms: 10.0,
+            action: EventAction::RandomPeFaults { count: 4 },
+        }]);
+        let a = Timeline::compile(&spec, 7);
+        let b = Timeline::compile(&spec, 7);
+        assert_eq!(a, b);
+        let c = Timeline::compile(&spec, 8);
+        assert_ne!(a.events(), c.events(), "different seed, different victims");
+    }
+
+    #[test]
+    fn victims_are_model_independent() {
+        // Paired comparison: the same seed yields the same victims no
+        // matter which model the spec names.
+        let base = small_spec(vec![EventSpec {
+            at_ms: 10.0,
+            action: EventAction::RandomPeFaults { count: 4 },
+        }]);
+        let mut ffw = base.clone();
+        ffw.model = crate::spec::model_from_name("ffw").expect("known");
+        assert_eq!(
+            Timeline::compile(&base, 3).events(),
+            Timeline::compile(&ffw, 3).events()
+        );
+    }
+
+    #[test]
+    fn oversized_kill_requests_saturate() {
+        let spec = small_spec(vec![EventSpec {
+            at_ms: 10.0,
+            action: EventAction::RandomPeFaults { count: 10_000 },
+        }]);
+        let t = Timeline::compile(&spec, 1);
+        assert_eq!(t.pe_death_count(), 16, "the whole 4x4 grid, once");
+    }
+
+    #[test]
+    fn poll_applies_at_the_right_instant() {
+        let spec = small_spec(vec![EventSpec {
+            at_ms: 5.0,
+            action: EventAction::RandomPeFaults { count: 3 },
+        }]);
+        let mut timeline = Timeline::compile(&spec, 2);
+        let graph = spec.graph();
+        let mapping = sirtm_taskgraph::Mapping::heuristic(&graph, spec.grid());
+        let mut p = Platform::new(graph, &mapping, &spec.model, spec.platform.clone());
+        p.run_ms(4.0);
+        assert_eq!(timeline.poll(&mut p), 0, "too early");
+        assert_eq!(p.alive_count(), 16);
+        p.run_ms(2.0);
+        assert_eq!(timeline.poll(&mut p), 1);
+        assert_eq!(p.alive_count(), 13);
+        assert!(timeline.exhausted());
+    }
+
+    #[test]
+    fn frequency_rows_cover_exactly_the_band() {
+        let spec = small_spec(vec![EventSpec {
+            at_ms: 1.0,
+            action: EventAction::SetFrequencyRows {
+                first_row: 1,
+                rows: 2,
+                mhz: 40,
+            },
+        }]);
+        let mut timeline = Timeline::compile(&spec, 1);
+        let graph = spec.graph();
+        let mapping = sirtm_taskgraph::Mapping::heuristic(&graph, spec.grid());
+        let mut p = Platform::new(graph, &mapping, &spec.model, spec.platform.clone());
+        p.run_ms(2.0);
+        timeline.poll(&mut p);
+        for i in 0..16u16 {
+            let expect = if (4..12).contains(&i) { 40 } else { 100 };
+            assert_eq!(p.pe(NodeId::new(i)).frequency_mhz(), expect, "node {i}");
+        }
+    }
+}

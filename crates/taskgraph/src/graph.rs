@@ -146,6 +146,19 @@ impl TaskGraph {
         self.specs.get(task.index())
     }
 
+    /// Mutable access to the spec for `task` — the hook behind runtime
+    /// workload-phase changes (e.g. a scenario event retuning a source's
+    /// generation period mid-run). Structural properties (edges, arity
+    /// relationships) are fixed at build time; only per-task parameters
+    /// should be adjusted through this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` does not belong to this graph.
+    pub fn spec_mut(&mut self, task: TaskId) -> &mut TaskSpec {
+        &mut self.specs[task.index()]
+    }
+
     /// All edges (data and feedback).
     pub fn edges(&self) -> &[TaskEdge] {
         &self.edges

@@ -16,6 +16,8 @@
 //! * [`faults`] — fault injection ([`sirtm_faults`]),
 //! * [`thermal`] — the thermal substrate: RC die model, ring-oscillator
 //!   sensors, stimulus–threshold DVFS governors ([`sirtm_thermal`]),
+//! * [`scenario`] — declarative scenario specs and the parallel
+//!   deterministic sweep orchestrator ([`sirtm_scenario`]),
 //! * [`experiments`] — the paper's tables and figures ([`sirtm_experiments`]),
 //!
 //! plus, beside the hardware stack:
@@ -34,5 +36,6 @@ pub use sirtm_faults as faults;
 pub use sirtm_noc as noc;
 pub use sirtm_picoblaze as picoblaze;
 pub use sirtm_rng as rng;
+pub use sirtm_scenario as scenario;
 pub use sirtm_taskgraph as taskgraph;
 pub use sirtm_thermal as thermal;
