@@ -1,0 +1,79 @@
+//! Sharded-execution overhead: the same small sweep through the
+//! in-process orchestrator, as 2 shards plus a merge, and the merge
+//! step alone.
+//!
+//! `BENCH_shard.json` (checked in at the repo root) is produced by
+//! `scenarios bench-shard`, which wall-clocks a 64-run sweep both ways
+//! and asserts the artefacts byte-identical; this criterion target
+//! tracks the per-stage timings so a regression is attributable to the
+//! shard path (re-expansion, checkpoint appends) or to the merge's
+//! re-aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sirtm_scenario::{
+    merge_shards, presets, run_shard, run_sweep, SeedScheme, ShardPlan, ShardResult, SweepOptions,
+    SweepSpec,
+};
+
+/// Runs per measured sweep — small enough for the vendored criterion's
+/// 200 ms budget.
+const RUNS: usize = 8;
+
+fn sweep_spec() -> SweepSpec {
+    SweepSpec {
+        name: "bench".to_string(),
+        base: presets::preset("light-4x4").expect("known preset"),
+        axes: vec![],
+        replicates: RUNS,
+        seeds: SeedScheme::Derived { root: 1 },
+    }
+}
+
+fn run_all_shards(sweep: &SweepSpec, opts: SweepOptions) -> Vec<ShardResult> {
+    ShardPlan::all(2, sweep.run_count())
+        .into_iter()
+        .map(|plan| {
+            run_shard(sweep, plan, None, opts, None)
+                .expect("shard runs")
+                .result
+                .expect("uninterrupted shard completes")
+        })
+        .collect()
+}
+
+fn shard(c: &mut Criterion) {
+    let sweep = sweep_spec();
+    let opts = SweepOptions { threads: 2 };
+    let mut group = c.benchmark_group("shard");
+    group.bench_function(format!("unsharded/{RUNS}runs"), |b| {
+        b.iter(|| black_box(run_sweep(&sweep, opts).cells.len()));
+    });
+    group.bench_function(format!("2shards+merge/{RUNS}runs"), |b| {
+        b.iter(|| {
+            let shards = run_all_shards(&sweep, opts);
+            black_box(
+                merge_shards(&shards)
+                    .expect("complete shard set")
+                    .cells
+                    .len(),
+            )
+        });
+    });
+    let shards = run_all_shards(&sweep, opts);
+    group.bench_function(format!("merge_only/{RUNS}runs"), |b| {
+        b.iter(|| {
+            black_box(
+                merge_shards(&shards)
+                    .expect("complete shard set")
+                    .cells
+                    .len(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, shard);
+criterion_main!(benches);

@@ -1,5 +1,5 @@
-//! The scenario engine driver: list, inspect, run and verify
-//! declarative scenario sweeps.
+//! The scenario engine driver: list, inspect, run, shard, merge and
+//! verify declarative scenario sweeps.
 //!
 //! ```text
 //! scenarios list                              preset library
@@ -7,54 +7,101 @@
 //! scenarios run NAME [--runs N] [--threads T] [--seed S]
 //!               [--out PATH] [--csv PATH]     sweep a preset
 //! scenarios run --spec FILE [...]             sweep a spec loaded from JSON
+//! scenarios run NAME --shard K/N [--checkpoint DIR] [--limit M]
+//!                                             run one shard of the sweep
+//! scenarios shard-plan NAME --shards N        print the deterministic partition
+//! scenarios merge SHARD.json... [--out PATH]  recombine shard artefacts
 //! scenarios check PATH                        re-parse a sweep artefact
 //! scenarios bench [--out PATH]                runs/sec at 1/4/8 threads
+//! scenarios bench-shard [--out PATH]          shard overhead vs unsharded
 //! ```
 //!
 //! `run` executes `--runs` replicates of the scenario on `--threads`
 //! workers (0 = all cores) and writes the JSON artefact (default
 //! `target/sirtm/<name>.json`); `check` exits non-zero unless the
 //! artefact parses and every per-run row carries finite measures.
+//!
+//! With `--shard K/N` (1-based K), `run` executes only shard K of the
+//! sweep's deterministic N-way partition and writes a partial shard
+//! artefact. `--checkpoint DIR` journals every completed run so a killed
+//! shard resumes from its last completed run when re-invoked with the
+//! same arguments; `--limit M` stops after M new runs (the interrupt
+//! switch the CI smoke job flips on purpose). `merge` recombines a
+//! complete shard set into an artefact byte-identical to the
+//! single-process sweep. See `docs/sharding.md`.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use sirtm_experiments::render;
+use sirtm_scenario::json::Json;
+use sirtm_scenario::shard::fingerprint;
 use sirtm_scenario::{
-    check_artifact, presets, run_sweep, ScenarioSpec, SeedScheme, SweepOptions, SweepResult,
-    SweepSpec,
+    check_artifact, merge_shards, presets, run_shard, run_sweep, OnlineStats, ScenarioSpec,
+    SeedScheme, ShardPlan, ShardResult, SweepOptions, SweepResult, SweepSpec,
 };
 
 fn die(msg: &str) -> ! {
     eprintln!("scenarios: {msg}");
     eprintln!(
-        "usage: scenarios [list|show NAME|run NAME|check PATH|bench] \
-         [--spec FILE] [--runs N] [--threads T] [--seed S] [--out PATH] [--csv PATH]"
+        "usage: scenarios [list|show NAME|run NAME|shard-plan NAME|merge SHARD...|check PATH|\
+         bench|bench-shard] [--spec FILE] [--runs N] [--threads T] [--seed S] [--out PATH] \
+         [--csv PATH] [--shards N] [--shard K/N] [--checkpoint DIR] [--limit M]"
     );
     std::process::exit(2);
 }
 
 struct Args {
     command: String,
-    target: Option<String>,
+    targets: Vec<String>,
     spec_file: Option<PathBuf>,
     runs: usize,
     threads: usize,
     seed: u64,
     out: Option<PathBuf>,
     csv: Option<PathBuf>,
+    shards: usize,
+    shard: Option<(usize, usize)>,
+    checkpoint: Option<PathBuf>,
+    limit: Option<usize>,
+}
+
+impl Args {
+    fn target(&self) -> Option<&str> {
+        self.targets.first().map(String::as_str)
+    }
+}
+
+/// Parses `K/N` with 1-based K.
+fn parse_shard(text: &str) -> (usize, usize) {
+    fn bad() -> ! {
+        die("--shard needs K/N with 1 <= K <= N, e.g. --shard 2/4")
+    }
+    let Some((k, n)) = text.split_once('/') else {
+        bad()
+    };
+    let k: usize = k.parse().unwrap_or_else(|_| bad());
+    let n: usize = n.parse().unwrap_or_else(|_| bad());
+    if k == 0 || k > n {
+        bad();
+    }
+    (k, n)
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         command: "list".to_string(),
-        target: None,
+        targets: Vec::new(),
         spec_file: None,
         runs: 8,
         threads: 0,
         seed: 2020,
         out: None,
         csv: None,
+        shards: 0,
+        shard: None,
+        checkpoint: None,
+        limit: None,
     };
     let mut it = std::env::args().skip(1);
     if let Some(cmd) = it.next() {
@@ -84,11 +131,32 @@ fn parse_args() -> Args {
             }
             "--out" => args.out = Some(PathBuf::from(next_val("--out"))),
             "--csv" => args.csv = Some(PathBuf::from(next_val("--csv"))),
-            other if args.target.is_none() && !other.starts_with("--") => {
-                args.target = Some(other.to_string());
+            "--shards" => {
+                args.shards = next_val("--shards")
+                    .parse()
+                    .unwrap_or_else(|_| die("--shards needs a number"));
             }
+            "--shard" => args.shard = Some(parse_shard(&next_val("--shard"))),
+            "--checkpoint" => args.checkpoint = Some(PathBuf::from(next_val("--checkpoint"))),
+            "--limit" => {
+                args.limit = Some(
+                    next_val("--limit")
+                        .parse()
+                        .unwrap_or_else(|_| die("--limit needs a number")),
+                );
+            }
+            other if !other.starts_with("--") => args.targets.push(other.to_string()),
             other => die(&format!("unknown flag `{other}`")),
         }
+    }
+    if args.command != "merge" && args.targets.len() > 1 {
+        die(&format!(
+            "`{}` takes one positional argument, got {:?}",
+            args.command, args.targets
+        ));
+    }
+    if args.limit.is_some() && args.checkpoint.is_none() {
+        die("--limit without --checkpoint would discard the completed runs; add --checkpoint DIR");
     }
     args
 }
@@ -108,10 +176,22 @@ fn resolve_spec(args: &Args) -> ScenarioSpec {
             .unwrap_or_else(|e| die(&format!("bad spec {}: {e}", path.display())));
     }
     let name = args
-        .target
-        .as_deref()
+        .target()
         .unwrap_or_else(|| die("run needs a preset name or --spec FILE"));
     presets::preset(name).unwrap_or_else(|| die(&format!("unknown preset `{name}`")))
+}
+
+/// The sweep `run`, `shard-plan` and sharded `run` all execute: the
+/// resolved base spec × `--runs` replicates × `--seed`-derived streams.
+fn resolve_sweep(args: &Args) -> SweepSpec {
+    let base = resolve_spec(args);
+    SweepSpec {
+        name: base.name.clone(),
+        base,
+        axes: vec![],
+        replicates: args.runs,
+        seeds: SeedScheme::Derived { root: args.seed },
+    }
 }
 
 fn summary_table(result: &SweepResult) -> String {
@@ -152,15 +232,11 @@ fn summary_table(result: &SweepResult) -> String {
 }
 
 fn run(args: &Args) {
-    let base = resolve_spec(args);
-    let name = base.name.clone();
-    let sweep = SweepSpec {
-        name: name.clone(),
-        base,
-        axes: vec![],
-        replicates: args.runs,
-        seeds: SeedScheme::Derived { root: args.seed },
-    };
+    if args.shard.is_some() {
+        return run_one_shard(args);
+    }
+    let sweep = resolve_sweep(args);
+    let name = sweep.name.clone();
     let started = Instant::now();
     let result = run_sweep(
         &sweep,
@@ -192,6 +268,136 @@ fn run(args: &Args) {
     }
 }
 
+/// `run NAME --shard K/N`: execute one shard of the sweep's
+/// deterministic partition, checkpointing if asked, and write the
+/// partial shard artefact on completion.
+fn run_one_shard(args: &Args) {
+    let sweep = resolve_sweep(args);
+    let (k, n) = args.shard.expect("caller checked");
+    if sweep.run_count() < n {
+        eprintln!(
+            "note: {} runs over {n} shards leaves {} shard(s) empty",
+            sweep.run_count(),
+            n - sweep.run_count()
+        );
+    }
+    let plan = ShardPlan::of_sweep(&sweep, k - 1, n);
+    let started = Instant::now();
+    let report = run_shard(
+        &sweep,
+        plan,
+        args.checkpoint.as_deref(),
+        SweepOptions {
+            threads: args.threads,
+        },
+        args.limit,
+    )
+    .unwrap_or_else(|e| die(&e));
+    let elapsed = started.elapsed();
+    println!(
+        "shard {k}/{n} of `{}`: runs {:?} — {} from checkpoint, {} executed in {elapsed:.1?}",
+        sweep.name,
+        plan.range(),
+        report.resumed,
+        report.executed,
+    );
+    match report.result {
+        None => println!(
+            "interrupted by --limit before completion; rerun the same command \
+             (without --limit) to resume from the checkpoint"
+        ),
+        Some(result) => {
+            let out = args.out.clone().unwrap_or_else(|| {
+                PathBuf::from("target/sirtm").join(ShardResult::artifact_name(&sweep.name, plan))
+            });
+            result
+                .write_json(&out)
+                .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", out.display())));
+            println!("shard artefact: {}", out.display());
+        }
+    }
+}
+
+/// `shard-plan NAME --shards N`: print the deterministic partition as
+/// JSON — which run indices each shard owns, plus the fingerprint every
+/// checkpoint and shard artefact of this sweep will carry.
+fn shard_plan(args: &Args) {
+    let sweep = resolve_sweep(args);
+    if args.shards == 0 {
+        die("shard-plan needs --shards N");
+    }
+    let shards: Vec<Json> = ShardPlan::all(args.shards, sweep.run_count())
+        .into_iter()
+        .map(|plan| {
+            Json::obj(vec![
+                (
+                    "shard",
+                    Json::Str(format!("{}/{}", plan.shard + 1, plan.shards)),
+                ),
+                ("start", Json::Num(plan.range().start as f64)),
+                ("count", Json::Num(plan.len() as f64)),
+                (
+                    "artifact",
+                    Json::Str(ShardResult::artifact_name(&sweep.name, plan)),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Json::obj(vec![
+        ("sweep", Json::Str(sweep.name.clone())),
+        ("fingerprint", Json::Str(fingerprint(&sweep))),
+        ("runs", Json::Num(sweep.run_count() as f64)),
+        ("shards", Json::Arr(shards)),
+    ]);
+    print!("{}", doc.render_pretty());
+}
+
+/// `merge SHARD.json...`: recombine a complete shard set into the full
+/// sweep artefact, byte-identical to a single-process run.
+fn merge(args: &Args) {
+    if args.targets.is_empty() {
+        die("merge needs shard artefact paths");
+    }
+    let shards: Vec<ShardResult> = args
+        .targets
+        .iter()
+        .map(|p| ShardResult::read(std::path::Path::new(p)).unwrap_or_else(|e| die(&e)))
+        .collect();
+    // Quick cross-shard overview from the partial stats blocks (Chan
+    // merge) before the exact per-run aggregation.
+    let overview = shards
+        .iter()
+        .map(|s| {
+            let rates: Vec<f64> = s.summaries.iter().map(|(_, r)| r.final_rate).collect();
+            OnlineStats::of(&rates)
+        })
+        .fold(OnlineStats::new(), |acc, s| acc.merge(&s));
+    let merged = merge_shards(&shards).unwrap_or_else(|e| die(&e));
+    println!(
+        "merged {} shard(s), {} runs (rate mean {:.3}, min {:.3}, max {:.3})",
+        shards.len(),
+        overview.count,
+        overview.mean,
+        overview.min,
+        overview.max
+    );
+    println!("{}", summary_table(&merged));
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(format!("target/sirtm/{}.json", merged.name)));
+    merged
+        .write_json(&out)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", out.display())));
+    println!("artefact: {}", out.display());
+    if let Some(csv) = &args.csv {
+        merged
+            .write_csv(csv)
+            .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", csv.display())));
+        println!("csv     : {}", csv.display());
+    }
+}
+
 fn show(args: &Args) {
     let spec = resolve_spec(args);
     print!("{}", spec.to_json_pretty());
@@ -199,8 +405,7 @@ fn show(args: &Args) {
 
 fn check(args: &Args) {
     let path = args
-        .target
-        .as_deref()
+        .target()
         .unwrap_or_else(|| die("check needs an artefact path"));
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
@@ -265,14 +470,122 @@ fn bench(args: &Args) {
     eprintln!("wrote {}", out.display());
 }
 
+fn bench_shard(args: &Args) {
+    // Shard overhead: the same 64-run sweep once through the in-process
+    // orchestrator and once as 2 checkpointed shards plus a merge, all
+    // single-threaded so the comparison is scheduling-free. The
+    // checked-in `BENCH_shard.json` datapoint records the overhead.
+    const RUNS: usize = 64;
+    let base = presets::preset("light-4x4").expect("known preset");
+    let sweep = SweepSpec {
+        name: "bench-shard".to_string(),
+        base,
+        axes: vec![],
+        replicates: RUNS,
+        seeds: SeedScheme::Derived { root: 1 },
+    };
+    let opts = SweepOptions { threads: 1 };
+
+    // Untimed warm-up: fault the binary in, settle the CPU governor.
+    let _ = run_sweep(&sweep, opts);
+
+    let started = Instant::now();
+    let whole = run_sweep(&sweep, opts);
+    let unsharded_s = started.elapsed().as_secs_f64();
+
+    let ckpt = std::env::temp_dir().join(format!("sirtm_bench_shard_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt);
+    let started = Instant::now();
+    let shards: Vec<ShardResult> = ShardPlan::all(2, sweep.run_count())
+        .into_iter()
+        .map(|plan| {
+            run_shard(&sweep, plan, Some(&ckpt), opts, None)
+                .expect("shard runs")
+                .result
+                .expect("completes")
+        })
+        .collect();
+    let sharded_s = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let merged = merge_shards(&shards).expect("complete shard set");
+    let merge_s = started.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&ckpt);
+    assert_eq!(
+        merged.to_json().render_pretty(),
+        whole.to_json().render_pretty(),
+        "bench artefacts must stay byte-identical"
+    );
+
+    let total_sharded = sharded_s + merge_s;
+    let overhead_pct = (total_sharded / unsharded_s - 1.0) * 100.0;
+    eprintln!(
+        "  unsharded: {RUNS} runs in {unsharded_s:.2}s ({:.1} runs/sec)",
+        RUNS as f64 / unsharded_s
+    );
+    eprintln!(
+        "  2 shards + checkpoints: {sharded_s:.2}s, merge {:.1} ms, overhead {overhead_pct:+.1}%",
+        merge_s * 1e3
+    );
+    let doc = Json::obj(vec![
+        ("benchmark", Json::Str("shard".into())),
+        (
+            "description",
+            Json::Str(format!(
+                "Sharded sweep overhead: {RUNS} runs of the light-4x4 preset once through the \
+                 in-process orchestrator and once as 2 checkpointed shards plus a merge, both \
+                 single-threaded. Overhead covers sweep re-expansion per shard, the per-run \
+                 JSONL checkpoint appends and the merge's re-aggregation; the artefacts are \
+                 asserted byte-identical before reporting."
+            )),
+        ),
+        ("unit", Json::Str("runs/sec".into())),
+        (
+            "configs",
+            Json::Arr(vec![
+                Json::obj(vec![
+                    ("mode", Json::Str("unsharded".into())),
+                    ("runs", Json::Num(RUNS as f64)),
+                    ("threads", Json::Num(1.0)),
+                    ("runs_per_sec", Json::Num(round1(RUNS as f64 / unsharded_s))),
+                ]),
+                Json::obj(vec![
+                    ("mode", Json::Str("2-shards+checkpoint+merge".into())),
+                    ("runs", Json::Num(RUNS as f64)),
+                    ("threads", Json::Num(1.0)),
+                    (
+                        "runs_per_sec",
+                        Json::Num(round1(RUNS as f64 / total_sharded)),
+                    ),
+                    ("merge_ms", Json::Num(round1(merge_s * 1e3))),
+                    ("overhead_pct", Json::Num(round1(overhead_pct))),
+                ]),
+            ]),
+        ),
+    ]);
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_shard.json"));
+    std::fs::write(&out, doc.render_pretty())
+        .unwrap_or_else(|e| die(&format!("cannot write bench json: {e}")));
+    eprintln!("wrote {}", out.display());
+}
+
+fn round1(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}
+
 fn main() {
     let args = parse_args();
     match args.command.as_str() {
         "list" => list(),
         "show" => show(&args),
         "run" => run(&args),
+        "shard-plan" => shard_plan(&args),
+        "merge" => merge(&args),
         "check" => check(&args),
         "bench" => bench(&args),
+        "bench-shard" => bench_shard(&args),
         other => die(&format!("unknown command `{other}`")),
     }
 }

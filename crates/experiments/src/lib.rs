@@ -37,6 +37,37 @@
 //! assert_eq!(result.trace.samples.len(), 6);
 //! assert!(result.recovery_ms.is_some());
 //! ```
+//!
+//! Tables are sweeps, and any sweep — tables included — shards and
+//! merges byte-identically to a single-process run (see
+//! `docs/sharding.md`):
+//!
+//! ```
+//! use sirtm_scenario::{merge_shards, presets, run_shard, run_sweep, ShardPlan, SweepOptions};
+//!
+//! // Table I's sweep shape (3 paper models, fault-free, paired seeds)
+//! // over a quick 4x4 base; the real table uses the paper's 8x16 grid
+//! // and 100 replicates.
+//! let mut base = presets::preset("light-4x4").expect("known preset");
+//! base.events.clear(); // Table I is fault-free
+//! let sweep = presets::table1_sweep(base, 2);
+//! assert_eq!(sweep.cell_count(), 3);
+//! let opts = SweepOptions { threads: 2 };
+//! let shards: Vec<_> = ShardPlan::all(2, sweep.run_count())
+//!     .into_iter()
+//!     .map(|plan| {
+//!         run_shard(&sweep, plan, None, opts, None)
+//!             .expect("shard runs")
+//!             .result
+//!             .expect("uninterrupted shard completes")
+//!     })
+//!     .collect();
+//! let table = merge_shards(&shards).expect("complete shard set");
+//! assert_eq!(
+//!     table.to_json().render_pretty(),
+//!     run_sweep(&sweep, opts).to_json().render_pretty(),
+//! );
+//! ```
 
 pub mod fig4;
 pub mod harness;

@@ -18,13 +18,20 @@
 //! | Event compilation & application | [`timeline`] |
 //! | One run: build → run → measure | [`run`] |
 //! | Matrix expansion & orchestration | [`sweep`] |
+//! | Sharding, checkpoint/resume, merge | [`shard`] |
 //! | Named preset library | [`presets`] |
 //! | Windowed recording | [`recorder`] |
 //! | Settling/recovery detection | [`detect`] |
 //! | Aggregation (quartiles, online) | [`stats`] |
 //! | Colony-level fault mirroring | [`colony_bridge`] |
 //!
+//! The determinism model, the spec JSON reference and the sharding
+//! protocol are documented in `docs/determinism.md`,
+//! `docs/scenario-format.md` and `docs/sharding.md` at the repo root.
+//!
 //! # Examples
+//!
+//! Run a sweep in-process:
 //!
 //! ```
 //! use sirtm_scenario::{presets, run_sweep, SweepOptions, SweepSpec, SeedScheme};
@@ -40,6 +47,44 @@
 //! assert_eq!(result.cells.len(), 1);
 //! assert_eq!(result.cells[0].runs.len(), 2);
 //! ```
+//!
+//! The same sweep, sharded: spec → sweep → per-shard run → merge, with
+//! the merged artefact byte-identical to the single-process one:
+//!
+//! ```
+//! use sirtm_scenario::{
+//!     merge_shards, presets, run_shard, run_sweep, SeedScheme, ShardPlan, SweepOptions,
+//!     SweepSpec,
+//! };
+//!
+//! let sweep = SweepSpec {
+//!     name: "smoke".into(),
+//!     base: presets::preset("light-4x4").expect("known preset"),
+//!     axes: vec![],
+//!     replicates: 2,
+//!     seeds: SeedScheme::Derived { root: 1 },
+//! };
+//! // A sweep descriptor is data: any host can reconstruct it from JSON
+//! // and derive its own slice of the run list.
+//! let wire = sweep.to_json().render_pretty();
+//! let rebuilt = SweepSpec::from_json_text(&wire).expect("descriptor round-trips");
+//! let opts = SweepOptions { threads: 1 };
+//! let shards: Vec<_> = ShardPlan::all(2, rebuilt.run_count())
+//!     .into_iter()
+//!     .map(|plan| {
+//!         run_shard(&rebuilt, plan, None, opts, None)
+//!             .expect("shard runs")
+//!             .result
+//!             .expect("uninterrupted shard completes")
+//!     })
+//!     .collect();
+//! let merged = merge_shards(&shards).expect("complete shard set");
+//! let whole = run_sweep(&sweep, opts);
+//! assert_eq!(
+//!     merged.to_json().render_pretty(),
+//!     whole.to_json().render_pretty(),
+//! );
+//! ```
 
 pub mod colony_bridge;
 pub mod detect;
@@ -47,12 +92,14 @@ pub mod json;
 pub mod presets;
 pub mod recorder;
 pub mod run;
+pub mod shard;
 pub mod spec;
 pub mod stats;
 pub mod sweep;
 pub mod timeline;
 
 pub use run::{build_platform, run_spec, RunOutcome, RunSummary};
+pub use shard::{merge_shards, run_shard, ShardPlan, ShardResult, ShardRunReport};
 pub use spec::{EventAction, EventSpec, MappingSpec, ScenarioSpec, ThermalEventSpec, WorkloadSpec};
 pub use stats::{OnlineStats, Quartiles};
 pub use sweep::{

@@ -1,0 +1,750 @@
+//! Sharded sweep execution: deterministic partitioning, per-shard
+//! checkpoint/resume, and artefact merging.
+//!
+//! A [`ShardPlan`] splits a sweep's expanded run list into `N`
+//! self-describing contiguous slices — a pure function of the run count
+//! and the shard count, independent of worker threads — so any host can
+//! compute its own slice from nothing but the sweep descriptor. Each
+//! shard writes an append-only JSONL *checkpoint* while it runs (one
+//! line per completed run, measures encoded as exact `f64` bit
+//! patterns) and a *shard artefact* when it finishes; an interrupted
+//! shard resumes from its checkpoint instead of restarting.
+//! [`merge_shards`] recombines a complete shard set through the same
+//! aggregation fold the single-process orchestrator uses, so the merged
+//! artefact is **byte-identical** to an unsharded run
+//! (`tests/sharding.rs` pins the full matrix: shard counts × thread
+//! counts × interrupt-and-resume).
+//!
+//! Every artefact and checkpoint carries a [`fingerprint`] of the sweep
+//! descriptor; mixing shards of different sweeps, or resuming a
+//! checkpoint against an edited spec, is rejected rather than silently
+//! merged. See `docs/sharding.md` for the formats and the protocol.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::json::{parse, Json};
+use crate::run::{run_spec, RunSummary};
+use crate::stats::OnlineStats;
+use crate::sweep::{aggregate, parallel_map, SweepOptions, SweepResult, SweepSpec};
+
+/// One shard of a sweep: a contiguous, balanced slice of the expanded
+/// run list. Pure data — two processes given the same `(shards,
+/// run_count)` derive the same partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// This shard's index, `0..shards`.
+    pub shard: usize,
+    /// Total number of shards.
+    pub shards: usize,
+    /// Total runs in the sweep (all shards together).
+    pub run_count: usize,
+}
+
+impl ShardPlan {
+    /// The plan for shard `shard` of `shards` over `run_count` runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or `shard` is out of range.
+    pub fn new(shard: usize, shards: usize, run_count: usize) -> Self {
+        assert!(shards > 0, "at least one shard");
+        assert!(shard < shards, "shard {shard} out of 0..{shards}");
+        Self {
+            shard,
+            shards,
+            run_count,
+        }
+    }
+
+    /// The plan for shard `shard` of `shards` over `sweep`'s runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or `shard` is out of range.
+    pub fn of_sweep(sweep: &SweepSpec, shard: usize, shards: usize) -> Self {
+        Self::new(shard, shards, sweep.run_count())
+    }
+
+    /// All `shards` plans, in shard order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn all(shards: usize, run_count: usize) -> Vec<Self> {
+        (0..shards)
+            .map(|shard| Self::new(shard, shards, run_count))
+            .collect()
+    }
+
+    /// The run indices this shard owns: a balanced contiguous range
+    /// (the first `run_count % shards` shards carry one extra run).
+    pub fn range(&self) -> std::ops::Range<usize> {
+        let q = self.run_count / self.shards;
+        let r = self.run_count % self.shards;
+        let start = self.shard * q + self.shard.min(r);
+        let len = q + usize::from(self.shard < r);
+        start..start + len
+    }
+
+    /// Number of runs in this shard.
+    pub fn len(&self) -> usize {
+        self.range().len()
+    }
+
+    /// Whether this shard owns no runs (more shards than runs).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// FNV-1a 64-bit fingerprint of the sweep descriptor
+/// ([`SweepSpec::to_json`], compact rendering), as 16 hex digits.
+/// Checkpoints and shard artefacts carry it so shards of different
+/// sweeps — or a checkpoint resumed against an edited spec — are
+/// rejected instead of silently merged.
+pub fn fingerprint(sweep: &SweepSpec) -> String {
+    let text = sweep.to_json().render();
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    format!("{hash:016x}")
+}
+
+fn bits_str(x: f64) -> Json {
+    Json::Str(x.to_bits().to_string())
+}
+
+fn str_bits(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(f64::from_bits)
+        .ok_or_else(|| format!("run row `{key}` is not a u64 bit string"))
+}
+
+/// Serialises one run row: the index plus the summary with every `f64`
+/// as its exact bit pattern (decimal `u64` string), so shard artefacts
+/// and checkpoints lose nothing to number formatting.
+fn summary_to_json(index: usize, s: &RunSummary) -> Json {
+    Json::obj(vec![
+        ("index", Json::Num(index as f64)),
+        ("seed", Json::Str(s.seed.to_string())),
+        ("settle_ms", bits_str(s.settle_ms)),
+        ("pre_rate", bits_str(s.pre_rate)),
+        (
+            "recovery_ms",
+            s.recovery_ms.map(bits_str).unwrap_or(Json::Null),
+        ),
+        ("final_rate", bits_str(s.final_rate)),
+    ])
+}
+
+fn summary_from_json(v: &Json) -> Result<(usize, RunSummary), String> {
+    let index = v
+        .get("index")
+        .and_then(Json::as_num)
+        .ok_or("run row missing `index`")? as usize;
+    let seed = v
+        .get("seed")
+        .and_then(Json::as_str)
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or("run row `seed` is not a u64 string")?;
+    let recovery_ms = match v.get("recovery_ms") {
+        None | Some(Json::Null) => None,
+        Some(_) => Some(str_bits(v, "recovery_ms")?),
+    };
+    Ok((
+        index,
+        RunSummary {
+            seed,
+            settle_ms: str_bits(v, "settle_ms")?,
+            pre_rate: str_bits(v, "pre_rate")?,
+            recovery_ms,
+            final_rate: str_bits(v, "final_rate")?,
+        },
+    ))
+}
+
+/// A completed shard: the partial artefact one shard process emits and
+/// [`merge_shards`] consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardResult {
+    /// Which slice of which partition this is.
+    pub plan: ShardPlan,
+    /// The full sweep descriptor (so `merge` needs no side-channel).
+    pub sweep_json: Json,
+    /// Fingerprint of the descriptor.
+    pub fingerprint: String,
+    /// `(run index, summary)` rows, index order, exactly the plan's range.
+    pub summaries: Vec<(usize, RunSummary)>,
+}
+
+impl ShardResult {
+    /// The partial-artefact JSON. Carries the sweep descriptor, the
+    /// partition coordinates, bit-exact per-run rows, and a streaming
+    /// [`OnlineStats`] block over this shard's end-of-run throughput for
+    /// quick inspection (merging recomputes aggregates exactly; the
+    /// block is informational).
+    pub fn to_json(&self) -> Json {
+        let rates: Vec<f64> = self.summaries.iter().map(|(_, s)| s.final_rate).collect();
+        let online = OnlineStats::of(&rates);
+        Json::obj(vec![
+            ("kind", Json::Str("sirtm-shard".into())),
+            ("fingerprint", Json::Str(self.fingerprint.clone())),
+            ("shard", Json::Num(self.plan.shard as f64)),
+            ("shards", Json::Num(self.plan.shards as f64)),
+            ("run_count", Json::Num(self.plan.run_count as f64)),
+            ("sweep", self.sweep_json.clone()),
+            (
+                "final_rate_online",
+                Json::obj(vec![
+                    ("count", Json::Num(online.count as f64)),
+                    ("mean", Json::Num(online.mean)),
+                    ("m2", Json::Num(online.m2)),
+                    ("min", Json::Num(online.min)),
+                    ("max", Json::Num(online.max)),
+                ]),
+            ),
+            (
+                "runs",
+                Json::Arr(
+                    self.summaries
+                        .iter()
+                        .map(|(i, s)| summary_to_json(*i, s))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a shard artefact.
+    ///
+    /// # Errors
+    ///
+    /// Returns syntax errors, missing fields, and rows outside the
+    /// shard's declared range.
+    pub fn from_json_text(text: &str) -> Result<Self, String> {
+        let v = parse(text)?;
+        if v.get("kind").and_then(Json::as_str) != Some("sirtm-shard") {
+            return Err("not a shard artefact (missing `kind: sirtm-shard`)".to_string());
+        }
+        let fingerprint = v
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .ok_or("shard artefact missing `fingerprint`")?
+            .to_string();
+        let num = |key: &str| -> Result<usize, String> {
+            v.get(key)
+                .and_then(Json::as_num)
+                .map(|n| n as usize)
+                .ok_or_else(|| format!("shard artefact missing `{key}`"))
+        };
+        let (shard, shards, run_count) = (num("shard")?, num("shards")?, num("run_count")?);
+        if shards == 0 || shard >= shards {
+            return Err(format!("bad shard coordinates {shard}/{shards}"));
+        }
+        let plan = ShardPlan::new(shard, shards, run_count);
+        let sweep_json = v
+            .get("sweep")
+            .ok_or("shard artefact missing `sweep` descriptor")?
+            .clone();
+        let rows = v
+            .get("runs")
+            .and_then(Json::as_arr)
+            .ok_or("shard artefact missing `runs`")?;
+        let mut summaries = Vec::with_capacity(rows.len());
+        for row in rows {
+            let (index, summary) = summary_from_json(row)?;
+            if !plan.range().contains(&index) {
+                return Err(format!(
+                    "run {index} outside shard {shard}/{shards} range {:?}",
+                    plan.range()
+                ));
+            }
+            summaries.push((index, summary));
+        }
+        summaries.sort_by_key(|&(i, _)| i);
+        Ok(Self {
+            plan,
+            sweep_json,
+            fingerprint,
+            summaries,
+        })
+    }
+
+    /// Reads a shard artefact from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O and format errors as strings.
+    pub fn read(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::from_json_text(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Writes the shard artefact.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json().render_pretty())
+    }
+
+    /// The conventional artefact file name: `NAME.shard-K-of-N.json`
+    /// (1-based K, matching the CLI's `--shard K/N`).
+    pub fn artifact_name(sweep_name: &str, plan: ShardPlan) -> String {
+        format!(
+            "{sweep_name}.shard-{}-of-{}.json",
+            plan.shard + 1,
+            plan.shards
+        )
+    }
+}
+
+/// The conventional checkpoint file name inside a checkpoint directory:
+/// `shard-K-of-N.ckpt` (1-based K).
+pub fn checkpoint_file(dir: &Path, plan: ShardPlan) -> PathBuf {
+    dir.join(format!("shard-{}-of-{}.ckpt", plan.shard + 1, plan.shards))
+}
+
+/// Loads a shard checkpoint: a JSONL journal whose first line is a
+/// header (`kind`, `fingerprint`, shard coordinates) and whose
+/// remaining lines are completed run rows. A missing file is an empty
+/// checkpoint. Unparseable lines are skipped — a process killed
+/// mid-append leaves a torn tail line, and the run it described is
+/// simply recomputed on resume.
+///
+/// # Errors
+///
+/// Returns an error if the header exists but names a different sweep
+/// fingerprint or shard coordinates (resuming against an edited spec).
+pub fn load_checkpoint(
+    path: &Path,
+    fingerprint: &str,
+    plan: ShardPlan,
+) -> Result<BTreeMap<usize, RunSummary>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    let mut lines = text.lines();
+    let header = match lines.next() {
+        None => return Ok(BTreeMap::new()),
+        // A torn header (killed mid-first-write) means no run completed:
+        // treat as empty; the writer truncates and starts over.
+        Some(line) => match parse(line) {
+            Ok(header) => header,
+            Err(_) => return Ok(BTreeMap::new()),
+        },
+    };
+    if header.get("kind").and_then(Json::as_str) != Some("sirtm-shard-checkpoint") {
+        return Err(format!("{}: not a shard checkpoint", path.display()));
+    }
+    if header.get("fingerprint").and_then(Json::as_str) != Some(fingerprint) {
+        return Err(format!(
+            "{}: checkpoint belongs to a different sweep (fingerprint mismatch) — \
+             delete it or point --checkpoint elsewhere",
+            path.display()
+        ));
+    }
+    let coord = |key: &str| header.get(key).and_then(Json::as_num).map(|n| n as usize);
+    if coord("shard") != Some(plan.shard) || coord("shards") != Some(plan.shards) {
+        return Err(format!(
+            "{}: checkpoint is for shard {:?}/{:?}, not {}/{}",
+            path.display(),
+            coord("shard"),
+            coord("shards"),
+            plan.shard,
+            plan.shards
+        ));
+    }
+    let mut completed = BTreeMap::new();
+    for line in lines {
+        // Torn tail lines (interrupted append) parse as garbage and are
+        // dropped; their runs rerun.
+        if let Ok(row) = parse(line) {
+            if let Ok((index, summary)) = summary_from_json(&row) {
+                if plan.range().contains(&index) {
+                    completed.insert(index, summary);
+                }
+            }
+        }
+    }
+    Ok(completed)
+}
+
+fn checkpoint_header(fingerprint: &str, plan: ShardPlan) -> Json {
+    Json::obj(vec![
+        ("kind", Json::Str("sirtm-shard-checkpoint".into())),
+        ("fingerprint", Json::Str(fingerprint.to_string())),
+        ("shard", Json::Num(plan.shard as f64)),
+        ("shards", Json::Num(plan.shards as f64)),
+        ("run_count", Json::Num(plan.run_count as f64)),
+    ])
+}
+
+/// What [`run_shard`] did: how much came from the checkpoint, how much
+/// ran now, and the finished shard (absent when `limit` interrupted the
+/// shard before completion — resume with the same arguments).
+#[derive(Debug)]
+pub struct ShardRunReport {
+    /// Runs restored from the checkpoint instead of executing.
+    pub resumed: usize,
+    /// Runs executed in this invocation.
+    pub executed: usize,
+    /// The completed shard, if every run of the slice is now done.
+    pub result: Option<ShardResult>,
+}
+
+/// Executes one shard of a sweep, checkpointing each completed run.
+///
+/// Runs the missing slice of `sweep`'s expanded run list on the
+/// orchestrator's worker pool. With `checkpoint_dir`, previously
+/// completed runs load from the shard's checkpoint and each new
+/// completion appends to it, so an interrupted invocation resumes from
+/// its last completed run. `limit` stops after that many *new*
+/// completions (the checkpoint stays valid) — the interrupt switch the
+/// determinism tests and the CI smoke job flip on purpose.
+///
+/// # Errors
+///
+/// Returns checkpoint I/O and validation errors.
+///
+/// # Panics
+///
+/// Panics if the plan's run count disagrees with the sweep or a spec is
+/// invalid.
+pub fn run_shard(
+    sweep: &SweepSpec,
+    plan: ShardPlan,
+    checkpoint_dir: Option<&Path>,
+    opts: SweepOptions,
+    limit: Option<usize>,
+) -> Result<ShardRunReport, String> {
+    assert_eq!(
+        plan.run_count,
+        sweep.run_count(),
+        "shard plan is for a different sweep size"
+    );
+    let plans = sweep.expand();
+    let print = fingerprint(sweep);
+    let mut completed = match checkpoint_dir {
+        Some(dir) => {
+            let path = checkpoint_file(dir, plan);
+            let completed = load_checkpoint(&path, &print, plan)?;
+            // Integrity: a checkpoint row must describe the run the plan
+            // derives (the fingerprint already pins the spec; this pins
+            // the row itself).
+            for (&index, summary) in &completed {
+                if summary.seed != plans[index].seed {
+                    return Err(format!(
+                        "{}: run {index} seed {} disagrees with the plan's {}",
+                        path.display(),
+                        summary.seed,
+                        plans[index].seed
+                    ));
+                }
+            }
+            completed
+        }
+        None => BTreeMap::new(),
+    };
+    let resumed = completed.len();
+    let mut todo: Vec<usize> = plan
+        .range()
+        .filter(|i| !completed.contains_key(i))
+        .collect();
+    let interrupted = limit.is_some_and(|l| l < todo.len());
+    if let Some(l) = limit {
+        todo.truncate(l);
+    }
+    let journal = match checkpoint_dir {
+        Some(dir) if !todo.is_empty() => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            let path = checkpoint_file(dir, plan);
+            // No recovered rows means no trustworthy journal content —
+            // the file is absent, empty, or a torn header — so start it
+            // over; otherwise a valid header is already on line 1 (rows
+            // are only recovered after the header checks pass).
+            let fresh = completed.is_empty();
+            let mut open = std::fs::OpenOptions::new();
+            if fresh {
+                open.create(true).write(true).truncate(true);
+            } else {
+                open.create(true).append(true);
+            }
+            let mut file = open
+                .open(&path)
+                .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+            if fresh {
+                writeln!(file, "{}", checkpoint_header(&print, plan).render())
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            }
+            Some(Mutex::new(file))
+        }
+        _ => None,
+    };
+    let fresh = parallel_map(todo.len(), opts.threads, |k| {
+        let index = todo[k];
+        let summary = run_spec(&plans[index].spec, plans[index].seed).summary();
+        if let Some(journal) = &journal {
+            // One line per completed run, flushed immediately: the
+            // checkpoint is never more than one torn line behind.
+            let line = summary_to_json(index, &summary).render();
+            let mut file = journal.lock().expect("checkpoint journal poisoned");
+            writeln!(file, "{line}").expect("checkpoint append failed");
+        }
+        (index, summary)
+    });
+    let executed = fresh.len();
+    completed.extend(fresh);
+    let result = (!interrupted).then(|| ShardResult {
+        plan,
+        sweep_json: sweep.to_json(),
+        fingerprint: print,
+        summaries: completed.into_iter().collect(),
+    });
+    Ok(ShardRunReport {
+        resumed,
+        executed,
+        result,
+    })
+}
+
+/// Recombines a complete shard set into the full sweep result,
+/// byte-identical to a single-process [`crate::sweep::run_sweep`] of
+/// the same sweep (same aggregation fold, same artefact rendering).
+///
+/// # Errors
+///
+/// Rejects empty input, mixed fingerprints or partition sizes, missing
+/// or duplicate run indices, and rows whose seeds disagree with the
+/// descriptor's expansion.
+pub fn merge_shards(shards: &[ShardResult]) -> Result<SweepResult, String> {
+    let first = shards.first().ok_or("no shard artefacts to merge")?;
+    let sweep = SweepSpec::from_json(&first.sweep_json)
+        .map_err(|e| format!("bad sweep descriptor: {e}"))?;
+    // The fingerprint is recomputed from the embedded descriptor, not
+    // trusted: a tampered descriptor with a stale fingerprint string is
+    // rejected here. (Descriptor serialisation is round-trip idempotent,
+    // which `sweep::tests` pins, so honest artefacts always agree.)
+    if fingerprint(&sweep) != first.fingerprint {
+        return Err(format!(
+            "shard artefact fingerprint {} does not match its own sweep descriptor ({}) — \
+             the artefact was edited",
+            first.fingerprint,
+            fingerprint(&sweep)
+        ));
+    }
+    for s in shards {
+        if s.fingerprint != first.fingerprint {
+            return Err(format!(
+                "shard {}/{} belongs to a different sweep ({} vs {})",
+                s.plan.shard + 1,
+                s.plan.shards,
+                s.fingerprint,
+                first.fingerprint
+            ));
+        }
+        if s.plan.shards != first.plan.shards || s.plan.run_count != first.plan.run_count {
+            return Err("shards come from different partitions".to_string());
+        }
+    }
+    let plans = sweep.expand();
+    if first.plan.run_count != plans.len() {
+        return Err(format!(
+            "descriptor expands to {} runs, shards claim {}",
+            plans.len(),
+            first.plan.run_count
+        ));
+    }
+    let mut rows: Vec<Option<RunSummary>> = vec![None; plans.len()];
+    for s in shards {
+        for &(index, summary) in &s.summaries {
+            if index >= rows.len() {
+                return Err(format!("run index {index} out of range"));
+            }
+            if rows[index].is_some() {
+                return Err(format!("run {index} appears in more than one shard"));
+            }
+            if summary.seed != plans[index].seed {
+                return Err(format!(
+                    "run {index} seed {} disagrees with the descriptor's {}",
+                    summary.seed, plans[index].seed
+                ));
+            }
+            rows[index] = Some(summary);
+        }
+    }
+    let missing: Vec<usize> = rows
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.is_none().then_some(i))
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!(
+            "incomplete shard set: {} of {} runs missing (first missing index {})",
+            missing.len(),
+            rows.len(),
+            missing[0]
+        ));
+    }
+    let summaries: Vec<RunSummary> = rows.into_iter().map(|r| r.expect("checked")).collect();
+    Ok(aggregate(&sweep, &plans, &summaries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::sweep::{Axis, SeedScheme};
+
+    fn small_sweep() -> SweepSpec {
+        SweepSpec {
+            name: "shard-unit".to_string(),
+            base: presets::preset("light-4x4").expect("known preset"),
+            axes: vec![Axis::RandomFaults {
+                at_ms: 60.0,
+                counts: vec![0, 3],
+            }],
+            replicates: 2,
+            seeds: SeedScheme::Derived { root: 11 },
+        }
+    }
+
+    #[test]
+    fn plans_partition_exactly_and_balanced() {
+        for run_count in [0, 1, 5, 12, 100] {
+            for shards in [1, 2, 3, 4, 7] {
+                let plans = ShardPlan::all(shards, run_count);
+                let mut covered = Vec::new();
+                for p in &plans {
+                    covered.extend(p.range());
+                }
+                assert_eq!(
+                    covered,
+                    (0..run_count).collect::<Vec<_>>(),
+                    "{shards} shards over {run_count} runs must tile the range"
+                );
+                let (min, max) = plans
+                    .iter()
+                    .map(ShardPlan::len)
+                    .fold((usize::MAX, 0), |(lo, hi), l| (lo.min(l), hi.max(l)));
+                assert!(max - min <= 1, "balanced to within one run");
+            }
+        }
+        assert!(ShardPlan::new(2, 3, 2).is_empty(), "more shards than runs");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 0..")]
+    fn out_of_range_shard_panics() {
+        ShardPlan::new(3, 3, 10);
+    }
+
+    #[test]
+    fn fingerprint_tracks_the_descriptor() {
+        let sweep = small_sweep();
+        assert_eq!(fingerprint(&sweep), fingerprint(&sweep.clone()));
+        let mut edited = sweep.clone();
+        edited.replicates += 1;
+        assert_ne!(fingerprint(&sweep), fingerprint(&edited));
+        let mut reseeded = sweep;
+        reseeded.seeds = SeedScheme::Derived { root: 12 };
+        assert_ne!(fingerprint(&reseeded), fingerprint(&small_sweep()));
+    }
+
+    #[test]
+    fn summary_rows_round_trip_bit_exactly() {
+        let summary = RunSummary {
+            seed: u64::MAX - 3,
+            settle_ms: 1.0 / 3.0,
+            pre_rate: f64::MIN_POSITIVE,
+            recovery_ms: Some(-0.0),
+            final_rate: 1e300,
+        };
+        let (index, back) = summary_from_json(&summary_to_json(7, &summary)).expect("parses");
+        assert_eq!(index, 7);
+        assert_eq!(back.seed, summary.seed);
+        assert_eq!(back.settle_ms.to_bits(), summary.settle_ms.to_bits());
+        assert_eq!(back.pre_rate.to_bits(), summary.pre_rate.to_bits());
+        assert_eq!(
+            back.recovery_ms.map(f64::to_bits),
+            summary.recovery_ms.map(f64::to_bits),
+            "-0.0 survives (plain JSON numbers would drop the sign)"
+        );
+        assert_eq!(back.final_rate.to_bits(), summary.final_rate.to_bits());
+    }
+
+    #[test]
+    fn shard_artefact_round_trips() {
+        let sweep = small_sweep();
+        let plan = ShardPlan::of_sweep(&sweep, 0, 2);
+        let report =
+            run_shard(&sweep, plan, None, SweepOptions { threads: 2 }, None).expect("shard runs");
+        let result = report.result.expect("uninterrupted shard completes");
+        assert_eq!(report.executed, plan.len());
+        assert_eq!(report.resumed, 0);
+        let text = result.to_json().render_pretty();
+        let back = ShardResult::from_json_text(&text).expect("artefact parses");
+        assert_eq!(back, result);
+    }
+
+    #[test]
+    fn merge_rejects_broken_shard_sets() {
+        let sweep = small_sweep();
+        let plans = ShardPlan::all(2, sweep.run_count());
+        let opts = SweepOptions { threads: 1 };
+        let a = run_shard(&sweep, plans[0], None, opts, None)
+            .expect("runs")
+            .result
+            .expect("completes");
+        let b = run_shard(&sweep, plans[1], None, opts, None)
+            .expect("runs")
+            .result
+            .expect("completes");
+        assert!(merge_shards(&[]).unwrap_err().contains("no shard"));
+        assert!(
+            merge_shards(std::slice::from_ref(&a))
+                .unwrap_err()
+                .contains("missing"),
+            "half a sweep is not a sweep"
+        );
+        assert!(merge_shards(&[a.clone(), a.clone()])
+            .unwrap_err()
+            .contains("more than one shard"));
+        let mut foreign = b.clone();
+        foreign.fingerprint = "0000000000000000".to_string();
+        assert!(merge_shards(&[a.clone(), foreign])
+            .unwrap_err()
+            .contains("different sweep"));
+        let mut tampered = a.clone();
+        // Edit the embedded descriptor but keep the fingerprint string:
+        // the recomputed fingerprint must expose the edit.
+        tampered.sweep_json = {
+            let mut edited = small_sweep();
+            edited.name = "not-the-same-sweep".to_string();
+            edited.to_json()
+        };
+        assert!(merge_shards(&[tampered, b.clone()])
+            .unwrap_err()
+            .contains("edited"));
+        let mut forged = b;
+        forged.summaries[0].1.seed ^= 1;
+        assert!(merge_shards(&[a, forged])
+            .unwrap_err()
+            .contains("disagrees"));
+    }
+}

@@ -146,6 +146,36 @@ impl OnlineStats {
         }
         s
     }
+
+    /// Combines two aggregates (Chan et al.'s parallel Welford update) —
+    /// how shard artefacts' partial stats blocks fold into a whole-sweep
+    /// overview without the per-run rows.
+    ///
+    /// Exact in real arithmetic but **not** bit-identical to pushing the
+    /// union sequentially, so merged artefact aggregates are always
+    /// recomputed from per-run summaries in plan order; this is for
+    /// progress overviews over partial artefacts.
+    pub fn merge(&self, other: &OnlineStats) -> OnlineStats {
+        if self.count == 0 {
+            return *other;
+        }
+        if other.count == 0 {
+            return *self;
+        }
+        let count = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / count as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / count as f64;
+        OnlineStats {
+            count,
+            mean,
+            m2,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +245,22 @@ mod tests {
         assert!((s.variance() - 22.5).abs() < 1e-9);
         assert_eq!(s.min, 4.0);
         assert_eq!(s.max, 16.0);
+    }
+
+    #[test]
+    fn merged_online_stats_match_the_batch_formulas() {
+        let all = [4.0, 7.0, 13.0, 16.0, 2.0, 9.0];
+        let whole = OnlineStats::of(&all);
+        let merged = OnlineStats::of(&all[..2]).merge(&OnlineStats::of(&all[2..]));
+        assert_eq!(merged.count, whole.count);
+        assert!((merged.mean - whole.mean).abs() < 1e-12);
+        assert!((merged.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(merged.min, whole.min);
+        assert_eq!(merged.max, whole.max);
+        // Empty sides are identities.
+        let empty = OnlineStats::new();
+        assert_eq!(empty.merge(&whole), whole);
+        assert_eq!(whole.merge(&empty), whole);
     }
 
     #[test]

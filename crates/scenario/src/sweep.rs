@@ -22,7 +22,7 @@ use sirtm_taskgraph::GridDims;
 
 use crate::json::Json;
 use crate::run::{run_spec, RunSummary};
-use crate::spec::{model_name, EventAction, EventSpec, ScenarioSpec};
+use crate::spec::{model_from_name, model_name, EventAction, EventSpec, ScenarioSpec};
 use crate::stats::{OnlineStats, Quartiles};
 
 /// One swept dimension. Applying a value mutates a copy of the base
@@ -194,6 +194,87 @@ impl SweepSpec {
         self.cell_count() * self.replicates
     }
 
+    /// Serialises the sweep descriptor to JSON: base spec, axes,
+    /// replicate count and seed scheme. `u64` seeds travel as strings
+    /// (JSON numbers are `f64`, which cannot carry all 64 bits). The
+    /// descriptor is the identity the sharding layer fingerprints — see
+    /// [`crate::shard::fingerprint`].
+    pub fn to_json(&self) -> Json {
+        let seeds = match self.seeds {
+            SeedScheme::Sequential { base } => Json::obj(vec![
+                ("scheme", Json::Str("sequential".into())),
+                ("base", Json::Str(base.to_string())),
+            ]),
+            SeedScheme::Derived { root } => Json::obj(vec![
+                ("scheme", Json::Str("derived".into())),
+                ("root", Json::Str(root.to_string())),
+            ]),
+        };
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("base", self.base.to_json()),
+            (
+                "axes",
+                Json::Arr(self.axes.iter().map(axis_to_json).collect()),
+            ),
+            ("replicates", Json::Num(self.replicates as f64)),
+            ("seeds", seeds),
+        ])
+    }
+
+    /// Parses a sweep descriptor produced by [`SweepSpec::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("sweep missing `name`")?
+            .to_string();
+        let base = ScenarioSpec::from_json(v.get("base").ok_or("sweep missing `base`")?)?;
+        let axes = match v.get("axes") {
+            None => Vec::new(),
+            Some(a) => a
+                .as_arr()
+                .ok_or("`axes` must be an array")?
+                .iter()
+                .map(axis_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let replicates = v
+            .get("replicates")
+            .and_then(Json::as_num)
+            .ok_or("sweep missing `replicates`")? as usize;
+        let seeds = v.get("seeds").ok_or("sweep missing `seeds`")?;
+        let seeds = match seeds.get("scheme").and_then(Json::as_str) {
+            Some("sequential") => SeedScheme::Sequential {
+                base: seed_u64(seeds, "base")?,
+            },
+            Some("derived") => SeedScheme::Derived {
+                root: seed_u64(seeds, "root")?,
+            },
+            _ => return Err("`seeds.scheme` must be `sequential` or `derived`".to_string()),
+        };
+        Ok(Self {
+            name,
+            base,
+            axes,
+            replicates,
+            seeds,
+        })
+    }
+
+    /// Parses a sweep descriptor from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns JSON syntax errors and field errors alike.
+    pub fn from_json_text(text: &str) -> Result<Self, String> {
+        Self::from_json(&crate::json::parse(text)?)
+    }
+
     /// Expands the matrix into the full run list, cell-major with the
     /// first axis slowest — Table II order: model × fault level.
     pub fn expand(&self) -> Vec<RunPlan> {
@@ -226,6 +307,112 @@ impl SweepSpec {
         }
         plans
     }
+}
+
+fn axis_to_json(axis: &Axis) -> Json {
+    match axis {
+        Axis::Model(models) => Json::obj(vec![
+            ("axis", Json::Str("model".into())),
+            (
+                "values",
+                Json::Arr(
+                    models
+                        .iter()
+                        .map(|m| Json::Str(model_name(m).to_string()))
+                        .collect(),
+                ),
+            ),
+        ]),
+        Axis::RandomFaults { at_ms, counts } => Json::obj(vec![
+            ("axis", Json::Str("faults".into())),
+            ("at_ms", Json::Num(*at_ms)),
+            (
+                "counts",
+                Json::Arr(counts.iter().map(|&c| Json::Num(c as f64)).collect()),
+            ),
+        ]),
+        Axis::Grid(grids) => Json::obj(vec![
+            ("axis", Json::Str("grid".into())),
+            (
+                "values",
+                Json::Arr(
+                    grids
+                        .iter()
+                        .map(|g| {
+                            Json::Arr(vec![
+                                Json::Num(g.width() as f64),
+                                Json::Num(g.height() as f64),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        Axis::Duration(values) => Json::obj(vec![
+            ("axis", Json::Str("duration_ms".into())),
+            (
+                "values",
+                Json::Arr(values.iter().map(|&d| Json::Num(d)).collect()),
+            ),
+        ]),
+    }
+}
+
+fn axis_from_json(v: &Json) -> Result<Axis, String> {
+    let values = |key: &str| -> Result<&[Json], String> {
+        v.get(key)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("axis missing `{key}` array"))
+    };
+    match v.get("axis").and_then(Json::as_str) {
+        Some("model") => Ok(Axis::Model(
+            values("values")?
+                .iter()
+                .map(|m| model_from_name(m.as_str().ok_or("model names must be strings")?))
+                .collect::<Result<Vec<_>, _>>()?,
+        )),
+        Some("faults") => Ok(Axis::RandomFaults {
+            at_ms: v
+                .get("at_ms")
+                .and_then(Json::as_num)
+                .ok_or("faults axis missing `at_ms`")?,
+            counts: values("counts")?
+                .iter()
+                .map(|c| {
+                    c.as_num()
+                        .map(|n| n as usize)
+                        .ok_or("fault counts must be numbers".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        }),
+        Some("grid") => Ok(Axis::Grid(
+            values("values")?
+                .iter()
+                .map(|g| {
+                    let pair = g.as_arr().filter(|p| p.len() == 2);
+                    let pair = pair.ok_or("grid values must be [width, height]")?;
+                    match (pair[0].as_num(), pair[1].as_num()) {
+                        (Some(w), Some(h)) => Ok(GridDims::new(w as u16, h as u16)),
+                        _ => Err("grid dimensions must be numbers".to_string()),
+                    }
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        )),
+        Some("duration_ms") => Ok(Axis::Duration(
+            values("values")?
+                .iter()
+                .map(|d| d.as_num().ok_or("durations must be numbers".to_string()))
+                .collect::<Result<Vec<_>, _>>()?,
+        )),
+        _ => Err("unknown or missing `axis` kind".to_string()),
+    }
+}
+
+fn seed_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| format!("`seeds.{key}` must be a u64 string"))
 }
 
 /// Orchestrator options.
@@ -339,7 +526,25 @@ pub fn run_sweep(sweep: &SweepSpec, opts: SweepOptions) -> SweepResult {
         let plan = &plans[i];
         run_spec(&plan.spec, plan.seed).summary()
     });
-    // Deterministic aggregation: fold cells in plan order.
+    let mut result = aggregate(sweep, &plans, &summaries);
+    result.threads_used = threads_used;
+    result
+}
+
+/// The deterministic aggregation pass: folds per-run summaries (plan
+/// order) into per-cell quartiles and online stats. Shared by
+/// [`run_sweep`] and [`crate::shard::merge_shards`], so a merged shard
+/// set aggregates **bit-identically** to a single-process sweep.
+///
+/// # Panics
+///
+/// Panics if `summaries` is not one summary per plan, in plan order.
+pub(crate) fn aggregate(
+    sweep: &SweepSpec,
+    plans: &[RunPlan],
+    summaries: &[RunSummary],
+) -> SweepResult {
+    assert_eq!(plans.len(), summaries.len(), "one summary per plan");
     let mut cells = Vec::with_capacity(sweep.cell_count());
     for cell in 0..sweep.cell_count() {
         let first = cell * sweep.replicates;
@@ -359,7 +564,7 @@ pub fn run_sweep(sweep: &SweepSpec, opts: SweepOptions) -> SweepResult {
     }
     SweepResult {
         name: sweep.name.clone(),
-        threads_used,
+        threads_used: 1,
         cells,
     }
 }
@@ -385,11 +590,12 @@ fn online_json(s: &OnlineStats) -> Json {
 impl SweepResult {
     /// The artefact JSON: sweep metadata, per-cell aggregates and
     /// per-run rows. The CI smoke step re-parses this through
-    /// [`crate::json::parse`].
+    /// [`crate::json::parse`]. Runtime facts (thread count, wall time)
+    /// are deliberately absent, so artefacts are byte-comparable across
+    /// thread counts and across sharded vs single-process execution.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("sweep", Json::Str(self.name.clone())),
-            ("threads", Json::Num(self.threads_used as f64)),
             (
                 "cells",
                 Json::Arr(
@@ -603,6 +809,78 @@ mod tests {
         // Zero-fault cells carry no event; others carry exactly one.
         assert!(plans[0].spec.events.is_empty());
         assert_eq!(plans[2].spec.events.len(), 1);
+    }
+
+    #[test]
+    fn sweep_descriptor_round_trips_through_json() {
+        let sweep = SweepSpec {
+            name: "rt".into(),
+            base: tiny_base(),
+            axes: vec![
+                Axis::Model(vec![
+                    ModelKind::NoIntelligence,
+                    ModelKind::ForagingForWork(FfwConfig::default()),
+                ]),
+                Axis::RandomFaults {
+                    at_ms: 30.0,
+                    counts: vec![0, 2, 4],
+                },
+                Axis::Grid(vec![GridDims::new(4, 4), GridDims::new(8, 16)]),
+                Axis::Duration(vec![60.0, 120.5]),
+            ],
+            replicates: 3,
+            // A seed above 2^53 proves u64 exactness through JSON.
+            seeds: SeedScheme::Derived {
+                root: 0xDEAD_BEEF_CAFE_F00D,
+            },
+        };
+        let text = sweep.to_json().render_pretty();
+        let back = SweepSpec::from_json_text(&text).expect("descriptor parses");
+        assert_eq!(back.name, sweep.name);
+        assert_eq!(back.replicates, sweep.replicates);
+        assert_eq!(back.seeds, sweep.seeds);
+        // The expansion — the part the orchestrator consumes — is
+        // identical: same cells, labels and seeds.
+        let a = sweep.expand();
+        let b = back.expand();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.labels, y.labels);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.spec, y.spec);
+        }
+        // Round-tripping the descriptor is idempotent (fingerprints of
+        // the sharding layer rely on this).
+        assert_eq!(back.to_json().render(), sweep.to_json().render());
+    }
+
+    #[test]
+    fn bad_sweep_descriptors_are_rejected() {
+        for (text, needle) in [
+            ("{}", "name"),
+            (r#"{"name": "x"}"#, "base"),
+            (
+                r#"{"name": "x", "base": {"name": "b", "grid": [4,4], "model": "ffw",
+                    "duration_ms": 60}, "replicates": 1,
+                    "seeds": {"scheme": "lottery"}}"#,
+                "scheme",
+            ),
+            (
+                r#"{"name": "x", "base": {"name": "b", "grid": [4,4], "model": "ffw",
+                    "duration_ms": 60}, "replicates": 1,
+                    "seeds": {"scheme": "derived", "root": 7}}"#,
+                "u64 string",
+            ),
+            (
+                r#"{"name": "x", "base": {"name": "b", "grid": [4,4], "model": "ffw",
+                    "duration_ms": 60}, "replicates": 1, "axes": [{"axis": "warp"}],
+                    "seeds": {"scheme": "derived", "root": "7"}}"#,
+                "axis",
+            ),
+        ] {
+            let err = SweepSpec::from_json_text(text).expect_err("must fail");
+            assert!(err.contains(needle), "`{err}` should mention `{needle}`");
+        }
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub struct Bencher {
 
 impl Bencher {
     /// Time the closure: one warm-up call, then an adaptive number of
-    /// timed iterations within [`MEASURE_BUDGET`].
+    /// timed iterations within the crate's fixed measurement budget.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         black_box(f());
         let started = Instant::now();
