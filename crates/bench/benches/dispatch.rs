@@ -1,0 +1,78 @@
+//! Dispatcher-loop overhead: the same small sweep through the
+//! in-process orchestrator, through the dispatcher with in-process
+//! [`Mock`] workers (isolating the assignment/poll/salvage/merge
+//! machinery from process spawns), and the checkpoint-resume path a
+//! reassignment takes.
+//!
+//! `BENCH_dispatch.json` (checked in at the repo root) is produced by
+//! `scenarios bench-dispatch`, which wall-clocks real `LocalProcess`
+//! subprocess workers against the in-process run and asserts the
+//! artefacts byte-identical; this criterion target tracks the
+//! dispatcher's own bookkeeping cost, so a regression is attributable
+//! to the loop rather than to process spawn time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use sirtm_scenario::{
+    dispatch, presets, run_sweep, DispatchOptions, Mock, SeedScheme, ShardTransport, SweepOptions,
+    SweepSpec,
+};
+
+/// Runs per measured sweep — small enough for the vendored criterion's
+/// 200 ms budget.
+const RUNS: usize = 8;
+
+fn sweep_spec() -> SweepSpec {
+    SweepSpec {
+        name: "bench".to_string(),
+        base: presets::preset("light-4x4").expect("known preset"),
+        axes: vec![],
+        replicates: RUNS,
+        seeds: SeedScheme::Derived { root: 1 },
+    }
+}
+
+/// A fresh private work dir per worker per iteration, so every measured
+/// dispatch runs the full execute-and-checkpoint path rather than
+/// resuming the previous iteration's journals.
+fn work_dir(tag: &str, iter: usize) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "sirtm_bench_dispatch_{tag}_{}_{iter}",
+        std::process::id()
+    ))
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let sweep = sweep_spec();
+    let opts = DispatchOptions {
+        poll_interval: Duration::ZERO,
+        ..DispatchOptions::default()
+    };
+    let mut group = c.benchmark_group("dispatch");
+    group.bench_function(format!("in_process/{RUNS}runs"), |b| {
+        b.iter(|| black_box(run_sweep(&sweep, SweepOptions { threads: 1 }).cells.len()));
+    });
+    let mut iter = 0usize;
+    group.bench_function(format!("mock_2workers_4shards/{RUNS}runs"), |b| {
+        b.iter(|| {
+            iter += 1;
+            let dir = work_dir("loop", iter);
+            let mut workers: Vec<Box<dyn ShardTransport>> = vec![
+                Box::new(Mock::new("w0", &dir.join("w0"))),
+                Box::new(Mock::new("w1", &dir.join("w1"))),
+            ];
+            let outcome =
+                dispatch(&sweep, 4, &mut workers, &opts).expect("bench dispatch completes");
+            let cells = outcome.result.cells.len();
+            let _ = std::fs::remove_dir_all(dir);
+            black_box(cells)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -7,13 +7,17 @@
 //! scenarios run NAME [--runs N] [--threads T] [--seed S]
 //!               [--out PATH] [--csv PATH]     sweep a preset
 //! scenarios run --spec FILE [...]             sweep a spec loaded from JSON
+//! scenarios run --sweep FILE [...]            sweep a full sweep descriptor
 //! scenarios run NAME --shard K/N [--checkpoint DIR] [--limit M]
 //!                                             run one shard of the sweep
 //! scenarios shard-plan NAME --shards N        print the deterministic partition
 //! scenarios merge SHARD.json... [--out PATH]  recombine shard artefacts
+//! scenarios dispatch NAME (--local N --checkpoint DIR | --hosts FILE)
+//!                                             fan shards out across workers
 //! scenarios check PATH                        re-parse a sweep artefact
 //! scenarios bench [--out PATH]                runs/sec at 1/4/8 threads
 //! scenarios bench-shard [--out PATH]          shard overhead vs unsharded
+//! scenarios bench-dispatch [--out PATH]       1 vs 2 local dispatch workers
 //! ```
 //!
 //! `run` executes `--runs` replicates of the scenario on `--threads`
@@ -29,24 +33,39 @@
 //! switch the CI smoke job flips on purpose). `merge` recombines a
 //! complete shard set into an artefact byte-identical to the
 //! single-process sweep. See `docs/sharding.md`.
+//!
+//! `dispatch` runs the whole protocol at once: it partitions the sweep
+//! into `--shards M` shards (default: one per worker) and fans them out
+//! across `--local N` subprocess workers or the `--hosts FILE` ssh
+//! manifest, work-stealing style, with checkpoint-heartbeat stall
+//! detection (`--stall-polls`), automatic reassignment of dead workers'
+//! shards, a per-worker timing/retry report (`--report PATH`) and a
+//! final fingerprint-verified merge — the merged artefact is
+//! byte-identical to `run` in one process (the CI dispatch smoke
+//! `cmp`s them). `--sweep FILE` accepts a full sweep descriptor (what
+//! `SweepSpec::to_json` emits and the dispatcher ships to workers), in
+//! which case `--runs`/`--seed` are ignored. See `docs/dispatch.md`.
 
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use sirtm_experiments::render;
 use sirtm_scenario::json::Json;
 use sirtm_scenario::shard::fingerprint;
 use sirtm_scenario::{
-    check_artifact, merge_shards, presets, run_shard, run_sweep, OnlineStats, ScenarioSpec,
-    SeedScheme, ShardPlan, ShardResult, SweepOptions, SweepResult, SweepSpec,
+    check_artifact, dispatch, merge_named_shards, merge_shards, parse_host_manifest, presets,
+    run_shard, run_sweep, DispatchOptions, LocalProcess, OnlineStats, ScenarioSpec, SeedScheme,
+    ShardPlan, ShardResult, ShardTransport, Ssh, SweepOptions, SweepResult, SweepSpec,
 };
 
 fn die(msg: &str) -> ! {
     eprintln!("scenarios: {msg}");
     eprintln!(
-        "usage: scenarios [list|show NAME|run NAME|shard-plan NAME|merge SHARD...|check PATH|\
-         bench|bench-shard] [--spec FILE] [--runs N] [--threads T] [--seed S] [--out PATH] \
-         [--csv PATH] [--shards N] [--shard K/N] [--checkpoint DIR] [--limit M]"
+        "usage: scenarios [list|show NAME|run NAME|shard-plan NAME|merge SHARD...|dispatch NAME|\
+         check PATH|bench|bench-shard|bench-dispatch] [--spec FILE] [--sweep FILE] [--runs N] \
+         [--threads T] [--seed S] [--out PATH] [--csv PATH] [--shards N] [--shard K/N] \
+         [--checkpoint DIR] [--limit M] [--local N] [--hosts FILE] [--report PATH] \
+         [--poll-ms MS] [--stall-polls K] [--max-attempts A]"
     );
     std::process::exit(2);
 }
@@ -55,6 +74,7 @@ struct Args {
     command: String,
     targets: Vec<String>,
     spec_file: Option<PathBuf>,
+    sweep_file: Option<PathBuf>,
     runs: usize,
     threads: usize,
     seed: u64,
@@ -64,6 +84,12 @@ struct Args {
     shard: Option<(usize, usize)>,
     checkpoint: Option<PathBuf>,
     limit: Option<usize>,
+    local: usize,
+    hosts: Option<PathBuf>,
+    report: Option<PathBuf>,
+    poll_ms: u64,
+    stall_polls: usize,
+    max_attempts: usize,
 }
 
 impl Args {
@@ -93,6 +119,7 @@ fn parse_args() -> Args {
         command: "list".to_string(),
         targets: Vec::new(),
         spec_file: None,
+        sweep_file: None,
         runs: 8,
         threads: 0,
         seed: 2020,
@@ -102,6 +129,12 @@ fn parse_args() -> Args {
         shard: None,
         checkpoint: None,
         limit: None,
+        local: 0,
+        hosts: None,
+        report: None,
+        poll_ms: 25,
+        stall_polls: 0,
+        max_attempts: 5,
     };
     let mut it = std::env::args().skip(1);
     if let Some(cmd) = it.next() {
@@ -114,6 +147,7 @@ fn parse_args() -> Args {
         };
         match flag.as_str() {
             "--spec" => args.spec_file = Some(PathBuf::from(next_val("--spec"))),
+            "--sweep" => args.sweep_file = Some(PathBuf::from(next_val("--sweep"))),
             "--runs" => {
                 args.runs = next_val("--runs")
                     .parse()
@@ -144,6 +178,28 @@ fn parse_args() -> Args {
                         .parse()
                         .unwrap_or_else(|_| die("--limit needs a number")),
                 );
+            }
+            "--local" => {
+                args.local = next_val("--local")
+                    .parse()
+                    .unwrap_or_else(|_| die("--local needs a worker count"));
+            }
+            "--hosts" => args.hosts = Some(PathBuf::from(next_val("--hosts"))),
+            "--report" => args.report = Some(PathBuf::from(next_val("--report"))),
+            "--poll-ms" => {
+                args.poll_ms = next_val("--poll-ms")
+                    .parse()
+                    .unwrap_or_else(|_| die("--poll-ms needs a number"));
+            }
+            "--stall-polls" => {
+                args.stall_polls = next_val("--stall-polls")
+                    .parse()
+                    .unwrap_or_else(|_| die("--stall-polls needs a number"));
+            }
+            "--max-attempts" => {
+                args.max_attempts = next_val("--max-attempts")
+                    .parse()
+                    .unwrap_or_else(|_| die("--max-attempts needs a number"));
             }
             other if !other.starts_with("--") => args.targets.push(other.to_string()),
             other => die(&format!("unknown flag `{other}`")),
@@ -181,9 +237,16 @@ fn resolve_spec(args: &Args) -> ScenarioSpec {
     presets::preset(name).unwrap_or_else(|| die(&format!("unknown preset `{name}`")))
 }
 
-/// The sweep `run`, `shard-plan` and sharded `run` all execute: the
+/// The sweep `run`, `shard-plan`, `dispatch` and sharded `run` all
+/// execute: a full descriptor loaded from `--sweep FILE`, or the
 /// resolved base spec × `--runs` replicates × `--seed`-derived streams.
 fn resolve_sweep(args: &Args) -> SweepSpec {
+    if let Some(path) = &args.sweep_file {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())));
+        return SweepSpec::from_json_text(&text)
+            .unwrap_or_else(|e| die(&format!("bad sweep descriptor {}: {e}", path.display())));
+    }
     let base = resolve_spec(args);
     SweepSpec {
         name: base.name.clone(),
@@ -358,21 +421,26 @@ fn merge(args: &Args) {
     if args.targets.is_empty() {
         die("merge needs shard artefact paths");
     }
-    let shards: Vec<ShardResult> = args
+    // Each shard keeps its source path, so merge errors (fingerprint
+    // mismatches above all) name the offending file.
+    let shards: Vec<(String, ShardResult)> = args
         .targets
         .iter()
-        .map(|p| ShardResult::read(std::path::Path::new(p)).unwrap_or_else(|e| die(&e)))
+        .map(|p| {
+            let shard = ShardResult::read(std::path::Path::new(p)).unwrap_or_else(|e| die(&e));
+            (p.clone(), shard)
+        })
         .collect();
     // Quick cross-shard overview from the partial stats blocks (Chan
     // merge) before the exact per-run aggregation.
     let overview = shards
         .iter()
-        .map(|s| {
+        .map(|(_, s)| {
             let rates: Vec<f64> = s.summaries.iter().map(|(_, r)| r.final_rate).collect();
             OnlineStats::of(&rates)
         })
         .fold(OnlineStats::new(), |acc, s| acc.merge(&s));
-    let merged = merge_shards(&shards).unwrap_or_else(|e| die(&e));
+    let merged = merge_named_shards(&shards).unwrap_or_else(|e| die(&e));
     println!(
         "merged {} shard(s), {} runs (rate mean {:.3}, min {:.3}, max {:.3})",
         shards.len(),
@@ -396,6 +464,241 @@ fn merge(args: &Args) {
             .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", csv.display())));
         println!("csv     : {}", csv.display());
     }
+}
+
+/// Builds the dispatch worker pool from `--local N` (which needs the
+/// `--checkpoint` work directory) or `--hosts FILE` (whose work
+/// directories come from the manifest).
+fn build_workers(args: &Args) -> Vec<Box<dyn ShardTransport>> {
+    if let Some(manifest) = &args.hosts {
+        if args.local > 0 {
+            die("--local and --hosts are mutually exclusive");
+        }
+        if args.checkpoint.is_some() {
+            eprintln!(
+                "note: --checkpoint is unused with --hosts; remote work \
+                 directories come from the manifest's `dir` fields"
+            );
+        }
+        let text = std::fs::read_to_string(manifest)
+            .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", manifest.display())));
+        return parse_host_manifest(&text)
+            .unwrap_or_else(|e| die(&format!("{}: {e}", manifest.display())))
+            .into_iter()
+            .map(|host| Box::new(Ssh::new(host)) as Box<dyn ShardTransport>)
+            .collect();
+    }
+    if args.local == 0 {
+        die("dispatch needs --local N or --hosts FILE");
+    }
+    let work_dir = args.checkpoint.clone().unwrap_or_else(|| {
+        die("dispatch --local needs --checkpoint DIR (the shared work directory)")
+    });
+    let bin = std::env::current_exe()
+        .unwrap_or_else(|e| die(&format!("cannot locate the scenarios binary: {e}")));
+    (0..args.local)
+        .map(|i| {
+            Box::new(LocalProcess::new(
+                &format!("local-{i}"),
+                &bin,
+                &work_dir,
+                args.threads,
+            )) as Box<dyn ShardTransport>
+        })
+        .collect()
+}
+
+/// `dispatch NAME (--local N --checkpoint DIR | --hosts FILE)`: fan the
+/// sweep's shards out across a worker pool, reassigning dead or stalled
+/// workers' shards, then merge — byte-identical to a single-process
+/// `run` — and write the per-worker timing/retry report.
+fn dispatch_cmd(args: &Args) {
+    let sweep = resolve_sweep(args);
+    let mut workers = build_workers(args);
+    let shards = if args.shards > 0 {
+        args.shards
+    } else {
+        workers.len()
+    };
+    let opts = DispatchOptions {
+        poll_interval: Duration::from_millis(args.poll_ms),
+        stall_polls: args.stall_polls,
+        max_attempts: args.max_attempts,
+        worker_strikes: 3,
+    };
+    let outcome = dispatch(&sweep, shards, &mut workers, &opts)
+        .unwrap_or_else(|e| die(&format!("dispatch of `{}` failed: {e}", sweep.name)));
+    let report = &outcome.report;
+    println!(
+        "dispatched `{}`: {} runs as {} shard(s) over {} worker(s) in {:.1?} \
+         ({} reassignment(s))",
+        sweep.name,
+        report.run_count,
+        report.shard_count,
+        report.workers.len(),
+        report.elapsed,
+        report.reassignments(),
+    );
+    let rows: Vec<Vec<String>> = report
+        .workers
+        .iter()
+        .map(|w| {
+            vec![
+                w.worker.clone(),
+                w.completed.to_string(),
+                w.failed.to_string(),
+                format!("{:.0}", w.busy.as_secs_f64() * 1e3),
+                if w.retired { "yes" } else { "" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::ascii_table(
+            &["worker", "completed", "failed", "busy (ms)", "retired"],
+            &rows
+        )
+    );
+    println!("{}", summary_table(&outcome.result));
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(format!("target/sirtm/{}.json", sweep.name)));
+    outcome
+        .result
+        .write_json(&out)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", out.display())));
+    println!("artefact: {}", out.display());
+    let report_path = args.report.clone().unwrap_or_else(|| {
+        PathBuf::from(format!("target/sirtm/{}.dispatch-report.json", sweep.name))
+    });
+    report
+        .write_json(&report_path)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", report_path.display())));
+    println!("report  : {}", report_path.display());
+}
+
+fn bench_dispatch(args: &Args) {
+    // Dispatch scale-out: the same 64-run sweep once through the
+    // in-process orchestrator and then dispatched to 1 and 2 local
+    // subprocess workers (4 shards, single-threaded workers so the
+    // comparison is process-level, not thread-level). Artefacts are
+    // asserted byte-identical before any number is reported; the
+    // checked-in `BENCH_dispatch.json` records the result.
+    const RUNS: usize = 64;
+    const SHARDS: usize = 4;
+    let base = presets::preset("light-4x4").expect("known preset");
+    let sweep = SweepSpec {
+        name: "bench-dispatch".to_string(),
+        base,
+        axes: vec![],
+        replicates: RUNS,
+        seeds: SeedScheme::Derived { root: 1 },
+    };
+    let opts = SweepOptions { threads: 1 };
+
+    // Untimed warm-up: fault the binary in, settle the CPU governor.
+    let _ = run_sweep(&sweep, opts);
+
+    let started = Instant::now();
+    let whole = run_sweep(&sweep, opts);
+    let unsharded_s = started.elapsed().as_secs_f64();
+    let reference = whole.to_json().render_pretty();
+    eprintln!(
+        "  in-process: {RUNS} runs in {unsharded_s:.2}s ({:.1} runs/sec)",
+        RUNS as f64 / unsharded_s
+    );
+
+    let bin = std::env::current_exe()
+        .unwrap_or_else(|e| die(&format!("cannot locate the scenarios binary: {e}")));
+    let mut configs = vec![(
+        "in-process".to_string(),
+        0usize,
+        0usize,
+        RUNS as f64 / unsharded_s,
+    )];
+    for worker_count in [1usize, 2] {
+        let dir = std::env::temp_dir().join(format!(
+            "sirtm_bench_dispatch_{}_{worker_count}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut workers: Vec<Box<dyn ShardTransport>> = (0..worker_count)
+            .map(|i| {
+                Box::new(LocalProcess::new(&format!("local-{i}"), &bin, &dir, 1))
+                    as Box<dyn ShardTransport>
+            })
+            .collect();
+        let dopts = DispatchOptions {
+            poll_interval: Duration::from_millis(2),
+            ..DispatchOptions::default()
+        };
+        let started = Instant::now();
+        let outcome = dispatch(&sweep, SHARDS, &mut workers, &dopts)
+            .unwrap_or_else(|e| die(&format!("bench dispatch failed: {e}")));
+        let secs = started.elapsed().as_secs_f64();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(
+            outcome.result.to_json().render_pretty(),
+            reference,
+            "bench artefacts must stay byte-identical"
+        );
+        eprintln!(
+            "  dispatch --local {worker_count}: {RUNS} runs as {SHARDS} shards in {secs:.2}s \
+             ({:.1} runs/sec)",
+            RUNS as f64 / secs
+        );
+        configs.push((
+            format!("dispatch-local-{worker_count}"),
+            worker_count,
+            SHARDS,
+            RUNS as f64 / secs,
+        ));
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let doc = Json::obj(vec![
+        ("benchmark", Json::Str("dispatch".into())),
+        (
+            "description",
+            Json::Str(format!(
+                "Dispatcher scale-out: {RUNS} runs of the light-4x4 preset once through the \
+                 in-process orchestrator (1 thread) and then dispatched as {SHARDS} checkpointed \
+                 shards to 1 and 2 LocalProcess workers (1 thread each). Dispatch cost covers \
+                 subprocess spawns, per-run JSONL checkpoint appends, polling and the final \
+                 merge; artefacts are asserted byte-identical to the in-process run before \
+                 reporting. Worker scaling is bounded by the recording machine's available \
+                 parallelism."
+            )),
+        ),
+        ("unit", Json::Str("runs/sec".into())),
+        ("machine_cores", Json::Num(cores as f64)),
+        (
+            "configs",
+            Json::Arr(
+                configs
+                    .iter()
+                    .map(|(mode, workers, shards, rps)| {
+                        Json::obj(vec![
+                            ("mode", Json::Str(mode.clone())),
+                            ("runs", Json::Num(RUNS as f64)),
+                            ("shards", Json::Num(*shards as f64)),
+                            ("workers", Json::Num(*workers as f64)),
+                            ("runs_per_sec", Json::Num(round1(*rps))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_dispatch.json"));
+    std::fs::write(&out, doc.render_pretty())
+        .unwrap_or_else(|e| die(&format!("cannot write bench json: {e}")));
+    eprintln!("wrote {}", out.display());
 }
 
 fn show(args: &Args) {
@@ -583,9 +886,11 @@ fn main() {
         "run" => run(&args),
         "shard-plan" => shard_plan(&args),
         "merge" => merge(&args),
+        "dispatch" => dispatch_cmd(&args),
         "check" => check(&args),
         "bench" => bench(&args),
         "bench-shard" => bench_shard(&args),
+        "bench-dispatch" => bench_dispatch(&args),
         other => die(&format!("unknown command `{other}`")),
     }
 }

@@ -19,15 +19,17 @@
 //! | One run: build → run → measure | [`run`] |
 //! | Matrix expansion & orchestration | [`sweep`] |
 //! | Sharding, checkpoint/resume, merge | [`shard`] |
+//! | Multi-host shard dispatch (transports, work stealing) | [`mod@dispatch`] |
 //! | Named preset library | [`presets`] |
 //! | Windowed recording | [`recorder`] |
 //! | Settling/recovery detection | [`detect`] |
 //! | Aggregation (quartiles, online) | [`stats`] |
 //! | Colony-level fault mirroring | [`colony_bridge`] |
 //!
-//! The determinism model, the spec JSON reference and the sharding
-//! protocol are documented in `docs/determinism.md`,
-//! `docs/scenario-format.md` and `docs/sharding.md` at the repo root.
+//! The determinism model, the spec JSON reference, the sharding
+//! protocol and the dispatch layer are documented in the docs book at
+//! the repo root (`docs/README.md` orders it): `docs/determinism.md`,
+//! `docs/scenario-format.md`, `docs/sharding.md`, `docs/dispatch.md`.
 //!
 //! # Examples
 //!
@@ -85,9 +87,49 @@
 //!     whole.to_json().render_pretty(),
 //! );
 //! ```
+//!
+//! And the same walk with the shards *dispatched* — spec → sweep →
+//! dispatch across two local workers → merge. The [`dispatch::Mock`]
+//! transport runs shards in-process through the real checkpoint
+//! journal; swap in [`dispatch::LocalProcess`] workers (or [`dispatch::Ssh`]
+//! against a host manifest) and nothing else changes:
+//!
+//! ```
+//! use std::time::Duration;
+//! use sirtm_scenario::dispatch::{dispatch, DispatchOptions, Mock, ShardTransport};
+//! use sirtm_scenario::{presets, run_sweep, SeedScheme, SweepOptions, SweepSpec};
+//!
+//! let sweep = SweepSpec {
+//!     name: "smoke".into(),
+//!     base: presets::preset("light-4x4").expect("known preset"),
+//!     axes: vec![],
+//!     replicates: 2,
+//!     seeds: SeedScheme::Derived { root: 1 },
+//! };
+//! let dir = std::env::temp_dir().join(format!("sirtm_doctest_dispatch_{}", std::process::id()));
+//! let mut workers: Vec<Box<dyn ShardTransport>> = vec![
+//!     Box::new(Mock::new("w0", &dir.join("w0"))),
+//!     Box::new(Mock::new("w1", &dir.join("w1"))),
+//! ];
+//! let opts = DispatchOptions {
+//!     poll_interval: Duration::ZERO,
+//!     ..DispatchOptions::default()
+//! };
+//! // Two shards, stolen by whichever worker is idle, merged with the
+//! // fingerprint-verified merge — byte-identical to the in-process sweep.
+//! let outcome = dispatch(&sweep, 2, &mut workers, &opts).expect("dispatch completes");
+//! let whole = run_sweep(&sweep, SweepOptions { threads: 1 });
+//! assert_eq!(
+//!     outcome.result.to_json().render_pretty(),
+//!     whole.to_json().render_pretty(),
+//! );
+//! assert_eq!(outcome.report.reassignments(), 0);
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
 
 pub mod colony_bridge;
 pub mod detect;
+pub mod dispatch;
 pub mod json;
 pub mod presets;
 pub mod recorder;
@@ -98,8 +140,14 @@ pub mod stats;
 pub mod sweep;
 pub mod timeline;
 
+pub use dispatch::{
+    dispatch, parse_host_manifest, DispatchOptions, DispatchOutcome, DispatchReport, LocalProcess,
+    Mock, MockBehaviour, PollStatus, ShardJob, ShardTransport, Ssh, SshHost,
+};
 pub use run::{build_platform, run_spec, RunOutcome, RunSummary};
-pub use shard::{merge_shards, run_shard, ShardPlan, ShardResult, ShardRunReport};
+pub use shard::{
+    merge_named_shards, merge_shards, run_shard, ShardPlan, ShardResult, ShardRunReport,
+};
 pub use spec::{EventAction, EventSpec, MappingSpec, ScenarioSpec, ThermalEventSpec, WorkloadSpec};
 pub use stats::{OnlineStats, Quartiles};
 pub use sweep::{

@@ -526,6 +526,10 @@ pub fn run_shard(
 /// Recombines a complete shard set into the full sweep result,
 /// byte-identical to a single-process [`crate::sweep::run_sweep`] of
 /// the same sweep (same aggregation fold, same artefact rendering).
+/// Shards are labelled by their coordinates in error messages; when the
+/// caller knows where each shard came from (a file path, a worker),
+/// [`merge_named_shards`] produces errors that name the offending
+/// source instead.
 ///
 /// # Errors
 ///
@@ -533,33 +537,59 @@ pub fn run_shard(
 /// or duplicate run indices, and rows whose seeds disagree with the
 /// descriptor's expansion.
 pub fn merge_shards(shards: &[ShardResult]) -> Result<SweepResult, String> {
-    let first = shards.first().ok_or("no shard artefacts to merge")?;
+    let named: Vec<(String, &ShardResult)> = shards
+        .iter()
+        .map(|s| (format!("shard {}/{}", s.plan.shard + 1, s.plan.shards), s))
+        .collect();
+    merge_impl(&named)
+}
+
+/// [`merge_shards`] with a source label per shard (typically the
+/// artefact's file path): validation errors name the offending shard's
+/// label, so a fingerprint mismatch in a pile of artefact files points
+/// straight at the file to inspect. The `scenarios merge` command feeds
+/// its input paths through here.
+///
+/// # Errors
+///
+/// The same rejections as [`merge_shards`], each prefixed with the
+/// offending shard's label.
+pub fn merge_named_shards(shards: &[(String, ShardResult)]) -> Result<SweepResult, String> {
+    let named: Vec<(String, &ShardResult)> =
+        shards.iter().map(|(label, s)| (label.clone(), s)).collect();
+    merge_impl(&named)
+}
+
+fn merge_impl(shards: &[(String, &ShardResult)]) -> Result<SweepResult, String> {
+    let (first_label, first) = shards.first().ok_or("no shard artefacts to merge")?;
     let sweep = SweepSpec::from_json(&first.sweep_json)
-        .map_err(|e| format!("bad sweep descriptor: {e}"))?;
+        .map_err(|e| format!("{first_label}: bad sweep descriptor: {e}"))?;
     // The fingerprint is recomputed from the embedded descriptor, not
     // trusted: a tampered descriptor with a stale fingerprint string is
     // rejected here. (Descriptor serialisation is round-trip idempotent,
     // which `sweep::tests` pins, so honest artefacts always agree.)
     if fingerprint(&sweep) != first.fingerprint {
         return Err(format!(
-            "shard artefact fingerprint {} does not match its own sweep descriptor ({}) — \
+            "{first_label}: fingerprint {} does not match its own sweep descriptor ({}) — \
              the artefact was edited",
             first.fingerprint,
             fingerprint(&sweep)
         ));
     }
-    for s in shards {
+    for (label, s) in shards {
         if s.fingerprint != first.fingerprint {
             return Err(format!(
-                "shard {}/{} belongs to a different sweep ({} vs {})",
-                s.plan.shard + 1,
-                s.plan.shards,
-                s.fingerprint,
-                first.fingerprint
+                "{label}: belongs to a different sweep than {first_label} ({} vs {})",
+                s.fingerprint, first.fingerprint
             ));
         }
         if s.plan.shards != first.plan.shards || s.plan.run_count != first.plan.run_count {
-            return Err("shards come from different partitions".to_string());
+            return Err(format!(
+                "{label}: comes from a different partition than {first_label} \
+                 ({}-way over {} runs vs {}-way over {} runs) — shards come from \
+                 different partitions",
+                s.plan.shards, s.plan.run_count, first.plan.shards, first.plan.run_count
+            ));
         }
     }
     let plans = sweep.expand();
@@ -571,17 +601,19 @@ pub fn merge_shards(shards: &[ShardResult]) -> Result<SweepResult, String> {
         ));
     }
     let mut rows: Vec<Option<RunSummary>> = vec![None; plans.len()];
-    for s in shards {
+    for (label, s) in shards {
         for &(index, summary) in &s.summaries {
             if index >= rows.len() {
-                return Err(format!("run index {index} out of range"));
+                return Err(format!("{label}: run index {index} out of range"));
             }
             if rows[index].is_some() {
-                return Err(format!("run {index} appears in more than one shard"));
+                return Err(format!(
+                    "{label}: run {index} appears in more than one shard"
+                ));
             }
             if summary.seed != plans[index].seed {
                 return Err(format!(
-                    "run {index} seed {} disagrees with the descriptor's {}",
+                    "{label}: run {index} seed {} disagrees with the descriptor's {}",
                     summary.seed, plans[index].seed
                 ));
             }
@@ -746,5 +778,44 @@ mod tests {
         assert!(merge_shards(&[a, forged])
             .unwrap_err()
             .contains("disagrees"));
+    }
+
+    #[test]
+    fn merge_errors_name_the_offending_shard_source() {
+        let sweep = small_sweep();
+        let plans = ShardPlan::all(2, sweep.run_count());
+        let opts = SweepOptions { threads: 1 };
+        let a = run_shard(&sweep, plans[0], None, opts, None)
+            .expect("runs")
+            .result
+            .expect("completes");
+        let b = run_shard(&sweep, plans[1], None, opts, None)
+            .expect("runs")
+            .result
+            .expect("completes");
+        // A fingerprint mismatch names the file it came from, not just
+        // the shard coordinates.
+        let mut foreign = b.clone();
+        foreign.fingerprint = "0000000000000000".to_string();
+        let err = merge_named_shards(&[
+            ("out/a.shard-1-of-2.json".to_string(), a.clone()),
+            ("out/b.shard-2-of-2.json".to_string(), foreign),
+        ])
+        .unwrap_err();
+        assert!(
+            err.contains("out/b.shard-2-of-2.json"),
+            "error must name the offending file: {err}"
+        );
+        assert!(err.contains("different sweep"), "unexpected error: {err}");
+        // So does a duplicated artefact passed twice under two names.
+        let err = merge_named_shards(&[
+            ("out/a.json".to_string(), a.clone()),
+            ("dup/a.json".to_string(), a),
+        ])
+        .unwrap_err();
+        assert!(
+            err.contains("dup/a.json") && err.contains("more than one shard"),
+            "error must name the duplicate: {err}"
+        );
     }
 }
