@@ -98,7 +98,7 @@ fn router_plan(c: &mut Criterion) {
                 task: TaskId::new((i % 3) as u8),
                 kind: PacketKind::Data,
                 payload_flits: 4,
-                created_at: 0,
+                created_cycle: 0,
                 bounces: 0,
             });
         }

@@ -396,7 +396,7 @@ mod tests {
             task: TaskId::new(task),
             kind,
             payload_flits: 0,
-            created_at: 0,
+            created_cycle: 0,
             bounces: 0,
         }
     }

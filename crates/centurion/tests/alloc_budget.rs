@@ -26,21 +26,31 @@ struct CountingAllocator;
 
 // SAFETY: delegates every operation to `System`; only adds counting.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: same contract as `System::alloc` — the caller guarantees
+    // a valid, non-zero-size layout; we add a counter and forward.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: the caller's layout is forwarded untouched.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: same contract as `System::realloc` — ptr/layout came from
+    // this allocator (which is `System` underneath) and new_size is the
+    // caller's obligation; we add a counter and forward.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: the caller's ptr/layout/new_size are forwarded untouched.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: same contract as `System::dealloc` — ptr was allocated by
+    // this allocator with this layout; deallocation is not counted.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: the caller's ptr/layout are forwarded untouched.
         unsafe { System.dealloc(ptr, layout) }
     }
 }

@@ -1,0 +1,71 @@
+//! False-positive guard fixture: everything here *looks* like a
+//! finding to a naive grep but must produce **zero** findings.
+//! NOT compiled — scanned by `tests/fixtures.rs`.
+//!
+//! Doc comments may freely mention HashMap, SystemTime and
+//! Instant::now() — like this one just did.
+
+/* Block comments too: HashMap<SystemTime>, std::env::var("X"),
+   /* even nested: partial_cmp(a).unwrap() inside a nested comment */
+   still one comment. */
+
+#[doc = "attribute strings are data: HashMap, hostname, Instant::now()"]
+pub struct Docs;
+
+pub fn strings_are_data() -> (String, String, &'static [u8]) {
+    let s = "HashMap and SystemTime::now() in a plain string".to_string();
+    let raw = r#"raw string: HashMap<u64, SystemTime> "quoted" Instant::now()"#.to_string();
+    let deeper = r##"hash-deep raw string: one "# quote, still HashMap"##;
+    let bytes = b"byte string HashMap";
+    let raw_bytes = br#"raw byte string SystemTime"#;
+    let _ = (deeper, raw_bytes);
+    (s, raw, bytes)
+}
+
+pub fn chars_do_not_open_strings() -> (char, char, char, u8) {
+    let quote = '"';
+    let escaped = '\'';
+    let newline = '\n';
+    let byte = b'"';
+    // If '"' opened a string, this HashMap-in-a-string would leak out
+    // of its literal and the use below would look like code:
+    let _decoy = "HashMap";
+    (quote, escaped, newline, byte)
+}
+
+pub fn lifetimes_are_not_chars<'a>(x: &'a str) -> &'a str {
+    let r#type = x; // raw identifier, lexes as one ident
+    r#type
+}
+
+pub fn deterministic_float_order(xs: &mut [f64]) -> Option<core::cmp::Ordering> {
+    xs.sort_by(|a, b| a.total_cmp(b)); // the blessed ordering
+    // A bare partial_cmp that keeps its Option is fine:
+    xs.first()
+        .zip(xs.last())
+        .and_then(|(a, b)| a.partial_cmp(b))
+}
+
+pub fn widening_casts_are_fine(n: u32, x: f32) -> (f64, f64) {
+    (n as f64, x as f64)
+}
+
+pub struct NotWallClock {
+    /// `timestamped` is not on the D4 denylist — substrings don't fire.
+    pub timestamped: u64,
+    pub rate: f64,
+}
+
+pub fn unsafe_in_name_only() -> u32 {
+    let unsafe_count = 1; // ident merely containing `unsafe`
+    unsafe_count
+}
+
+// SAFETY: the pointer is produced by `Box::into_raw` one line above and
+// is therefore valid, aligned and uniquely owned.
+pub fn commented_unsafe() -> u8 {
+    let p = Box::into_raw(Box::new(7u8));
+    // SAFETY: p came from Box::into_raw above; reboxing reclaims it.
+    let v = unsafe { *Box::from_raw(p) };
+    v
+}

@@ -1,0 +1,49 @@
+//! Deliberately dirty fixture: every rule must fire at least once.
+//! NOT compiled — scanned by `tests/fixtures.rs` and by the CI smoke
+//! step, which asserts detlint exits nonzero on this file.
+
+use std::collections::HashMap; // D1
+
+pub struct VictimCache {
+    map: HashMap<u64, Vec<u16>>, // D1
+}
+
+pub fn wall_clock_reads() -> u128 {
+    let started = Instant::now(); // D2
+    let _ = SystemTime::now(); // D2
+    let _ = std::env::var("SEED"); // D2
+    let _ = std::process::id(); // D2
+    let _ = thread::current(); // D2
+    started.elapsed().as_nanos()
+}
+
+pub fn float_hazards(xs: &mut Vec<f64>) -> f32 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); // D3
+    let worst = xs.iter().copied().fold(0.0f64, f64::max);
+    worst as f32 // D3
+}
+
+pub struct Artefact {
+    pub timestamp: u64, // D4
+    pub rate: f64,
+}
+
+pub fn emit(a: &Artefact) -> Vec<(String, f64)> {
+    vec![("hostname".to_string(), 0.0), ("rate".to_string(), a.rate)] // D4
+}
+
+pub fn panicky_loop(tasks: &[Option<u8>]) -> u32 {
+    let mut sum = 0u32;
+    for t in tasks {
+        sum += u32::from(t.unwrap()); // R1 candidate
+    }
+    let first = tasks.first().expect("at least one task"); // R1 candidate
+    if first.is_none() {
+        panic!("empty head"); // R1 candidate
+    }
+    sum
+}
+
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p } // U1: nothing nearby justifies this
+}

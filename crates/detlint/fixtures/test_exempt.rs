@@ -1,0 +1,31 @@
+//! Policy-exemption fixture: D-rule hazards inside `#[cfg(test)]`
+//! items are exempt; the same hazard after the test module still fires.
+//! NOT compiled — scanned by `tests/fixtures.rs`.
+
+pub fn clean_production_code(a: f64, b: f64) -> core::cmp::Ordering {
+    a.total_cmp(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap; // exempt: test scaffolding
+
+    #[test]
+    fn scaffolding_may_use_wall_clocks_and_hash_maps() {
+        let started = Instant::now(); // exempt
+        let mut m: HashMap<u32, u32> = HashMap::new(); // exempt
+        m.insert(1, 2);
+        let mut xs = vec![2.0f64, 1.0];
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); // exempt
+        assert!(started.elapsed().as_nanos() > 0);
+    }
+}
+
+#[cfg(all(test, unix))]
+fn gated_helper() {
+    let _ = std::env::var("ONLY_IN_TESTS"); // exempt: cfg(all(test, …))
+}
+
+pub struct AfterTheTests {
+    pub map: std::collections::HashMap<u8, u8>, // D1: region tracking must end at the mod brace
+}

@@ -1,0 +1,519 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! Just enough fidelity to tell *code* from everything that merely
+//! looks like code: line comments (`//`, `///`, `//!`), nested block
+//! comments, plain and raw strings (`r"…"`, `r#"…"#`, any hash depth),
+//! byte strings, char and byte literals (including `'"'` and escapes),
+//! lifetimes (`'a` must not open a char literal), raw identifiers
+//! (`r#type`) and numeric literals. Rule matching in
+//! [`crate::rules`] operates on the token stream, so an identifier
+//! inside a comment, a doc attribute string or a raw string can never
+//! produce a finding.
+//!
+//! The lexer is intentionally lossless about *where* things are: every
+//! token records its byte span, and [`Lexed`] maps spans back to
+//! 1-based line/column pairs and full source lines for rendering.
+
+/// What a token is. Comments are tokens too — the `// SAFETY:` rule
+/// needs them — but rule pattern matching skips them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// A lifetime such as `'a` (notably *not* a char literal).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// `"…"` string literal (escapes handled).
+    Str,
+    /// `r"…"` / `r#"…"#` raw string literal.
+    RawStr,
+    /// `'x'` char literal (escapes handled).
+    Char,
+    /// `b"…"` byte string literal.
+    ByteStr,
+    /// `b'x'` byte literal.
+    ByteChar,
+    /// `br"…"` / `br#"…"#` raw byte string literal.
+    RawByteStr,
+    /// `// …` line comment (includes `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */` block comment, nesting handled.
+    BlockComment,
+    /// Any single punctuation character.
+    Punct,
+}
+
+/// One token: a kind plus its byte span in the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+/// A lexed source file: the source, its tokens, and a line index.
+#[derive(Debug)]
+pub struct Lexed<'a> {
+    /// The source text the tokens index into.
+    pub src: &'a str,
+    /// All tokens, in source order, comments included.
+    pub tokens: Vec<Token>,
+    line_starts: Vec<usize>,
+}
+
+impl<'a> Lexed<'a> {
+    /// The text of a token.
+    pub fn text(&self, tok: &Token) -> &'a str {
+        &self.src[tok.start..tok.end]
+    }
+
+    /// 1-based `(line, column)` of a byte offset.
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// The full text of a 1-based line, without its newline.
+    pub fn line_text(&self, line: usize) -> &'a str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map(|&e| e - 1)
+            .unwrap_or(self.src.len());
+        self.src[start..end].trim_end_matches('\r')
+    }
+
+    /// Number of lines in the source.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes a whole source file. Never fails: malformed input degrades to
+/// `Punct` tokens or an unterminated literal running to end of file —
+/// good enough for a linter that only needs to not misclassify.
+pub fn lex(src: &str) -> Lexed<'_> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut tokens = Vec::new();
+    let mut line_starts = vec![0usize];
+    for (i, &c) in b.iter().enumerate() {
+        if c == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+
+    let mut i = 0;
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        // Comments.
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokKind::LineComment,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if i + 1 < n && b[i] == b'/' && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if i + 1 < n && b[i] == b'*' && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            tokens.push(Token {
+                kind: TokKind::BlockComment,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        // Raw strings and raw identifiers: r"…", r#"…"#, r#ident.
+        if c == b'r' && i + 1 < n && (b[i + 1] == b'"' || b[i + 1] == b'#') {
+            if let Some((end, is_str)) = scan_raw(b, i + 1) {
+                if is_str {
+                    tokens.push(Token {
+                        kind: TokKind::RawStr,
+                        start,
+                        end,
+                    });
+                } else {
+                    // Raw identifier r#type: one token, kind Ident.
+                    tokens.push(Token {
+                        kind: TokKind::Ident,
+                        start,
+                        end,
+                    });
+                }
+                i = end;
+                continue;
+            }
+        }
+        // Byte literals: b'x', b"…", br"…", br#"…"#.
+        if c == b'b' && i + 1 < n {
+            match b[i + 1] {
+                b'\'' => {
+                    let end = scan_char_body(b, i + 2);
+                    tokens.push(Token {
+                        kind: TokKind::ByteChar,
+                        start,
+                        end,
+                    });
+                    i = end;
+                    continue;
+                }
+                b'"' => {
+                    let end = scan_str_body(b, i + 2);
+                    tokens.push(Token {
+                        kind: TokKind::ByteStr,
+                        start,
+                        end,
+                    });
+                    i = end;
+                    continue;
+                }
+                b'r' if i + 2 < n && (b[i + 2] == b'"' || b[i + 2] == b'#') => {
+                    if let Some((end, true)) = scan_raw(b, i + 2) {
+                        tokens.push(Token {
+                            kind: TokKind::RawByteStr,
+                            start,
+                            end,
+                        });
+                        i = end;
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Plain strings.
+        if c == b'"' {
+            let end = scan_str_body(b, i + 1);
+            tokens.push(Token {
+                kind: TokKind::Str,
+                start,
+                end,
+            });
+            i = end;
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == b'\'' {
+            if i + 1 < n && is_ident_start(b[i + 1]) {
+                // 'a' is a char, 'a without a closing quote is a lifetime.
+                let mut j = i + 1;
+                while j < n && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                if j < n && b[j] == b'\'' {
+                    tokens.push(Token {
+                        kind: TokKind::Char,
+                        start,
+                        end: j + 1,
+                    });
+                    i = j + 1;
+                } else {
+                    tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        start,
+                        end: j,
+                    });
+                    i = j;
+                }
+                continue;
+            }
+            // Escaped or punctuation char literal: '\n', '"', 'é'.
+            let end = scan_char_body(b, i + 1);
+            tokens.push(Token {
+                kind: TokKind::Char,
+                start,
+                end,
+            });
+            i = end;
+            continue;
+        }
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            tokens.push(Token {
+                kind: TokKind::Ident,
+                start,
+                end: j,
+            });
+            i = j;
+            continue;
+        }
+        // Numbers (suffixes, hex/oct/bin, fractions, exponents).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n && (is_ident_continue(b[j])) {
+                j += 1;
+            }
+            // A fractional part only if the dot is followed by a digit
+            // (so `1..5` and `1.max()` stay separate tokens).
+            if j + 1 < n && b[j] == b'.' && b[j + 1].is_ascii_digit() {
+                j += 1;
+                while j < n && (is_ident_continue(b[j])) {
+                    j += 1;
+                }
+            }
+            // Exponent sign: `1e-3` leaves j at '-' after the `e`.
+            if j < n && (b[j] == b'+' || b[j] == b'-') && (b[j - 1] | 0x20) == b'e' {
+                j += 1;
+                while j < n && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+            }
+            tokens.push(Token {
+                kind: TokKind::Num,
+                start,
+                end: j,
+            });
+            i = j;
+            continue;
+        }
+        // Everything else: one punctuation character (full UTF-8 width).
+        let width = src[i..].chars().next().map(char::len_utf8).unwrap_or(1);
+        tokens.push(Token {
+            kind: TokKind::Punct,
+            start,
+            end: i + width,
+        });
+        i += width;
+    }
+
+    Lexed {
+        src,
+        tokens,
+        line_starts,
+    }
+}
+
+/// Scans a `"…"` body starting *after* the opening quote; returns the
+/// offset one past the closing quote (or end of file if unterminated).
+fn scan_str_body(b: &[u8], mut i: usize) -> usize {
+    let n = b.len();
+    while i < n {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Scans a char/byte-literal body starting *after* the opening quote.
+fn scan_char_body(b: &[u8], mut i: usize) -> usize {
+    let n = b.len();
+    while i < n {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            b'\n' => return i, // runaway literal; don't eat the file
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// At `pos` sits `"` or `#` directly after an `r` (or `br`). Returns
+/// `(end, true)` for a raw string, `(end, false)` for a raw identifier,
+/// `None` if it is neither (e.g. `r # x` spaced apart — impossible in
+/// lexed Rust, but the lexer must not panic).
+fn scan_raw(b: &[u8], pos: usize) -> Option<(usize, bool)> {
+    let n = b.len();
+    let mut hashes = 0usize;
+    let mut i = pos;
+    while i < n && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < n && b[i] == b'"' {
+        // Raw string: find `"` followed by `hashes` hashes.
+        i += 1;
+        while i < n {
+            if b[i] == b'"' {
+                let mut k = 0usize;
+                while k < hashes && i + 1 + k < n && b[i + 1 + k] == b'#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    return Some((i + 1 + hashes, true));
+                }
+            }
+            i += 1;
+        }
+        return Some((n, true));
+    }
+    if hashes == 1 && i < n && is_ident_start(b[i]) {
+        // Raw identifier r#type.
+        while i < n && is_ident_continue(b[i]) {
+            i += 1;
+        }
+        return Some((i, false));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        let lx = lex(src);
+        lx.tokens
+            .iter()
+            .map(|t| (t.kind, lx.text(t).to_string()))
+            .collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t)
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comments_swallow_everything() {
+        let src = "/* outer /* HashMap inner */ still Instant::now() */ let x = 1;";
+        assert_eq!(idents(src), ["let", "x"]);
+        let lx = lex(src);
+        assert_eq!(lx.tokens[0].kind, TokKind::BlockComment);
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents_at_any_hash_depth() {
+        let src = r####"let s = r#"HashMap<SystemTime> "quoted" Instant::now()"#;"####;
+        assert_eq!(idents(src), ["let", "s"]);
+        let src2 = "let s = r##\"one \"# two\"##; let t = 1;";
+        assert_eq!(idents(src2), ["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn char_and_byte_literals_do_not_open_strings() {
+        // '"' must not start a string that swallows the HashMap ident.
+        let src = "let q = '\"'; let h = HashMap::new(); let b = b'\"';";
+        assert_eq!(
+            idents(src),
+            ["let", "q", "let", "h", "HashMap", "new", "let", "b"]
+        );
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let src = r"let q = '\''; let x = 1;";
+        assert_eq!(idents(src), ["let", "q", "let", "x"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { x }";
+        assert!(kinds(src)
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        assert!(kinds(src)
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'static"));
+        // And a real char among lifetimes still lexes as a char.
+        assert!(kinds("let c = 'x';")
+            .iter()
+            .any(|(k, t)| *k == TokKind::Char && t == "'x'"));
+    }
+
+    #[test]
+    fn doc_comments_and_doc_attributes_are_not_code() {
+        let src =
+            "/// uses HashMap heavily\n//! and SystemTime\n#[doc = \"HashMap inside\"]\nstruct S;";
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(ids.contains(&"doc".to_string())); // the attribute key itself is code
+        assert!(ids.contains(&"struct".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_one_ident() {
+        let src = "let r#type = 1;";
+        assert!(idents(src).contains(&"r#type".to_string()));
+    }
+
+    #[test]
+    fn byte_strings_and_raw_byte_strings_hide_contents() {
+        let src = "let a = b\"HashMap\"; let b2 = br#\"SystemTime\"#;";
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+    }
+
+    #[test]
+    fn numbers_do_not_merge_with_ranges_or_methods() {
+        let src = "let a = 1..5; let b = 61.25; let c = 0x1F_u32; let d = 1e-3;";
+        let nums: Vec<String> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(nums, ["1", "5", "61.25", "0x1F_u32", "1e-3"]);
+    }
+
+    #[test]
+    fn line_col_and_line_text_round_trip() {
+        let src = "a\nbb\nccc\n";
+        let lx = lex(src);
+        let tok = lx.tokens.iter().find(|t| lx.text(t) == "ccc").unwrap();
+        assert_eq!(lx.line_col(tok.start), (3, 1));
+        assert_eq!(lx.line_text(3), "ccc");
+        assert_eq!(lx.line_count(), 4);
+    }
+
+    #[test]
+    fn unterminated_literals_reach_eof_without_panic() {
+        for src in [
+            "let s = \"abc",
+            "let s = r#\"abc",
+            "/* never closed",
+            "let c = 'x",
+        ] {
+            let _ = lex(src);
+        }
+    }
+}

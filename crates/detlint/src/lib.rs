@@ -1,0 +1,35 @@
+//! `detlint` — workspace determinism & robustness lints.
+//!
+//! Every layer of the SIRTM stack (sweep orchestration, sharded
+//! checkpoints, the remote dispatcher) stakes its correctness on one
+//! invariant: **artefacts are bit-identical** regardless of thread
+//! count, shard plan, or which worker ran what. The dynamic tests
+//! enforce that after the fact; `detlint` enforces it at the source
+//! level, on every commit, so a default-hasher `HashMap`, a wall-clock
+//! read or a `partial_cmp().unwrap()` never reaches an artefact path in
+//! the first place.
+//!
+//! The crate is deliberately **dependency-free**: a hand-rolled Rust
+//! lexer ([`lexer`]), a token-pattern rule engine ([`rules`]), a policy
+//! file parsed by a built-in TOML-subset reader ([`policy`]), JSON/text
+//! rendering ([`report`]) and a deterministic workspace walk
+//! ([`walk`]). The rule table and the crate policy map are documented
+//! in `docs/lints.md`; the fixture corpus under `fixtures/` pins the
+//! lexer and every rule with known-dirty and known-clean sources.
+//!
+//! Run it as CI does:
+//!
+//! ```text
+//! cargo run -p detlint -- --workspace            # human output
+//! cargo run -p detlint -- --workspace --format json
+//! cargo run -p detlint -- path/to/file.rs        # explicit files
+//! ```
+//!
+//! Exit code 0 means no unsuppressed findings; 1 means findings; 2
+//! means the linter itself could not run (bad args, unreadable policy).
+
+pub mod lexer;
+pub mod policy;
+pub mod report;
+pub mod rules;
+pub mod walk;

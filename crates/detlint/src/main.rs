@@ -1,0 +1,120 @@
+//! The `detlint` binary: scan the workspace (or explicit files) against
+//! `lint.toml` and exit nonzero on any unsuppressed finding.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use detlint::policy::Policy;
+use detlint::report::{render_json, render_text};
+use detlint::rules::{apply_allowlist, scan_file, Finding};
+use detlint::walk::{collect_rs_files, relative};
+
+const USAGE: &str = "detlint — workspace determinism & robustness lints
+
+USAGE:
+    detlint [--workspace] [FILES…] [--root DIR] [--config FILE] [--format text|json]
+
+    --workspace        scan every .rs file under --root (minus policy excludes)
+    FILES…             scan explicit files instead (policy excludes do not apply)
+    --root DIR         workspace root (default: current directory)
+    --config FILE      policy file (default: <root>/lint.toml)
+    --format text|json output format (default: text)
+
+Exit code: 0 clean, 1 findings, 2 usage or I/O error.
+See docs/lints.md for the rule table and the allowlist format.";
+
+struct Args {
+    workspace: bool,
+    files: Vec<String>,
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        files: Vec::new(),
+        root: PathBuf::from("."),
+        config: None,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--root" => args.root = PathBuf::from(it.next().ok_or("--root needs a value")?),
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a value")?))
+            }
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("text") => args.json = false,
+                _ => return Err("--format must be `text` or `json`".into()),
+            },
+            "--help" | "-h" => return Err(String::new()),
+            f if !f.starts_with('-') => args.files.push(f.to_string()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.workspace != args.files.is_empty() {
+        // Either a workspace scan or explicit files — exactly one.
+        return Err("pass --workspace or explicit files (not both, not neither)".into());
+    }
+    Ok(args)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args().map_err(|e| {
+        if e.is_empty() {
+            USAGE.to_string()
+        } else {
+            format!("{e}\n\n{USAGE}")
+        }
+    })?;
+    let config = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint.toml"));
+    let policy_text = fs::read_to_string(&config)
+        .map_err(|e| format!("cannot read policy {}: {e}", config.display()))?;
+    let policy =
+        Policy::from_toml(&policy_text).map_err(|e| format!("{}: {e}", config.display()))?;
+
+    let rel_files: Vec<String> = if args.workspace {
+        collect_rs_files(&args.root, &policy).map_err(|e| format!("walk failed: {e}"))?
+    } else {
+        args.files
+            .iter()
+            .map(|f| relative(&args.root, Path::new(f)))
+            .collect()
+    };
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for rel in &rel_files {
+        let path = args.root.join(rel);
+        let src = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        findings.extend(scan_file(rel, &src, &policy));
+    }
+    let (active, suppressed) = apply_allowlist(findings, &policy);
+    let rendered = if args.json {
+        render_json(&active, &suppressed, rel_files.len())
+    } else {
+        render_text(&active, &suppressed, rel_files.len())
+    };
+    print!("{rendered}");
+    Ok(active.is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! The lint policy: which files are determinism-critical, which are
+//! host-side, what is excluded, and the justified exception lists.
+//!
+//! Loaded from `lint.toml` at the workspace root via a small built-in
+//! parser for the TOML subset the policy file uses (tables, arrays of
+//! tables, string / integer / string-array values, `#` comments —
+//! multi-line arrays allowed). Keeping the parser in-tree keeps the
+//! linter dependency-free.
+//!
+//! Every `[[allow]]` and `[[budget]]` entry **must** carry a non-empty
+//! `justification`; loading fails otherwise. That is the whole point:
+//! an exception to the determinism contract is only acceptable when the
+//! reason is written down next to it.
+
+/// How a file is treated by the rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Sources that feed artefact bytes: all D-rules enforced.
+    Deterministic,
+    /// Host-side orchestration (bins, benches, tests, tools): D-rules
+    /// off; robustness budgets and `SAFETY:` comments still apply.
+    Host,
+}
+
+/// One justified suppression of a specific finding.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule ID the entry suppresses (e.g. `"D1"`).
+    pub rule: String,
+    /// Workspace-relative path the entry applies to.
+    pub path: String,
+    /// If set, only findings whose source line contains this substring
+    /// are suppressed — keeps the exception from silently widening.
+    pub contains: Option<String>,
+    /// Why the exception is sound. Required, never empty.
+    pub justification: String,
+}
+
+/// A per-file cap for counting rules (R1).
+#[derive(Debug, Clone)]
+pub struct BudgetEntry {
+    /// Rule ID the budget applies to (e.g. `"R1"`).
+    pub rule: String,
+    /// Workspace-relative path being budgeted.
+    pub path: String,
+    /// Maximum allowed occurrences outside `#[cfg(test)]` regions.
+    pub max: usize,
+    /// Why this many are acceptable. Required, never empty.
+    pub justification: String,
+}
+
+/// The complete policy.
+#[derive(Debug, Clone, Default)]
+pub struct Policy {
+    /// Crate directory names under `crates/` whose sources are
+    /// determinism-critical.
+    pub deterministic_crates: Vec<String>,
+    /// Crate directory names that are host-side throughout.
+    pub host_crates: Vec<String>,
+    /// Path prefixes forced host-side regardless of crate.
+    pub host_files: Vec<String>,
+    /// Path prefixes forced deterministic regardless of crate (used by
+    /// the fixture corpus, which lives inside the host-side linter).
+    pub deterministic_files: Vec<String>,
+    /// Path prefixes never scanned by the workspace walk.
+    pub exclude: Vec<String>,
+    /// Justified finding suppressions.
+    pub allow: Vec<AllowEntry>,
+    /// Justified per-file budgets.
+    pub budget: Vec<BudgetEntry>,
+}
+
+impl Policy {
+    /// Parses a `lint.toml` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for syntax errors,
+    /// unknown keys/sections, or an allow/budget entry missing a
+    /// non-empty justification.
+    pub fn from_toml(text: &str) -> Result<Policy, String> {
+        let mut p = Policy::default();
+        #[derive(PartialEq)]
+        enum Section {
+            None,
+            Policy,
+            Allow,
+            Budget,
+        }
+        let mut section = Section::None;
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            if let Some(name) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+                match name.trim() {
+                    "allow" => {
+                        p.allow.push(AllowEntry {
+                            rule: String::new(),
+                            path: String::new(),
+                            contains: None,
+                            justification: String::new(),
+                        });
+                        section = Section::Allow;
+                    }
+                    "budget" => {
+                        p.budget.push(BudgetEntry {
+                            rule: String::new(),
+                            path: String::new(),
+                            max: 0,
+                            justification: String::new(),
+                        });
+                        section = Section::Budget;
+                    }
+                    other => return Err(format!("line {lineno}: unknown table [[{other}]]")),
+                }
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                match name.trim() {
+                    "policy" => section = Section::Policy,
+                    other => return Err(format!("line {lineno}: unknown section [{other}]")),
+                }
+                continue;
+            }
+            let (key, mut value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+                .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+            // Multi-line arrays: keep consuming lines until brackets
+            // balance (string contents never contain brackets here).
+            while value.starts_with('[') && !brackets_balanced(&value) {
+                let (_, cont) = lines
+                    .next()
+                    .ok_or_else(|| format!("line {lineno}: unterminated array"))?;
+                value.push(' ');
+                value.push_str(strip_comment(cont).trim());
+            }
+            match section {
+                Section::Policy => {
+                    let list = parse_string_array(&value)
+                        .ok_or_else(|| format!("line {lineno}: `{key}` must be a string array"))?;
+                    match key.as_str() {
+                        "deterministic" => p.deterministic_crates = list,
+                        "host" => p.host_crates = list,
+                        "host_files" => p.host_files = list,
+                        "deterministic_files" => p.deterministic_files = list,
+                        "exclude" => p.exclude = list,
+                        other => {
+                            return Err(format!("line {lineno}: unknown policy key `{other}`"))
+                        }
+                    }
+                }
+                Section::Allow => {
+                    let entry = p.allow.last_mut().expect("inside [[allow]]");
+                    match key.as_str() {
+                        "rule" => entry.rule = parse_string(&value, lineno)?,
+                        "path" => entry.path = parse_string(&value, lineno)?,
+                        "contains" => entry.contains = Some(parse_string(&value, lineno)?),
+                        "justification" => entry.justification = parse_string(&value, lineno)?,
+                        other => return Err(format!("line {lineno}: unknown allow key `{other}`")),
+                    }
+                }
+                Section::Budget => {
+                    let entry = p.budget.last_mut().expect("inside [[budget]]");
+                    match key.as_str() {
+                        "rule" => entry.rule = parse_string(&value, lineno)?,
+                        "path" => entry.path = parse_string(&value, lineno)?,
+                        "max" => {
+                            entry.max = value
+                                .parse()
+                                .map_err(|_| format!("line {lineno}: `max` must be an integer"))?
+                        }
+                        "justification" => entry.justification = parse_string(&value, lineno)?,
+                        other => {
+                            return Err(format!("line {lineno}: unknown budget key `{other}`"))
+                        }
+                    }
+                }
+                Section::None => {
+                    return Err(format!("line {lineno}: `{key}` outside any section"));
+                }
+            }
+        }
+        for (i, a) in p.allow.iter().enumerate() {
+            if a.rule.is_empty() || a.path.is_empty() {
+                return Err(format!("[[allow]] entry {} missing rule or path", i + 1));
+            }
+            if a.justification.trim().is_empty() {
+                return Err(format!(
+                    "[[allow]] entry {} ({} in {}) has no justification — every \
+                     exception must document why it is sound",
+                    i + 1,
+                    a.rule,
+                    a.path
+                ));
+            }
+        }
+        for (i, bgt) in p.budget.iter().enumerate() {
+            if bgt.rule.is_empty() || bgt.path.is_empty() {
+                return Err(format!("[[budget]] entry {} missing rule or path", i + 1));
+            }
+            if bgt.justification.trim().is_empty() {
+                return Err(format!(
+                    "[[budget]] entry {} ({} in {}) has no justification",
+                    i + 1,
+                    bgt.rule,
+                    bgt.path
+                ));
+            }
+        }
+        Ok(p)
+    }
+
+    /// Whether a workspace-relative path is excluded from the walk.
+    pub fn is_excluded(&self, rel: &str) -> bool {
+        self.exclude.iter().any(|e| prefix_match(rel, e))
+    }
+
+    /// Classifies a workspace-relative path.
+    ///
+    /// Precedence: explicit file overrides, then directory kind
+    /// (`tests/`, `benches/`, `examples/`, `bin/` are host-side), then
+    /// the crate lists. Unknown crates default to **deterministic** so
+    /// a newly added crate is covered until the policy says otherwise.
+    pub fn classify(&self, rel: &str) -> FileClass {
+        if self.host_files.iter().any(|e| prefix_match(rel, e)) {
+            return FileClass::Host;
+        }
+        if self
+            .deterministic_files
+            .iter()
+            .any(|e| prefix_match(rel, e))
+        {
+            return FileClass::Deterministic;
+        }
+        let host_dirs = ["tests", "benches", "examples", "bin"];
+        if rel.split('/').any(|part| host_dirs.contains(&part)) {
+            return FileClass::Host;
+        }
+        let krate = crate_of(rel);
+        if self.host_crates.iter().any(|c| c == krate) {
+            return FileClass::Host;
+        }
+        FileClass::Deterministic
+    }
+
+    /// The budget entry governing a path under a rule, if any.
+    pub fn budget_for(&self, rel: &str, rule: &str) -> Option<&BudgetEntry> {
+        self.budget
+            .iter()
+            .find(|b| b.rule == rule && prefix_match(rel, &b.path))
+    }
+
+    /// The allow entry suppressing a finding, if any.
+    pub fn allow_for(&self, rule: &str, rel: &str, line_text: &str) -> Option<&AllowEntry> {
+        self.allow.iter().find(|a| {
+            a.rule == rule
+                && prefix_match(rel, &a.path)
+                && a.contains
+                    .as_deref()
+                    .map(|c| line_text.contains(c))
+                    .unwrap_or(true)
+        })
+    }
+}
+
+/// The crate directory name a workspace-relative path belongs to
+/// (`"sirtm"` for the root package).
+pub fn crate_of(rel: &str) -> &str {
+    rel.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("sirtm")
+}
+
+/// `rel` equals `prefix` or lives under it as a directory.
+fn prefix_match(rel: &str, prefix: &str) -> bool {
+    rel == prefix || rel.starts_with(&format!("{prefix}/"))
+}
+
+/// Strips a `#` comment, respecting `"` quoting.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn brackets_balanced(v: &str) -> bool {
+    let opens = v.matches('[').count();
+    let closes = v.matches(']').count();
+    opens <= closes
+}
+
+fn parse_string(v: &str, lineno: usize) -> Result<String, String> {
+    v.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("line {lineno}: expected a double-quoted string, got `{v}`"))
+}
+
+fn parse_string_array(v: &str) -> Option<Vec<String>> {
+    let inner = v.strip_prefix('[')?.strip_suffix(']')?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        out.push(item.strip_prefix('"')?.strip_suffix('"')?.to_string());
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# policy comment
+[policy]
+deterministic = [
+    "centurion", "colony",
+    "rng",
+]
+host = ["experiments", "detlint"]
+host_files = ["crates/scenario/src/dispatch.rs"]
+deterministic_files = ["crates/detlint/fixtures"]
+exclude = ["third_party", "target"]
+
+[[allow]]
+rule = "D1"
+path = "crates/picoblaze/src/vm.rs"
+contains = "HashMap"
+justification = "keyed access only"
+
+[[budget]]
+rule = "R1"
+path = "crates/scenario/src/dispatch.rs"
+max = 2
+justification = "startup-only expects"
+"#;
+
+    #[test]
+    fn parses_the_full_document() {
+        let p = Policy::from_toml(SAMPLE).expect("parses");
+        assert_eq!(p.deterministic_crates, ["centurion", "colony", "rng"]);
+        assert_eq!(p.host_crates, ["experiments", "detlint"]);
+        assert_eq!(p.allow.len(), 1);
+        assert_eq!(p.allow[0].contains.as_deref(), Some("HashMap"));
+        assert_eq!(p.budget[0].max, 2);
+    }
+
+    #[test]
+    fn justification_is_mandatory() {
+        let doc = "[[allow]]\nrule = \"D1\"\npath = \"x.rs\"\n";
+        let err = Policy::from_toml(doc).unwrap_err();
+        assert!(err.contains("justification"), "{err}");
+        let doc = "[[budget]]\nrule = \"R1\"\npath = \"x.rs\"\nmax = 3\n";
+        let err = Policy::from_toml(doc).unwrap_err();
+        assert!(err.contains("justification"), "{err}");
+    }
+
+    #[test]
+    fn classification_precedence() {
+        let p = Policy::from_toml(SAMPLE).expect("parses");
+        // Explicit host file wins over its deterministic crate.
+        assert_eq!(
+            p.classify("crates/scenario/src/dispatch.rs"),
+            FileClass::Host
+        );
+        // Explicit deterministic dir wins over its host crate.
+        assert_eq!(
+            p.classify("crates/detlint/fixtures/dirty.rs"),
+            FileClass::Deterministic
+        );
+        // tests/ and benches/ dirs are host-side even in deterministic crates.
+        assert_eq!(
+            p.classify("crates/colony/tests/behaviour.rs"),
+            FileClass::Host
+        );
+        assert_eq!(
+            p.classify("crates/colony/src/model.rs"),
+            FileClass::Deterministic
+        );
+        // Host crate.
+        assert_eq!(
+            p.classify("crates/experiments/src/render.rs"),
+            FileClass::Host
+        );
+        // Unknown crates default to deterministic.
+        assert_eq!(
+            p.classify("crates/brand_new/src/lib.rs"),
+            FileClass::Deterministic
+        );
+        // Root package examples are host-side, root src deterministic.
+        assert_eq!(p.classify("examples/quickstart.rs"), FileClass::Host);
+        assert_eq!(p.classify("src/lib.rs"), FileClass::Deterministic);
+    }
+
+    #[test]
+    fn allow_matching_requires_rule_path_and_substring() {
+        let p = Policy::from_toml(SAMPLE).expect("parses");
+        assert!(p
+            .allow_for(
+                "D1",
+                "crates/picoblaze/src/vm.rs",
+                "inputs: HashMap<u8, u8>,"
+            )
+            .is_some());
+        assert!(p
+            .allow_for("D1", "crates/picoblaze/src/vm.rs", "no match here")
+            .is_none());
+        assert!(p
+            .allow_for(
+                "D2",
+                "crates/picoblaze/src/vm.rs",
+                "inputs: HashMap<u8, u8>,"
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn unknown_keys_and_sections_are_errors() {
+        assert!(Policy::from_toml("[mystery]\n").is_err());
+        assert!(Policy::from_toml("[policy]\nwhatever = [\"x\"]\n").is_err());
+        assert!(Policy::from_toml("stray = \"x\"\n").is_err());
+    }
+}

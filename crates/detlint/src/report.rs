@@ -1,0 +1,163 @@
+//! Rendering findings as human text or machine JSON.
+//!
+//! The JSON writer is hand-rolled (string escaping and all) to keep the
+//! linter dependency-free; the schema is stable so CI and editors can
+//! consume it:
+//!
+//! ```json
+//! {
+//!   "clean": false,
+//!   "files_scanned": 120,
+//!   "findings": [ { "rule": "D1", "path": "…", "line": 61, "col": 10,
+//!                   "snippet": "…", "message": "…" } ],
+//!   "suppressed": [ { "rule": "…", …, "justification": "…" } ]
+//! }
+//! ```
+
+use crate::rules::{Finding, Suppressed};
+
+/// Renders the human-readable report.
+pub fn render_text(
+    findings: &[Finding],
+    suppressed: &[Suppressed],
+    files_scanned: usize,
+) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}:{}: {} {}\n    {}\n",
+            f.path, f.line, f.col, f.rule, f.message, f.snippet
+        ));
+    }
+    if !suppressed.is_empty() {
+        out.push_str(&format!(
+            "{} finding(s) suppressed by justified lint.toml entries:\n",
+            suppressed.len()
+        ));
+        for s in suppressed {
+            out.push_str(&format!(
+                "    {} {}:{} — {}\n",
+                s.finding.rule, s.finding.path, s.finding.line, s.justification
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "detlint: {} file(s) scanned, {} finding(s), {} suppressed\n",
+        files_scanned,
+        findings.len(),
+        suppressed.len()
+    ));
+    out
+}
+
+/// Renders the JSON report.
+pub fn render_json(
+    findings: &[Finding],
+    suppressed: &[Suppressed],
+    files_scanned: usize,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"clean\": {},\n", findings.is_empty()));
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        push_finding(&mut out, f, None);
+    }
+    out.push_str(if findings.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str("  \"suppressed\": [");
+    for (i, s) in suppressed.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        push_finding(&mut out, &s.finding, Some(&s.justification));
+    }
+    out.push_str(if suppressed.is_empty() {
+        "]\n"
+    } else {
+        "\n  ]\n"
+    });
+    out.push_str("}\n");
+    out
+}
+
+fn push_finding(out: &mut String, f: &Finding, justification: Option<&str>) {
+    out.push_str(&format!(
+        "{{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"snippet\": {}, \"message\": {}",
+        escape(f.rule),
+        escape(&f.path),
+        f.line,
+        f.col,
+        escape(&f.snippet),
+        escape(&f.message)
+    ));
+    if let Some(j) = justification {
+        out.push_str(&format!(", \"justification\": {}", escape(j)));
+    }
+    out.push('}');
+}
+
+/// JSON string escaping.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Finding {
+        Finding {
+            rule: "D1",
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 7,
+            snippet: "let m: HashMap<u8, \"q\"> = …;".into(),
+            message: "iteration-order hazard".into(),
+        }
+    }
+
+    #[test]
+    fn text_report_names_everything() {
+        let txt = render_text(&[sample()], &[], 5);
+        assert!(txt.contains("crates/x/src/lib.rs:3:7: D1"));
+        assert!(txt.contains("5 file(s) scanned, 1 finding(s), 0 suppressed"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_is_balanced() {
+        let sup = Suppressed {
+            finding: sample(),
+            justification: "keyed \"only\"".into(),
+        };
+        let js = render_json(&[sample()], &[sup], 5);
+        assert!(js.contains("\\\"q\\\""));
+        assert!(js.contains("\"justification\": \"keyed \\\"only\\\"\""));
+        assert!(js.contains("\"clean\": false"));
+        assert_eq!(js.matches('{').count(), js.matches('}').count());
+        let empty = render_json(&[], &[], 0);
+        assert!(empty.contains("\"clean\": true"));
+    }
+}

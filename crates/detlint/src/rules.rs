@@ -1,0 +1,691 @@
+//! The determinism & robustness rules.
+//!
+//! Every rule has a stable ID used by `lint.toml` allowlist/budget
+//! entries and by the fixture corpus:
+//!
+//! | ID | Scope | What it catches |
+//! |----|-------|-----------------|
+//! | D1 | deterministic, non-test | default-hasher `HashMap`/`HashSet` (iteration-order hazard) |
+//! | D2 | deterministic, non-test | ambient runtime reads: `Instant::now`, `SystemTime`, `std::env`, `process::id`, `thread::current` |
+//! | D3 | deterministic, non-test | float hazards: `partial_cmp(..).unwrap()/expect(..)` instead of `total_cmp`; narrowing `as f32` casts |
+//! | D4 | deterministic, non-test | wall-clock-shaped fields / artefact keys (`timestamp`, `hostname`, …) |
+//! | R1 | budgeted files, non-test | `unwrap()` / `expect(..)` / `panic!` beyond the file's justified budget |
+//! | U1 | everywhere | an `unsafe` token with no `// SAFETY:` comment on or directly above its line |
+//!
+//! "non-test" means outside `#[cfg(test)]` items and outside files that
+//! live under `tests/`, `benches/`, `examples/` or `bin/` directories —
+//! test scaffolding may use wall clocks and hash maps freely; artefact
+//! bytes never flow through it.
+
+use crate::lexer::{lex, Lexed, TokKind, Token};
+use crate::policy::{FileClass, Policy};
+
+/// One finding, before or after allowlisting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule ID (`"D1"` … `"U1"`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// The full source line, trimmed, for rendering.
+    pub snippet: String,
+    /// Human explanation of the hazard.
+    pub message: String,
+}
+
+/// A finding suppressed by a justified `[[allow]]` or `[[budget]]`
+/// entry — still reported, so exceptions stay visible.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    /// The finding that was suppressed.
+    pub finding: Finding,
+    /// The justification string from the matching policy entry.
+    pub justification: String,
+}
+
+/// Scans one file and returns its raw findings (allowlist not yet
+/// applied). `rel_path` must be workspace-relative with `/` separators.
+pub fn scan_file(rel_path: &str, src: &str, policy: &Policy) -> Vec<Finding> {
+    let lx = lex(src);
+    let class = policy.classify(rel_path);
+    let test_regions = test_regions(&lx);
+    let code: Vec<&Token> = lx
+        .tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let in_test = |offset: usize| test_regions.iter().any(|&(s, e)| offset >= s && offset < e);
+
+    let mut out = Vec::new();
+    if class == FileClass::Deterministic {
+        rule_d1(rel_path, &lx, &code, &in_test, &mut out);
+        rule_d2(rel_path, &lx, &code, &in_test, &mut out);
+        rule_d3(rel_path, &lx, &code, &in_test, &mut out);
+        rule_d4(rel_path, &lx, &code, &in_test, &mut out);
+    }
+    rule_r1(rel_path, &lx, &code, &in_test, policy, &mut out);
+    rule_u1(rel_path, &lx, &code, &mut out);
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+/// Splits raw findings into active ones and allowlisted ones.
+pub fn apply_allowlist(findings: Vec<Finding>, policy: &Policy) -> (Vec<Finding>, Vec<Suppressed>) {
+    let mut active = Vec::new();
+    let mut suppressed = Vec::new();
+    for f in findings {
+        match policy.allow_for(f.rule, &f.path, &f.snippet) {
+            Some(entry) => suppressed.push(Suppressed {
+                justification: entry.justification.clone(),
+                finding: f,
+            }),
+            None => active.push(f),
+        }
+    }
+    (active, suppressed)
+}
+
+fn finding(rule: &'static str, rel: &str, lx: &Lexed<'_>, at: usize, message: String) -> Finding {
+    let (line, col) = lx.line_col(at);
+    Finding {
+        rule,
+        path: rel.to_string(),
+        line,
+        col,
+        snippet: lx.line_text(line).trim().to_string(),
+        message,
+    }
+}
+
+/// Byte ranges of `#[cfg(test)]`-gated items (usually `mod tests { … }`).
+///
+/// Matches a `#[cfg(…)]` attribute whose argument list mentions the
+/// bare ident `test` (so `cfg(all(test, unix))` counts), then extends
+/// the region over the following item: to the matching `}` of its first
+/// brace block, or to the terminating `;` for braceless items.
+fn test_regions(lx: &Lexed<'_>) -> Vec<(usize, usize)> {
+    let code: Vec<&Token> = lx
+        .tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let text = |i: usize| lx.text(code[i]);
+    let is_punct = |i: usize, c: &str| code[i].kind == TokKind::Punct && text(i) == c;
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 3 < code.len() {
+        // `# [ cfg ( … test … ) ]`
+        if is_punct(i, "#")
+            && is_punct(i + 1, "[")
+            && code[i + 2].kind == TokKind::Ident
+            && text(i + 2) == "cfg"
+            && is_punct(i + 3, "(")
+        {
+            let mut j = i + 4;
+            let mut depth = 1usize;
+            let mut mentions_test = false;
+            while j < code.len() && depth > 0 {
+                if is_punct(j, "(") {
+                    depth += 1;
+                } else if is_punct(j, ")") {
+                    depth -= 1;
+                } else if code[j].kind == TokKind::Ident && text(j) == "test" {
+                    mentions_test = true;
+                }
+                j += 1;
+            }
+            // Expect the attribute's closing `]`.
+            if mentions_test && j < code.len() && is_punct(j, "]") {
+                let start = code[i].start;
+                let mut k = j + 1;
+                // Walk over any further attributes and the item header
+                // until the item's body `{` (or a braceless `;`).
+                let mut end = lx.src.len();
+                while k < code.len() {
+                    if is_punct(k, "{") {
+                        let mut braces = 1usize;
+                        let mut m = k + 1;
+                        while m < code.len() && braces > 0 {
+                            if is_punct(m, "{") {
+                                braces += 1;
+                            } else if is_punct(m, "}") {
+                                braces -= 1;
+                            }
+                            m += 1;
+                        }
+                        end = if m > 0 { code[m - 1].end } else { end };
+                        i = m;
+                        break;
+                    }
+                    if is_punct(k, ";") {
+                        end = code[k].end;
+                        i = k + 1;
+                        break;
+                    }
+                    k += 1;
+                }
+                if k >= code.len() {
+                    i = k;
+                }
+                regions.push((start, end));
+                continue;
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// D1: default-hasher collections in deterministic code.
+fn rule_d1(
+    rel: &str,
+    lx: &Lexed<'_>,
+    code: &[&Token],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for t in code {
+        if t.kind == TokKind::Ident && !in_test(t.start) {
+            let name = lx.text(t);
+            if name == "HashMap" || name == "HashSet" {
+                out.push(finding(
+                    "D1",
+                    rel,
+                    lx,
+                    t.start,
+                    format!(
+                        "`{name}` uses a randomized default hasher; its iteration order can \
+                         differ between processes and reach artefact bytes. Use \
+                         `BTree{}` or add a justified allowlist entry.",
+                        &name[4..]
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// D2: ambient runtime reads in deterministic code.
+fn rule_d2(
+    rel: &str,
+    lx: &Lexed<'_>,
+    code: &[&Token],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    const ENV_FNS: &[&str] = &[
+        "var",
+        "vars",
+        "var_os",
+        "args",
+        "args_os",
+        "temp_dir",
+        "current_dir",
+        "current_exe",
+        "home_dir",
+    ];
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_test(t.start) {
+            continue;
+        }
+        let name = lx.text(t);
+        let hazard = match name {
+            "SystemTime" => Some("`SystemTime` is a wall-clock read".to_string()),
+            "Instant" if path_next(lx, code, i) == Some("now") => {
+                Some("`Instant::now()` reads the monotonic clock".to_string())
+            }
+            "env"
+                if path_prev(lx, code, i) == Some("std")
+                    || path_next(lx, code, i).is_some_and(|f| ENV_FNS.contains(&f)) =>
+            {
+                Some("`std::env` reads the process environment".to_string())
+            }
+            "process" if path_next(lx, code, i) == Some("id") => {
+                Some("`process::id()` is a per-process runtime fact".to_string())
+            }
+            "thread" if path_next(lx, code, i) == Some("current") => {
+                Some("`thread::current()` exposes scheduler identity".to_string())
+            }
+            _ => None,
+        };
+        if let Some(what) = hazard {
+            out.push(finding(
+                "D2",
+                rel,
+                lx,
+                t.start,
+                format!(
+                    "{what}; deterministic code must derive everything from the run \
+                     seed and the spec, never from the host's runtime state."
+                ),
+            ));
+        }
+    }
+}
+
+/// D3: float-determinism hazards.
+fn rule_d3(
+    rel: &str,
+    lx: &Lexed<'_>,
+    code: &[&Token],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_test(t.start) {
+            continue;
+        }
+        let name = lx.text(t);
+        if name == "partial_cmp" {
+            // Skip the balanced `( … )` argument list, then look for
+            // `.unwrap(` / `.expect(`.
+            if let Some(j) = skip_call_args(lx, code, i + 1) {
+                if j + 1 < code.len()
+                    && code[j].kind == TokKind::Punct
+                    && lx.text(code[j]) == "."
+                    && code[j + 1].kind == TokKind::Ident
+                    && matches!(lx.text(code[j + 1]), "unwrap" | "expect")
+                {
+                    out.push(finding(
+                        "D3",
+                        rel,
+                        lx,
+                        t.start,
+                        "`partial_cmp(..).unwrap()` panics on NaN and treats -0.0 == 0.0, \
+                         so equal-key orderings can depend on input order; use `total_cmp` \
+                         for a total, bit-stable order."
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+        if name == "as" && i + 1 < code.len() && lx.text(code[i + 1]) == "f32" {
+            out.push(finding(
+                "D3",
+                rel,
+                lx,
+                t.start,
+                "narrowing `as f32` cast discards mantissa bits; a later refactor that \
+                 reorders the computation will change artefact bytes. Keep artefact \
+                 floats in f64."
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// D4: wall-clock-shaped runtime facts in artefact-feeding code.
+fn rule_d4(
+    rel: &str,
+    lx: &Lexed<'_>,
+    code: &[&Token],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    const DENYLIST: &[&str] = &[
+        "timestamp",
+        "datetime",
+        "date_utc",
+        "wall_ms",
+        "wall_clock",
+        "wall_clock_ms",
+        "hostname",
+        "host_name",
+        "started_at",
+        "finished_at",
+        "recorded_at",
+        "created_at",
+    ];
+    for (i, t) in code.iter().enumerate() {
+        if in_test(t.start) {
+            continue;
+        }
+        // Field declarations / struct literals: `timestamp: …` (but not
+        // a path `timestamp::…`).
+        if t.kind == TokKind::Ident && DENYLIST.contains(&lx.text(t)) {
+            let colon = i + 1 < code.len()
+                && code[i + 1].kind == TokKind::Punct
+                && lx.text(code[i + 1]) == ":"
+                && !(i + 2 < code.len()
+                    && code[i + 2].kind == TokKind::Punct
+                    && lx.text(code[i + 2]) == ":");
+            if colon {
+                out.push(finding(
+                    "D4",
+                    rel,
+                    lx,
+                    t.start,
+                    format!(
+                        "field `{}` looks like a wall-clock/host runtime fact; artefacts \
+                         must stay byte-comparable across machines and re-runs, so such \
+                         facts belong in host-side reports, not artefact structs.",
+                        lx.text(t)
+                    ),
+                ));
+            }
+        }
+        // Artefact JSON keys: the emitters build objects from string
+        // keys, so a denylisted key literal is the same hazard.
+        if matches!(t.kind, TokKind::Str | TokKind::RawStr) {
+            let content = lx
+                .text(t)
+                .trim_matches(|c| c == '"' || c == 'r' || c == '#');
+            if DENYLIST.contains(&content) {
+                out.push(finding(
+                    "D4",
+                    rel,
+                    lx,
+                    t.start,
+                    format!(
+                        "artefact key \"{content}\" names a wall-clock/host runtime fact; \
+                         keep it out of artefact JSON (host-side reports may carry it)."
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// R1: panic-surface budget for long-running host loops.
+fn rule_r1(
+    rel: &str,
+    lx: &Lexed<'_>,
+    code: &[&Token],
+    in_test: &dyn Fn(usize) -> bool,
+    policy: &Policy,
+    out: &mut Vec<Finding>,
+) {
+    let Some(budget) = policy.budget_for(rel, "R1") else {
+        return;
+    };
+    let mut sites: Vec<usize> = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_test(t.start) {
+            continue;
+        }
+        let name = lx.text(t);
+        let next_is = |c: &str| {
+            i + 1 < code.len() && code[i + 1].kind == TokKind::Punct && lx.text(code[i + 1]) == c
+        };
+        let prev_is_dot =
+            i > 0 && code[i - 1].kind == TokKind::Punct && lx.text(code[i - 1]) == ".";
+        let hit = match name {
+            "unwrap" | "expect" => prev_is_dot && next_is("("),
+            "panic" => next_is("!"),
+            _ => false,
+        };
+        if hit {
+            sites.push(t.start);
+        }
+    }
+    if sites.len() > budget.max {
+        let lines: Vec<String> = sites
+            .iter()
+            .map(|&s| lx.line_col(s).0.to_string())
+            .collect();
+        out.push(finding(
+            "R1",
+            rel,
+            lx,
+            sites[budget.max],
+            format!(
+                "{} unwrap/expect/panic sites outside tests (lines {}) exceed this \
+                 file's justified budget of {}; long-running loops must degrade, not \
+                 abort — handle the error or raise the budget with a new justification.",
+                sites.len(),
+                lines.join(", "),
+                budget.max
+            ),
+        ));
+    }
+}
+
+/// U1: every `unsafe` must carry a `// SAFETY:` comment on its own
+/// line or on the comment/attribute lines directly above it.
+fn rule_u1(rel: &str, lx: &Lexed<'_>, code: &[&Token], out: &mut Vec<Finding>) {
+    for t in code {
+        if t.kind != TokKind::Ident || lx.text(t) != "unsafe" {
+            continue;
+        }
+        let (line, _) = lx.line_col(t.start);
+        let mut satisfied = lx.line_text(line).contains("SAFETY:");
+        let mut l = line;
+        while !satisfied && l > 1 {
+            l -= 1;
+            let text = lx.line_text(l).trim();
+            let is_annotation = text.is_empty()
+                || text.starts_with("//")
+                || text.starts_with("#[")
+                || text.starts_with("*")
+                || text.starts_with("/*");
+            if !is_annotation {
+                break;
+            }
+            satisfied = text.contains("SAFETY:");
+        }
+        if !satisfied {
+            out.push(finding(
+                "U1",
+                rel,
+                lx,
+                t.start,
+                "`unsafe` without a `// SAFETY:` comment; every unsafe block, fn or \
+                 impl must state the invariant that makes it sound."
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// After an ident at `i-1`, skip one balanced `( … )` group starting at
+/// `i`; returns the index just past the closing paren.
+fn skip_call_args(lx: &Lexed<'_>, code: &[&Token], i: usize) -> Option<usize> {
+    if i >= code.len() || code[i].kind != TokKind::Punct || lx.text(code[i]) != "(" {
+        return None;
+    }
+    let mut depth = 1usize;
+    let mut j = i + 1;
+    while j < code.len() && depth > 0 {
+        if code[j].kind == TokKind::Punct {
+            match lx.text(code[j]) {
+                "(" => depth += 1,
+                ")" => depth -= 1,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    (depth == 0).then_some(j)
+}
+
+/// The ident after `ident :: `, if the token at `i` is followed by a
+/// path separator.
+fn path_next<'a>(lx: &Lexed<'a>, code: &[&Token], i: usize) -> Option<&'a str> {
+    if i + 3 < code.len()
+        && code[i + 1].kind == TokKind::Punct
+        && lx.text(code[i + 1]) == ":"
+        && code[i + 2].kind == TokKind::Punct
+        && lx.text(code[i + 2]) == ":"
+        && code[i + 3].kind == TokKind::Ident
+    {
+        Some(lx.text(code[i + 3]))
+    } else {
+        None
+    }
+}
+
+/// The ident before `:: ident`, if the token at `i` is preceded by a
+/// path separator.
+fn path_prev<'a>(lx: &Lexed<'a>, code: &[&Token], i: usize) -> Option<&'a str> {
+    if i >= 3
+        && code[i - 1].kind == TokKind::Punct
+        && lx.text(code[i - 1]) == ":"
+        && code[i - 2].kind == TokKind::Punct
+        && lx.text(code[i - 2]) == ":"
+        && code[i - 3].kind == TokKind::Ident
+    {
+        Some(lx.text(code[i - 3]))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det_policy() -> Policy {
+        Policy::from_toml(
+            "[policy]\ndeterministic = [\"x\"]\nhost = [\"detlint\"]\n\
+             deterministic_files = [\"det.rs\"]\n",
+        )
+        .expect("policy parses")
+    }
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        scan_file("det.rs", src, &det_policy())
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn d1_fires_on_type_and_use() {
+        assert_eq!(
+            rules_of("use std::collections::HashMap;\nstruct S { m: HashMap<u8, u8> }\n"),
+            ["D1", "D1"]
+        );
+        assert!(rules_of("use std::collections::BTreeMap;\n").is_empty());
+    }
+
+    #[test]
+    fn d2_patterns() {
+        assert_eq!(rules_of("fn f() { let t = Instant::now(); }"), ["D2"]);
+        assert_eq!(
+            rules_of("fn f() -> SystemTime { SystemTime::now() }"),
+            ["D2", "D2"]
+        );
+        assert_eq!(rules_of("fn f() { let p = std::env::temp_dir(); }"), ["D2"]);
+        assert_eq!(rules_of("fn f() { let i = std::process::id(); }"), ["D2"]);
+        assert_eq!(rules_of("fn f() { let t = thread::current(); }"), ["D2"]);
+        // An ordinary variable named `env` is not a hazard.
+        assert!(rules_of("fn f(env: u32) -> u32 { env + 1 }").is_empty());
+        // `Instant` as a stored type alone is not a D2 read.
+        assert!(rules_of("struct S { t: u64 } fn g(i: Instant) {}").is_empty());
+    }
+
+    #[test]
+    fn d3_partial_cmp_chain_and_f32_cast() {
+        assert_eq!(
+            rules_of("fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }"),
+            ["D3"]
+        );
+        assert_eq!(
+            rules_of("fn f(a: f64, b: f64) { a.partial_cmp(&b).expect(\"no NaN\"); }"),
+            ["D3"]
+        );
+        assert_eq!(rules_of("fn f(x: f64) -> f32 { x as f32 }"), ["D3"]);
+        // total_cmp and a bare partial_cmp (Option kept) are fine.
+        assert!(rules_of("fn f(a: f64, b: f64) { a.total_cmp(&b); }").is_empty());
+        assert!(rules_of(
+            "fn f(a: f64, b: f64) -> Option<core::cmp::Ordering> { a.partial_cmp(&b) }"
+        )
+        .is_empty());
+        assert!(rules_of("fn f(x: u32) -> f64 { x as f64 }").is_empty());
+    }
+
+    #[test]
+    fn d4_fields_and_keys() {
+        assert_eq!(rules_of("struct A { timestamp: u64 }"), ["D4"]);
+        assert_eq!(rules_of("fn f() { obj.push((\"hostname\", v)); }"), ["D4"]);
+        // Paths and unrelated idents do not fire.
+        assert!(rules_of("fn f() { let x = timestamp::parse(); }").is_empty());
+        assert!(rules_of("struct A { timestamped: u64 }").is_empty());
+    }
+
+    #[test]
+    fn r1_budget() {
+        let mut policy = det_policy();
+        policy.budget.push(crate::policy::BudgetEntry {
+            rule: "R1".into(),
+            path: "det.rs".into(),
+            max: 1,
+            justification: "test".into(),
+        });
+        let dirty = "fn f(o: Option<u8>) { o.unwrap(); o.expect(\"x\"); panic!(\"y\"); }";
+        let f = scan_file("det.rs", dirty, &policy);
+        assert_eq!(f.iter().filter(|f| f.rule == "R1").count(), 1);
+        assert!(f[0].message.contains("3 unwrap/expect/panic"));
+        // Under budget: silent. unwrap_or_else never counts.
+        let ok = "fn f(o: Option<u8>) { o.unwrap_or_else(|| 0); o.unwrap(); }";
+        assert!(scan_file("det.rs", ok, &policy).is_empty());
+        // Without a budget entry the rule does not run at all.
+        assert!(scan_file("det.rs", dirty, &det_policy()).is_empty());
+    }
+
+    #[test]
+    fn u1_safety_comments() {
+        assert_eq!(
+            rules_of("fn f(p: *const u8) -> u8 { unsafe { *p } }"),
+            ["U1"]
+        );
+        assert!(
+            rules_of("// SAFETY: p is valid\nfn f(p: *const u8) -> u8 { unsafe { *p } }")
+                .is_empty()
+        );
+        // Same-line trailing comment counts.
+        assert!(rules_of("fn f(p: *const u8) -> u8 { unsafe { *p } } // SAFETY: valid").is_empty());
+        // A code line between the comment and the unsafe breaks the link.
+        assert_eq!(
+            rules_of("// SAFETY: stale\nfn g() {}\nfn f(p: *const u8) -> u8 { unsafe { *p } }"),
+            ["U1"]
+        );
+        // Idents merely containing `unsafe` never fire.
+        assert!(rules_of("fn unsafe_name_check() { let unsafe_count = 1; }").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt_from_d_rules() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn f() { Instant::now(); }\n}\npub struct After { pub m: std::collections::HashMap<u8, u8> }\n";
+        let f = scan_file("det.rs", src, &det_policy());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "D1");
+        assert_eq!(f[0].line, 6, "only the struct after the test mod");
+    }
+
+    #[test]
+    fn cfg_all_test_also_exempts() {
+        let src = "#[cfg(all(test, unix))]\nmod tests { use std::collections::HashMap; }\n";
+        assert!(scan_file("det.rs", src, &det_policy()).is_empty());
+    }
+
+    #[test]
+    fn host_files_skip_d_rules_entirely() {
+        let src = "fn f() { let t = Instant::now(); let m: HashMap<u8, u8> = HashMap::new(); }";
+        assert!(scan_file("crates/detlint/src/main.rs", src, &det_policy()).is_empty());
+    }
+
+    #[test]
+    fn allowlist_splits_with_justification() {
+        let mut policy = det_policy();
+        policy.allow.push(crate::policy::AllowEntry {
+            rule: "D1".into(),
+            path: "det.rs".into(),
+            contains: Some("HashMap<u8".into()),
+            justification: "keyed access only".into(),
+        });
+        let f = scan_file(
+            "det.rs",
+            "struct S {\n    m: HashMap<u8, u8>,\n    s: HashSet<u8>,\n}",
+            &policy,
+        );
+        let (active, suppressed) = apply_allowlist(f, &policy);
+        assert_eq!(active.len(), 1, "HashSet stays active");
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(suppressed[0].justification, "keyed access only");
+    }
+}

@@ -1,0 +1,71 @@
+//! Workspace traversal: find every `.rs` file the policy wants scanned.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::policy::Policy;
+
+/// Collects all `.rs` files under `root`, honouring the policy's
+/// `exclude` prefixes, skipping hidden directories and `target/`.
+/// Returned paths are workspace-relative with `/` separators, sorted,
+/// so scan order (and therefore report order) is deterministic on every
+/// platform — the linter holds itself to its own rules.
+pub fn collect_rs_files(root: &Path, policy: &Policy) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    walk_dir(root, root, policy, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk_dir(root: &Path, dir: &Path, policy: &Policy, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        let rel = relative(root, &path);
+        if policy.is_excluded(&rel) {
+            continue;
+        }
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            walk_dir(root, &path, policy, out)?;
+        } else if ty.is_file() && rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated.
+pub fn relative(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_this_crate_and_skips_excluded_dirs() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let policy = Policy::from_toml("[policy]\nexclude = [\"fixtures\"]\n").expect("parses");
+        let files = collect_rs_files(root, &policy).expect("walk");
+        assert!(files.contains(&"src/lexer.rs".to_string()));
+        assert!(files.iter().all(|f| !f.starts_with("fixtures/")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "deterministic order");
+        // Without the exclusion the fixture corpus is visible.
+        let all = collect_rs_files(root, &Policy::default()).expect("walk");
+        assert!(all.iter().any(|f| f.starts_with("fixtures/")));
+    }
+}

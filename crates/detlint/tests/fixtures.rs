@@ -1,0 +1,139 @@
+//! The fixture corpus: known-dirty and known-clean sources with exact
+//! expected finding lists, pinning the lexer and every rule ID.
+//!
+//! Each rule (D1–D4, R1, U1) gets at least one true positive (in
+//! `fixtures/dirty.rs`) and at least one false-positive guard (in
+//! `fixtures/clean.rs` / `fixtures/test_exempt.rs`).
+
+use std::fs;
+use std::path::Path;
+
+use detlint::policy::{BudgetEntry, Policy};
+use detlint::rules::{apply_allowlist, scan_file, Finding};
+
+/// The policy the corpus is scanned under: fixtures are classified
+/// deterministic (they model artefact-path code), like `lint.toml` does
+/// via `deterministic_files`.
+fn corpus_policy() -> Policy {
+    Policy::from_toml(
+        "[policy]\n\
+         host = [\"detlint\"]\n\
+         deterministic_files = [\"fixtures\"]\n",
+    )
+    .expect("corpus policy parses")
+}
+
+fn scan_fixture(name: &str, policy: &Policy) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    let src = fs::read_to_string(&path).expect("fixture readable");
+    scan_file(&format!("fixtures/{name}"), &src, policy)
+}
+
+fn rule_lines(findings: &[Finding]) -> Vec<(&'static str, usize)> {
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn dirty_fixture_fires_every_d_and_u_rule_at_exact_lines() {
+    let findings = scan_fixture("dirty.rs", &corpus_policy());
+    assert_eq!(
+        rule_lines(&findings),
+        vec![
+            ("D1", 5),  // use std::collections::HashMap
+            ("D1", 8),  // HashMap field
+            ("D2", 12), // Instant::now
+            ("D2", 13), // SystemTime
+            ("D2", 14), // std::env::var
+            ("D2", 15), // std::process::id
+            ("D2", 16), // thread::current
+            ("D3", 21), // partial_cmp().unwrap()
+            ("D3", 23), // as f32
+            ("D4", 27), // timestamp field
+            ("D4", 32), // "hostname" artefact key
+            ("U1", 48), // unsafe without SAFETY:
+        ],
+        "full finding list: {findings:#?}"
+    );
+    // Every finding renders the offending source line.
+    for f in &findings {
+        assert!(!f.snippet.is_empty(), "snippet missing for {f:?}");
+        assert!(!f.message.is_empty(), "message missing for {f:?}");
+    }
+}
+
+#[test]
+fn dirty_fixture_r1_fires_only_under_a_budget() {
+    // Without a budget entry, R1 does not run (true negative).
+    let no_budget = scan_fixture("dirty.rs", &corpus_policy());
+    assert!(no_budget.iter().all(|f| f.rule != "R1"));
+    // With a zero budget, the four unwrap/expect/panic sites (the D3
+    // partial_cmp unwrap counts too) trip it.
+    let mut policy = corpus_policy();
+    policy.budget.push(BudgetEntry {
+        rule: "R1".into(),
+        path: "fixtures/dirty.rs".into(),
+        max: 0,
+        justification: "corpus".into(),
+    });
+    let findings = scan_fixture("dirty.rs", &policy);
+    let r1: Vec<&Finding> = findings.iter().filter(|f| f.rule == "R1").collect();
+    assert_eq!(r1.len(), 1, "one budget finding per file");
+    assert!(
+        r1[0].message.contains("4 unwrap/expect/panic"),
+        "{}",
+        r1[0].message
+    );
+    // A budget that covers all four stays silent (false-positive guard).
+    policy.budget[0].max = 4;
+    assert!(scan_fixture("dirty.rs", &policy)
+        .iter()
+        .all(|f| f.rule != "R1"));
+}
+
+#[test]
+fn clean_fixture_produces_zero_findings() {
+    let findings = scan_fixture("clean.rs", &corpus_policy());
+    assert_eq!(findings, vec![], "clean fixture must be clean");
+}
+
+#[test]
+fn cfg_test_items_are_policy_exempt_but_the_region_ends() {
+    let findings = scan_fixture("test_exempt.rs", &corpus_policy());
+    assert_eq!(
+        rule_lines(&findings),
+        vec![("D1", 30)],
+        "only the post-test-module HashMap may fire: {findings:#?}"
+    );
+}
+
+#[test]
+fn allowlist_suppresses_with_justification_but_keeps_the_record() {
+    let mut policy = corpus_policy();
+    policy.allow.push(detlint::policy::AllowEntry {
+        rule: "D1".into(),
+        path: "fixtures/test_exempt.rs".into(),
+        contains: Some("HashMap<u8, u8>".into()),
+        justification: "corpus demonstration entry".into(),
+    });
+    let findings = scan_fixture("test_exempt.rs", &policy);
+    let (active, suppressed) = apply_allowlist(findings, &policy);
+    assert!(active.is_empty());
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].justification, "corpus demonstration entry");
+}
+
+/// The whole corpus through the real renderer: JSON stays parseable in
+/// spirit (balanced, escaped) even with quotes in snippets.
+#[test]
+fn reports_render_for_the_corpus() {
+    let findings = scan_fixture("dirty.rs", &corpus_policy());
+    let (active, suppressed) = apply_allowlist(findings, &corpus_policy());
+    let json = detlint::report::render_json(&active, &suppressed, 1);
+    assert!(json.contains("\"clean\": false"));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    let text = detlint::report::render_text(&active, &suppressed, 1);
+    assert!(text.contains("fixtures/dirty.rs:5:"));
+    assert!(text.contains("12 finding(s)"));
+}

@@ -196,7 +196,7 @@ impl Mesh {
             task,
             kind,
             payload_flits,
-            created_at: self.cycle,
+            created_cycle: self.cycle,
             bounces: 0,
         };
         self.routers[src.index()].enqueue_inject(pkt);
@@ -402,7 +402,7 @@ impl Mesh {
                     }
                     OutPort::Internal => {
                         if let Some(pkt) = router.receive_internal(flit, now) {
-                            let latency = now.saturating_sub(pkt.created_at) + 1;
+                            let latency = now.saturating_sub(pkt.created_cycle) + 1;
                             self.stats.delivered += 1;
                             self.stats.latency_sum += latency;
                             self.stats.latency_max = self.stats.latency_max.max(latency);
@@ -492,7 +492,7 @@ mod tests {
         let bounced = m.take_delivered(NodeId::new(5)).remove(0);
         assert_eq!(bounced.bounces, 1);
         assert_eq!(
-            bounced.created_at, pkt.created_at,
+            bounced.created_cycle, pkt.created_cycle,
             "age accumulates across bounces"
         );
         assert!(m.cycle() > arrived, "time moved on");

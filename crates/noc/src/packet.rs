@@ -121,7 +121,7 @@ pub struct Packet {
     pub payload_flits: u8,
     /// Injection cycle (used for age-based redirect and latency stats).
     /// Preserved across re-injections so age keeps accumulating.
-    pub created_at: Cycle,
+    pub created_cycle: Cycle,
     /// Times this packet has been re-injected after a mis-delivery
     /// (bounced between nodes chasing a moving task instance).
     pub bounces: u8,
@@ -135,7 +135,7 @@ impl Packet {
 
     /// Age of the packet at `now`.
     pub fn age(&self, now: Cycle) -> Cycle {
-        now.saturating_sub(self.created_at)
+        now.saturating_sub(self.created_cycle)
     }
 }
 
@@ -222,7 +222,7 @@ mod tests {
             task: TaskId::new(1),
             kind: PacketKind::Data,
             payload_flits: payload,
-            created_at: 100,
+            created_cycle: 100,
             bounces: 0,
         }
     }

@@ -886,7 +886,7 @@ mod tests {
             task: TaskId::new(task),
             kind: PacketKind::Data,
             payload_flits: payload,
-            created_at: 0,
+            created_cycle: 0,
             bounces: 0,
         }
     }

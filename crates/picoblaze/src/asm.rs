@@ -16,7 +16,7 @@
 //! Numeric literals may be decimal (`42`), hex (`0x2A`) or binary
 //! (`0b101010`). Branch targets may be labels or numeric addresses.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -146,8 +146,8 @@ fn parse_register(tok: &str) -> Option<Register> {
 }
 
 struct Assembler<'a> {
-    constants: HashMap<String, u32>,
-    labels: HashMap<String, u16>,
+    constants: BTreeMap<String, u32>,
+    labels: BTreeMap<String, u16>,
     lines: Vec<Line<'a>>,
 }
 
@@ -274,8 +274,8 @@ pub fn assemble(source: &str) -> Result<Vec<Instruction>, AsmError> {
 
     // Pass 1: collect constants and label addresses.
     let mut asm = Assembler {
-        constants: HashMap::new(),
-        labels: HashMap::new(),
+        constants: BTreeMap::new(),
+        labels: BTreeMap::new(),
         lines: Vec::new(),
     };
     let mut pc = 0u16;

@@ -251,7 +251,7 @@ impl ScenarioSpec {
         self.events
             .iter()
             .map(|e| e.at_ms)
-            .min_by(|a, b| a.partial_cmp(b).expect("event times are not NaN"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 
     /// Checks internal consistency.

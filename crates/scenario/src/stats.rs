@@ -22,7 +22,9 @@ impl Quartiles {
     pub fn of(samples: &[f64]) -> Self {
         assert!(!samples.is_empty(), "quartiles of an empty sample");
         let mut sorted: Vec<f64> = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+        // total_cmp (detlint D3): a total, bit-stable order — never
+        // panics, and -0.0 sorts before 0.0 regardless of input order.
+        sorted.sort_by(f64::total_cmp);
         Self {
             q1: percentile_sorted(&sorted, 0.25),
             q2: percentile_sorted(&sorted, 0.50),
@@ -115,13 +117,18 @@ impl OnlineStats {
     }
 
     /// Folds one sample into the aggregate.
+    ///
+    /// `min`/`max` use [`f64::total_cmp`] rather than `f64::min`/`max`:
+    /// IEEE min/max may return either operand for `-0.0` vs `0.0`, so
+    /// the recorded extreme's *bit pattern* could depend on push order.
+    /// Total order keeps artefact bytes independent of it.
     pub fn push(&mut self, x: f64) {
         self.count += 1;
         let delta = x - self.mean;
         self.mean += delta / self.count as f64;
         self.m2 += delta * (x - self.mean);
-        self.min = self.min.min(x);
-        self.max = self.max.max(x);
+        self.min = total_min(self.min, x);
+        self.max = total_max(self.max, x);
     }
 
     /// Population variance (0 for fewer than two samples).
@@ -172,9 +179,28 @@ impl OnlineStats {
             count,
             mean,
             m2,
-            min: self.min.min(other.min),
-            max: self.max.max(other.max),
+            min: total_min(self.min, other.min),
+            max: total_max(self.max, other.max),
         }
+    }
+}
+
+/// The smaller operand under [`f64::total_cmp`] — bit-deterministic for
+/// `-0.0` vs `0.0`, where IEEE `min` may return either.
+fn total_min(a: f64, b: f64) -> f64 {
+    if b.total_cmp(&a).is_lt() {
+        b
+    } else {
+        a
+    }
+}
+
+/// The larger operand under [`f64::total_cmp`].
+fn total_max(a: f64, b: f64) -> f64 {
+    if b.total_cmp(&a).is_gt() {
+        b
+    } else {
+        a
     }
 }
 
@@ -277,5 +303,50 @@ mod tests {
         assert_eq!(one.mean, 3.0);
         assert_eq!(one.stddev(), 0.0);
         assert_eq!((one.min, one.max), (3.0, 3.0));
+    }
+
+    /// Regression for the detlint D3 sweep: quartile ordering must be a
+    /// pure function of the multiset, not the input order — including
+    /// the `-0.0` vs `0.0` tie that `partial_cmp` treats as equal (so a
+    /// stable sort would preserve arbitrary input order in the bits).
+    #[test]
+    fn quartiles_are_bit_stable_across_input_order_with_signed_zeros() {
+        let orders: [&[f64]; 3] = [
+            &[0.0, -0.0, 1.0, 2.0],
+            &[-0.0, 0.0, 2.0, 1.0],
+            &[2.0, 0.0, 1.0, -0.0],
+        ];
+        let reference = Quartiles::of(orders[0]);
+        for order in &orders[1..] {
+            let q = Quartiles::of(order);
+            assert_eq!(q.q1.to_bits(), reference.q1.to_bits());
+            assert_eq!(q.q2.to_bits(), reference.q2.to_bits());
+            assert_eq!(q.q3.to_bits(), reference.q3.to_bits());
+        }
+        // total_cmp sorts -0.0 before 0.0, so the median of a sample
+        // with two negative zeros lands on -0.0 exactly (the median of
+        // an odd sample is read straight from the sorted slice — no
+        // interpolation to wash the sign out) in every input order.
+        for order in [[0.0, -0.0, -0.0], [-0.0, 0.0, -0.0], [-0.0, -0.0, 0.0]] {
+            let q = Quartiles::of(&order);
+            assert_eq!(q.q2.to_bits(), (-0.0f64).to_bits(), "order {order:?}");
+        }
+    }
+
+    /// `OnlineStats` extremes must record the same bit pattern whether
+    /// `-0.0` or `0.0` arrives first, for both push and merge.
+    #[test]
+    fn online_stats_extremes_are_bit_stable_for_signed_zeros() {
+        for order in [[0.0, -0.0], [-0.0, 0.0]] {
+            let s = OnlineStats::of(&order);
+            assert_eq!(s.min.to_bits(), (-0.0f64).to_bits(), "order {order:?}");
+            assert_eq!(s.max.to_bits(), 0.0f64.to_bits(), "order {order:?}");
+        }
+        let a = OnlineStats::of(&[0.0]);
+        let b = OnlineStats::of(&[-0.0]);
+        for merged in [a.merge(&b), b.merge(&a)] {
+            assert_eq!(merged.min.to_bits(), (-0.0f64).to_bits());
+            assert_eq!(merged.max.to_bits(), 0.0f64.to_bits());
+        }
     }
 }

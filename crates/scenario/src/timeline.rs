@@ -13,7 +13,7 @@
 //! function of the grid, the event parameters and the instant, not of
 //! the run seed — so execution itself stays a pure fault application.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
 
 use sirtm_centurion::{Platform, PlatformConfig};
@@ -45,7 +45,7 @@ fn event_rng(seed: u64, at_ms: f64, ordinal: u64) -> Xoshiro256StarStar {
     Xoshiro256StarStar::seed_from_u64(SplitMix64::new(mixed).next_u64())
 }
 
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct ThermalKey {
     width: u16,
     height: u16,
@@ -56,9 +56,12 @@ struct ThermalKey {
     at: Cycle,
 }
 
+// An ordered map (detlint D1): the cache is keyed-access only today,
+// but a BTreeMap keeps even its iteration order deterministic, so no
+// future drain/debug path can smuggle hasher order into artefacts.
 #[derive(Default)]
 struct ThermalCache {
-    map: HashMap<ThermalKey, Vec<NodeId>>,
+    map: BTreeMap<ThermalKey, Vec<NodeId>>,
     hits: u64,
     misses: u64,
 }

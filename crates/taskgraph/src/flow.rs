@@ -178,7 +178,7 @@ impl FlowAnalysis {
             used += floor;
             remainders.push((d.task.index(), exact - exact.floor()));
         }
-        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("remainders are finite"));
+        remainders.sort_by(|a, b| b.1.total_cmp(&a.1));
         let mut i = 0;
         while used < n_nodes && !remainders.is_empty() {
             alloc[remainders[i % remainders.len()].0] += 1;
