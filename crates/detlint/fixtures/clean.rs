@@ -61,6 +61,19 @@ pub fn unsafe_in_name_only() -> u32 {
     unsafe_count
 }
 
+pub fn staged_writes_are_the_fix(path: &std::path::Path, body: &str) {
+    // The atomic helper is R2's remedy, not a finding — and mentions of
+    // std::fs::write in comments or strings are data.
+    let hint = "never bare std::fs::write";
+    let _ = hint;
+    atomic_write(path, body);
+}
+
+pub fn writer_methods_are_not_fs_write(w: &mut impl std::io::Write, buf: &[u8]) {
+    // A `.write(..)`-shaped method call has no `fs::` path prefix.
+    let _ = w.write(buf);
+}
+
 // SAFETY: the pointer is produced by `Box::into_raw` one line above and
 // is therefore valid, aligned and uniquely owned.
 pub fn commented_unsafe() -> u8 {

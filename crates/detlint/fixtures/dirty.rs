@@ -47,3 +47,7 @@ pub fn panicky_loop(tasks: &[Option<u8>]) -> u32 {
 pub fn read_raw(p: *const u8) -> u8 {
     unsafe { *p } // U1: nothing nearby justifies this
 }
+
+pub fn save_artifact(path: &std::path::Path, body: &str) {
+    let _ = std::fs::write(path, body); // R2: torn-write hazard
+}

@@ -10,6 +10,7 @@
 //! | D3 | deterministic, non-test | float hazards: `partial_cmp(..).unwrap()/expect(..)` instead of `total_cmp`; narrowing `as f32` casts |
 //! | D4 | deterministic, non-test | wall-clock-shaped fields / artefact keys (`timestamp`, `hostname`, …) |
 //! | R1 | budgeted files, non-test | `unwrap()` / `expect(..)` / `panic!` beyond the file's justified budget |
+//! | R2 | deterministic, non-test | bare `fs::write` (torn-write hazard) instead of the temp-then-rename atomic helper |
 //! | U1 | everywhere | an `unsafe` token with no `// SAFETY:` comment on or directly above its line |
 //!
 //! "non-test" means outside `#[cfg(test)]` items and outside files that
@@ -66,6 +67,7 @@ pub fn scan_file(rel_path: &str, src: &str, policy: &Policy) -> Vec<Finding> {
         rule_d2(rel_path, &lx, &code, &in_test, &mut out);
         rule_d3(rel_path, &lx, &code, &in_test, &mut out);
         rule_d4(rel_path, &lx, &code, &in_test, &mut out);
+        rule_r2(rel_path, &lx, &code, &in_test, &mut out);
     }
     rule_r1(rel_path, &lx, &code, &in_test, policy, &mut out);
     rule_u1(rel_path, &lx, &code, &mut out);
@@ -444,6 +446,42 @@ fn rule_r1(
     }
 }
 
+/// R2: bare `fs::write` in durable deterministic code.
+///
+/// A plain `std::fs::write` is not atomic: a crash partway through
+/// leaves a torn file, and every checkpoint/artefact reader then has to
+/// distrust what it finds. Deterministic crates stage writes through a
+/// temp-then-rename helper instead; the helper's own internal
+/// `fs::write` to the staging file carries a justified allowlist entry.
+fn rule_r2(
+    rel: &str,
+    lx: &Lexed<'_>,
+    code: &[&Token],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || lx.text(t) != "write" || in_test(t.start) {
+            continue;
+        }
+        let next_is_call =
+            i + 1 < code.len() && code[i + 1].kind == TokKind::Punct && lx.text(code[i + 1]) == "(";
+        if next_is_call && path_prev(lx, code, i) == Some("fs") {
+            out.push(finding(
+                "R2",
+                rel,
+                lx,
+                t.start,
+                "bare `fs::write` is not atomic: a crash mid-write leaves a torn file for \
+                 the checkpoint/artefact readers to distrust. Stage durable writes through \
+                 `sirtm_scenario::shard::atomic_write` (temp-then-rename), or add a \
+                 justified allowlist entry."
+                    .to_string(),
+            ));
+        }
+    }
+}
+
 /// U1: every `unsafe` must carry a `// SAFETY:` comment on its own
 /// line or on the comment/attribute lines directly above it.
 fn rule_u1(rel: &str, lx: &Lexed<'_>, code: &[&Token], out: &mut Vec<Finding>) {
@@ -625,6 +663,32 @@ mod tests {
         assert!(scan_file("det.rs", ok, &policy).is_empty());
         // Without a budget entry the rule does not run at all.
         assert!(scan_file("det.rs", dirty, &det_policy()).is_empty());
+    }
+
+    #[test]
+    fn r2_bare_fs_write() {
+        assert_eq!(
+            rules_of("fn f() { std::fs::write(\"p\", \"x\").ok(); }"),
+            ["R2"]
+        );
+        assert_eq!(
+            rules_of("fn f(p: &Path) { fs::write(p, b\"x\").ok(); }"),
+            ["R2"]
+        );
+        // A `.write(..)` method call is not the hazard.
+        assert!(rules_of("fn f(w: &mut W, buf: &[u8]) { w.write(buf).ok(); }").is_empty());
+        // The atomic helper is the fix, not a finding.
+        assert!(rules_of("fn f(p: &Path) { atomic_write(p, \"x\").ok(); }").is_empty());
+        // Mentions in strings and comments never fire.
+        assert!(rules_of("fn f() { let s = \"std::fs::write\"; } // fs::write").is_empty());
+        // Test scaffolding may write files directly.
+        assert!(rules_of(
+            "#[cfg(test)]\nmod tests { fn f() { std::fs::write(\"p\", \"x\").ok(); } }"
+        )
+        .is_empty());
+        // Host-classified files are out of scope.
+        let src = "fn f() { std::fs::write(\"p\", \"x\").ok(); }";
+        assert!(scan_file("crates/detlint/src/main.rs", src, &det_policy()).is_empty());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The fixture corpus: known-dirty and known-clean sources with exact
 //! expected finding lists, pinning the lexer and every rule ID.
 //!
-//! Each rule (D1–D4, R1, U1) gets at least one true positive (in
+//! Each rule (D1–D4, R1, R2, U1) gets at least one true positive (in
 //! `fixtures/dirty.rs`) and at least one false-positive guard (in
 //! `fixtures/clean.rs` / `fixtures/test_exempt.rs`).
 
@@ -53,6 +53,7 @@ fn dirty_fixture_fires_every_d_and_u_rule_at_exact_lines() {
             ("D4", 27), // timestamp field
             ("D4", 32), // "hostname" artefact key
             ("U1", 48), // unsafe without SAFETY:
+            ("R2", 52), // bare std::fs::write
         ],
         "full finding list: {findings:#?}"
     );
@@ -135,5 +136,5 @@ fn reports_render_for_the_corpus() {
     assert_eq!(json.matches('{').count(), json.matches('}').count());
     let text = detlint::report::render_text(&active, &suppressed, 1);
     assert!(text.contains("fixtures/dirty.rs:5:"));
-    assert!(text.contains("12 finding(s)"));
+    assert!(text.contains("13 finding(s)"));
 }

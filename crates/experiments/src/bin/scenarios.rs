@@ -14,6 +14,9 @@
 //! scenarios merge SHARD.json... [--out PATH]  recombine shard artefacts
 //! scenarios dispatch NAME (--local N --checkpoint DIR | --hosts FILE)
 //!                                             fan shards out across workers
+//! scenarios chaos-soak NAME --local N --checkpoint DIR
+//!               [--cycles C] [--chaos-seed S] [--chaos-rate PCT]
+//!                                             fault-storm dispatch soak
 //! scenarios check PATH                        re-parse a sweep artefact
 //! scenarios bench [--out PATH]                runs/sec at 1/4/8 threads
 //! scenarios bench-shard [--out PATH]          shard overhead vs unsharded
@@ -45,27 +48,38 @@
 //! `cmp`s them). `--sweep FILE` accepts a full sweep descriptor (what
 //! `SweepSpec::to_json` emits and the dispatcher ships to workers), in
 //! which case `--runs`/`--seed` are ignored. See `docs/dispatch.md`.
+//!
+//! `chaos-soak` runs `--cycles` dispatch cycles of the same sweep under
+//! seeded fault injection (spawn refusals, mid-shard kills, frozen
+//! heartbeats, fetch errors, artefact corruption, checkpoint
+//! truncation/duplication), damaging a surviving checkpoint journal
+//! between cycles, and asserts every cycle's merged artefact is
+//! byte-identical to the clean single-process sweep. The fault mix is
+//! reproducible from `--chaos-seed`; injected-fault counts land in the
+//! dispatch report. See `docs/chaos.md`.
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use sirtm_experiments::render;
 use sirtm_scenario::json::Json;
-use sirtm_scenario::shard::fingerprint;
+use sirtm_scenario::shard::{checkpoint_file, fingerprint};
 use sirtm_scenario::{
     check_artifact, dispatch, merge_named_shards, merge_shards, parse_host_manifest, presets,
-    run_shard, run_sweep, DispatchOptions, LocalProcess, OnlineStats, ScenarioSpec, SeedScheme,
-    ShardPlan, ShardResult, ShardTransport, Ssh, SweepOptions, SweepResult, SweepSpec,
+    run_shard, run_sweep, ChaosConfig, ChaosLedger, ChaosTransport, DispatchOptions, FaultyFs,
+    LocalProcess, OnlineStats, RetryPolicy, ScenarioSpec, SeedScheme, ShardPlan, ShardResult,
+    ShardTransport, Ssh, SweepOptions, SweepResult, SweepSpec,
 };
 
 fn die(msg: &str) -> ! {
     eprintln!("scenarios: {msg}");
     eprintln!(
         "usage: scenarios [list|show NAME|run NAME|shard-plan NAME|merge SHARD...|dispatch NAME|\
-         check PATH|bench|bench-shard|bench-dispatch] [--spec FILE] [--sweep FILE] [--runs N] \
-         [--threads T] [--seed S] [--out PATH] [--csv PATH] [--shards N] [--shard K/N] \
-         [--checkpoint DIR] [--limit M] [--local N] [--hosts FILE] [--report PATH] \
-         [--poll-ms MS] [--stall-polls K] [--max-attempts A]"
+         chaos-soak NAME|check PATH|bench|bench-shard|bench-dispatch] [--spec FILE] \
+         [--sweep FILE] [--runs N] [--threads T] [--seed S] [--out PATH] [--csv PATH] \
+         [--shards N] [--shard K/N] [--checkpoint DIR] [--limit M] [--local N] [--hosts FILE] \
+         [--report PATH] [--poll-ms MS] [--stall-polls K] [--max-attempts A] [--cycles C] \
+         [--chaos-seed S] [--chaos-rate PCT]"
     );
     std::process::exit(2);
 }
@@ -90,6 +104,9 @@ struct Args {
     poll_ms: u64,
     stall_polls: usize,
     max_attempts: usize,
+    cycles: usize,
+    chaos_seed: u64,
+    chaos_rate: u64,
 }
 
 impl Args {
@@ -135,6 +152,9 @@ fn parse_args() -> Args {
         poll_ms: 25,
         stall_polls: 0,
         max_attempts: 5,
+        cycles: 3,
+        chaos_seed: 0xC4A05,
+        chaos_rate: 25,
     };
     let mut it = std::env::args().skip(1);
     if let Some(cmd) = it.next() {
@@ -200,6 +220,25 @@ fn parse_args() -> Args {
                 args.max_attempts = next_val("--max-attempts")
                     .parse()
                     .unwrap_or_else(|_| die("--max-attempts needs a number"));
+            }
+            "--cycles" => {
+                args.cycles = next_val("--cycles")
+                    .parse()
+                    .unwrap_or_else(|_| die("--cycles needs a number"));
+            }
+            "--chaos-seed" => {
+                // Seeds are conventionally quoted in hex (0xC4A05 in the
+                // docs and CI), so accept both spellings.
+                let v = next_val("--chaos-seed");
+                args.chaos_seed = v
+                    .strip_prefix("0x")
+                    .map_or_else(|| v.parse(), |hex| u64::from_str_radix(hex, 16))
+                    .unwrap_or_else(|_| die("--chaos-seed needs a number (decimal or 0x-hex)"));
+            }
+            "--chaos-rate" => {
+                args.chaos_rate = next_val("--chaos-rate")
+                    .parse()
+                    .unwrap_or_else(|_| die("--chaos-rate needs a percentage 0-100"));
             }
             other if !other.starts_with("--") => args.targets.push(other.to_string()),
             other => die(&format!("unknown flag `{other}`")),
@@ -525,6 +564,7 @@ fn dispatch_cmd(args: &Args) {
         stall_polls: args.stall_polls,
         max_attempts: args.max_attempts,
         worker_strikes: 3,
+        retry: RetryPolicy::default(),
     };
     let outcome = dispatch(&sweep, shards, &mut workers, &opts)
         .unwrap_or_else(|e| die(&format!("dispatch of `{}` failed: {e}", sweep.name)));
@@ -573,6 +613,151 @@ fn dispatch_cmd(args: &Args) {
         PathBuf::from(format!("target/sirtm/{}.dispatch-report.json", sweep.name))
     });
     report
+        .write_json(&report_path)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", report_path.display())));
+    println!("report  : {}", report_path.display());
+}
+
+/// `chaos-soak NAME --local N --checkpoint DIR [--cycles C]
+/// [--chaos-seed S] [--chaos-rate PCT]`: the durability drill. Runs
+/// `--cycles` dispatch cycles of the same sweep under seeded fault
+/// injection (spawn refusals, mid-shard kills, frozen heartbeats,
+/// fetch errors, artefact corruption, checkpoint mutation at salvage
+/// handoff), damages a surviving checkpoint journal between cycles
+/// (alternating interior corruption and a torn tail, plus a stale
+/// `.tmp`), and dies on the first cycle whose merged artefact is not
+/// byte-identical to the clean single-process sweep. Injected-fault
+/// counts land in the dispatch report's `injected_faults` object.
+fn chaos_soak(args: &Args) {
+    let sweep = resolve_sweep(args);
+    if args.local == 0 {
+        die("chaos-soak needs --local N (subprocess workers to torment)");
+    }
+    let work_dir = args
+        .checkpoint
+        .clone()
+        .unwrap_or_else(|| die("chaos-soak needs --checkpoint DIR (the shared work directory)"));
+    let bin = std::env::current_exe()
+        .unwrap_or_else(|e| die(&format!("cannot locate the scenarios binary: {e}")));
+    let shards = if args.shards > 0 {
+        args.shards
+    } else {
+        args.local
+    };
+    let cycles = args.cycles.max(1);
+    let reference = run_sweep(&sweep, SweepOptions { threads: 1 })
+        .to_json()
+        .render_pretty();
+    let ledger = ChaosLedger::new();
+    let mut faulty = FaultyFs::new(args.chaos_seed ^ 0xF5);
+    // LocalProcess journals under DIR/ckpt/<fingerprint>/ — damage must
+    // land on the journals the workers actually resume from.
+    let journal_dir = work_dir.join("ckpt").join(fingerprint(&sweep));
+    let plans = ShardPlan::all(shards, sweep.run_count());
+    let started = Instant::now();
+    let mut last = None;
+    for cycle in 0..cycles {
+        if cycle > 0 {
+            // The previous cycle's journals survive in the work dir, so
+            // the next cycle resumes from them — damage one first, so
+            // resume crosses the quarantine/torn-tail recovery paths on
+            // top of the transport chaos.
+            let target = checkpoint_file(&journal_dir, plans[cycle % plans.len()]);
+            if target.exists() {
+                let damage = if cycle % 2 == 1 {
+                    match faulty.corrupt_interior(&target) {
+                        Ok(Some(line)) => format!("corrupted journal line {line}"),
+                        Ok(None) => "no interior row to corrupt".to_string(),
+                        Err(e) => die(&format!("cannot damage {}: {e}", target.display())),
+                    }
+                } else {
+                    match faulty.tear_tail(&target) {
+                        Ok(n) => format!("tore {n} byte(s) off the tail"),
+                        Err(e) => die(&format!("cannot damage {}: {e}", target.display())),
+                    }
+                };
+                let _ = faulty.drop_stale_tmp(&target);
+                println!(
+                    "cycle {cycle}: {} — {damage}",
+                    target.file_name().unwrap_or_default().to_string_lossy()
+                );
+            }
+        }
+        let cycle_seed = args.chaos_seed.wrapping_add(cycle as u64);
+        let cfg = ChaosConfig {
+            seed: cycle_seed,
+            fault_pct: args.chaos_rate,
+            handoff_pct: 50,
+            enable_freeze: true,
+        };
+        let mut workers: Vec<Box<dyn ShardTransport>> = (0..args.local)
+            .map(|i| {
+                Box::new(ChaosTransport::new(
+                    LocalProcess::new(&format!("local-{i}"), &bin, &work_dir, args.threads),
+                    cfg,
+                    ledger.clone(),
+                )) as Box<dyn ShardTransport>
+            })
+            .collect();
+        let opts = DispatchOptions {
+            poll_interval: Duration::from_millis(args.poll_ms),
+            // Freezes are in the draw, so stall detection must be on;
+            // attempts and strikes get headroom because chaos burns
+            // both on purpose. The default stall window is time-based
+            // (~4s regardless of poll rate): heartbeats only advance
+            // per completed run, so the window must comfortably exceed
+            // the slowest single run or healthy workers read as hung.
+            stall_polls: if args.stall_polls == 0 {
+                (4000 / args.poll_ms.max(1) as usize).max(50)
+            } else {
+                args.stall_polls
+            },
+            max_attempts: args.max_attempts.max(25),
+            worker_strikes: 1000,
+            retry: RetryPolicy::persistent(cycle_seed),
+        };
+        let outcome = dispatch(&sweep, shards, &mut workers, &opts)
+            .unwrap_or_else(|e| die(&format!("chaos-soak cycle {cycle} failed: {e}")));
+        if outcome.result.to_json().render_pretty() != reference {
+            die(&format!(
+                "chaos-soak cycle {cycle}: merged artefact diverged from the clean \
+                 single-process sweep"
+            ));
+        }
+        println!(
+            "cycle {cycle}: byte-identical ({} reassignment(s), {} injected fault(s) so far)",
+            outcome.report.reassignments(),
+            ledger.total(),
+        );
+        last = Some(outcome);
+    }
+    let mut outcome = last.expect("at least one cycle ran");
+    outcome.report.injected = ledger.counts();
+    println!(
+        "chaos-soak `{}`: {cycles} cycle(s), {} injected fault(s), every merge byte-identical \
+         in {:.1?}",
+        sweep.name,
+        ledger.total(),
+        started.elapsed(),
+    );
+    for (kind, count) in ledger.counts() {
+        println!("  {kind:<24} {count}");
+    }
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(format!("target/sirtm/{}.json", sweep.name)));
+    outcome
+        .result
+        .write_json(&out)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", out.display())));
+    println!("artefact: {}", out.display());
+    let report_path = args
+        .report
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(format!("target/sirtm/{}.chaos-report.json", sweep.name)));
+    outcome
+        .report
         .write_json(&report_path)
         .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", report_path.display())));
     println!("report  : {}", report_path.display());
@@ -655,6 +840,63 @@ fn bench_dispatch(args: &Args) {
             RUNS as f64 / secs,
         ));
     }
+    // Chaos overhead: the same dispatch to 2 workers with the seeded
+    // fault storm on (the `chaos-soak` configuration), so the cost of
+    // riding out injected faults sits in the checked-in record next to
+    // the clean dispatch numbers.
+    const CHAOS_SEED: u64 = 0xC4A05;
+    const CHAOS_RATE: u64 = 20;
+    let chaos_faults = {
+        let dir =
+            std::env::temp_dir().join(format!("sirtm_bench_dispatch_chaos_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ledger = ChaosLedger::new();
+        let cfg = ChaosConfig {
+            seed: CHAOS_SEED,
+            fault_pct: CHAOS_RATE,
+            handoff_pct: 50,
+            enable_freeze: true,
+        };
+        let mut workers: Vec<Box<dyn ShardTransport>> = (0..2)
+            .map(|i| {
+                Box::new(ChaosTransport::new(
+                    LocalProcess::new(&format!("local-{i}"), &bin, &dir, 1),
+                    cfg,
+                    ledger.clone(),
+                )) as Box<dyn ShardTransport>
+            })
+            .collect();
+        let dopts = DispatchOptions {
+            poll_interval: Duration::from_millis(1),
+            stall_polls: 200,
+            max_attempts: 25,
+            worker_strikes: 1000,
+            retry: RetryPolicy::persistent(CHAOS_SEED),
+        };
+        let started = Instant::now();
+        let outcome = dispatch(&sweep, SHARDS, &mut workers, &dopts)
+            .unwrap_or_else(|e| die(&format!("bench chaos dispatch failed: {e}")));
+        let secs = started.elapsed().as_secs_f64();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(
+            outcome.result.to_json().render_pretty(),
+            reference,
+            "bench artefacts must stay byte-identical under chaos"
+        );
+        eprintln!(
+            "  dispatch --local 2 under chaos: {RUNS} runs as {SHARDS} shards in {secs:.2}s \
+             ({:.1} runs/sec, {} injected fault(s))",
+            RUNS as f64 / secs,
+            ledger.total(),
+        );
+        configs.push((
+            "dispatch-local-2-chaos".to_string(),
+            2,
+            SHARDS,
+            RUNS as f64 / secs,
+        ));
+        ledger.total()
+    };
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -666,14 +908,19 @@ fn bench_dispatch(args: &Args) {
                 "Dispatcher scale-out: {RUNS} runs of the light-4x4 preset once through the \
                  in-process orchestrator (1 thread) and then dispatched as {SHARDS} checkpointed \
                  shards to 1 and 2 LocalProcess workers (1 thread each). Dispatch cost covers \
-                 subprocess spawns, per-run JSONL checkpoint appends, polling and the final \
+                 subprocess spawns, per-run framed journal appends (seq + CRC + JSON row), polling and the final \
                  merge; artefacts are asserted byte-identical to the in-process run before \
-                 reporting. Worker scaling is bounded by the recording machine's available \
-                 parallelism."
+                 reporting. The chaos row repeats the 2-worker dispatch under the seeded \
+                 fault storm ({CHAOS_RATE}% per-attempt fault rate, seed {CHAOS_SEED:#x}) — \
+                 its slowdown is the price of riding out injected faults. Worker scaling is \
+                 bounded by the recording machine's available parallelism."
             )),
         ),
         ("unit", Json::Str("runs/sec".into())),
         ("machine_cores", Json::Num(cores as f64)),
+        ("chaos_seed", Json::Num(CHAOS_SEED as f64)),
+        ("chaos_fault_pct", Json::Num(CHAOS_RATE as f64)),
+        ("chaos_faults_injected", Json::Num(chaos_faults as f64)),
         (
             "configs",
             Json::Arr(
@@ -837,7 +1084,7 @@ fn bench_shard(args: &Args) {
                 "Sharded sweep overhead: {RUNS} runs of the light-4x4 preset once through the \
                  in-process orchestrator and once as 2 checkpointed shards plus a merge, both \
                  single-threaded. Overhead covers sweep re-expansion per shard, the per-run \
-                 JSONL checkpoint appends and the merge's re-aggregation; the artefacts are \
+                 framed journal appends and the merge's re-aggregation; the artefacts are \
                  asserted byte-identical before reporting."
             )),
         ),
@@ -887,6 +1134,7 @@ fn main() {
         "shard-plan" => shard_plan(&args),
         "merge" => merge(&args),
         "dispatch" => dispatch_cmd(&args),
+        "chaos-soak" => chaos_soak(&args),
         "check" => check(&args),
         "bench" => bench(&args),
         "bench-shard" => bench_shard(&args),

@@ -39,8 +39,11 @@ use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
+use crate::chaos::RetryPolicy;
 use crate::json::{parse, Json};
-use crate::shard::{checkpoint_file, fingerprint, merge_shards, run_shard, ShardPlan, ShardResult};
+use crate::shard::{
+    checkpoint_file, fingerprint, merge_shards, run_shard, sanitize_journal, ShardPlan, ShardResult,
+};
 use crate::sweep::{SweepOptions, SweepResult, SweepSpec};
 
 /// One unit of dispatchable work: everything a worker needs to execute
@@ -891,6 +894,11 @@ pub struct DispatchOptions {
     /// further shards; if every worker retires with work outstanding,
     /// the dispatch fails.
     pub worker_strikes: usize,
+    /// Per-op retry/backoff for transport spawn and fetch calls within
+    /// one attempt. The default is a single try (no in-attempt
+    /// retries); [`RetryPolicy::persistent`] rides out transient
+    /// faults with deterministic backoff.
+    pub retry: RetryPolicy,
 }
 
 impl Default for DispatchOptions {
@@ -900,6 +908,7 @@ impl Default for DispatchOptions {
             stall_polls: 0,
             max_attempts: 5,
             worker_strikes: 3,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -962,6 +971,11 @@ pub struct DispatchReport {
     pub workers: Vec<WorkerReport>,
     /// Per-shard attempt histories.
     pub shards: Vec<ShardAttempts>,
+    /// Injected-fault counts (fault class → firings) when the dispatch
+    /// ran under a [`crate::chaos::ChaosTransport`] harness; empty for
+    /// a plain dispatch. Filled by the harness driver from its
+    /// [`crate::chaos::ChaosLedger`] after the dispatch returns.
+    pub injected: Vec<(String, usize)>,
 }
 
 impl DispatchReport {
@@ -973,10 +987,12 @@ impl DispatchReport {
             .sum()
     }
 
-    /// The report artefact JSON (`kind: sirtm-dispatch-report`).
+    /// The report artefact JSON (`kind: sirtm-dispatch-report`). An
+    /// `injected_faults` object (fault class → count) appears when a
+    /// chaos harness drove the dispatch.
     pub fn to_json(&self) -> Json {
         let ms = |d: Duration| Json::Num((d.as_secs_f64() * 1e3 * 10.0).round() / 10.0);
-        Json::obj(vec![
+        let mut fields = vec![
             ("kind", Json::Str("sirtm-dispatch-report".into())),
             ("sweep", Json::Str(self.sweep_name.clone())),
             ("fingerprint", Json::Str(self.fingerprint.clone())),
@@ -1030,19 +1046,29 @@ impl DispatchReport {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if !self.injected.is_empty() {
+            fields.push((
+                "injected_faults",
+                Json::Obj(
+                    self.injected
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::obj(fields)
     }
 
-    /// Writes the report artefact.
+    /// Writes the report artefact atomically (temp-then-rename via
+    /// [`crate::shard::atomic_write`]).
     ///
     /// # Errors
     ///
     /// Returns any I/O error.
     pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        std::fs::write(path, self.to_json().render_pretty())
+        crate::shard::atomic_write(path, &self.to_json().render_pretty())
     }
 }
 
@@ -1090,11 +1116,17 @@ impl Ledger {
     ) -> Result<(), String> {
         let shard = job.plan.shard;
         if let Some(journal) = worker.fetch_checkpoint(job) {
-            let ahead = self.salvaged[shard]
-                .as_ref()
-                .is_none_or(|old| journal_rows(&journal) > journal_rows(old));
-            if ahead {
-                self.salvaged[shard] = Some(journal);
+            // Never cache bytes we can't verify: trim the salvage to
+            // its trusted prefix (header + CRC/sequence-verified rows)
+            // so a journal corrupted in flight can't poison every
+            // later attempt with the same quarantine-and-fail.
+            if let Some(journal) = sanitize_journal(&journal, &job.fingerprint, job.plan) {
+                let ahead = self.salvaged[shard]
+                    .as_ref()
+                    .is_none_or(|old| journal_rows(&journal) > journal_rows(old));
+                if ahead {
+                    self.salvaged[shard] = Some(journal);
+                }
             }
         }
         self.shards[shard].attempts.push(AttemptReport {
@@ -1253,8 +1285,60 @@ pub fn dispatch(
             elapsed: started.elapsed(),
             workers: ledger.workers,
             shards: ledger.shards,
+            injected: Vec::new(),
         },
     })
+}
+
+/// Calls `spawn` under the per-op retry budget of `retry`, with
+/// deterministic backoff between tries.
+fn spawn_with_retry(
+    worker: &mut dyn ShardTransport,
+    job: &ShardJob,
+    retry: &RetryPolicy,
+) -> Result<(), String> {
+    let tries = retry.spawn_tries.max(1);
+    let mut last = String::new();
+    for t in 0..tries {
+        let wait = retry.delay("spawn", worker.label(), t);
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
+        }
+        match worker.spawn(job) {
+            Ok(()) => return Ok(()),
+            Err(e) => last = e,
+        }
+    }
+    if tries > 1 {
+        Err(format!("{last} (after {tries} tries)"))
+    } else {
+        Err(last)
+    }
+}
+
+/// Calls `fetch` under the per-op retry budget of `retry`.
+fn fetch_with_retry(
+    worker: &mut dyn ShardTransport,
+    job: &ShardJob,
+    retry: &RetryPolicy,
+) -> Result<ShardResult, String> {
+    let tries = retry.fetch_tries.max(1);
+    let mut last = String::new();
+    for t in 0..tries {
+        let wait = retry.delay("fetch", worker.label(), t);
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
+        }
+        match worker.fetch(job) {
+            Ok(result) => return Ok(result),
+            Err(e) => last = e,
+        }
+    }
+    if tries > 1 {
+        Err(format!("{last} (after {tries} tries)"))
+    } else {
+        Err(last)
+    }
 }
 
 /// The assignment/poll loop of [`dispatch`], separated so the caller
@@ -1282,7 +1366,7 @@ fn dispatch_loop(
                 // Best-effort: a failed staging just recomputes runs.
                 let _ = worker.seed_checkpoint(job, &journal);
             }
-            match worker.spawn(job) {
+            match spawn_with_retry(worker.as_mut(), job, &opts.retry) {
                 Ok(()) => {
                     busy[w] = Some(Busy {
                         shard,
@@ -1359,7 +1443,7 @@ fn dispatch_loop(
                 PollStatus::Exited { success: true, .. } => {
                     let elapsed = state.started.elapsed();
                     busy[w] = None;
-                    match worker.fetch(job) {
+                    match fetch_with_retry(worker.as_mut(), job, &opts.retry) {
                         Ok(result)
                             if result.fingerprint == job.fingerprint && result.plan == job.plan =>
                         {

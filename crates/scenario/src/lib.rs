@@ -20,6 +20,7 @@
 //! | Matrix expansion & orchestration | [`sweep`] |
 //! | Sharding, checkpoint/resume, merge | [`shard`] |
 //! | Multi-host shard dispatch (transports, work stealing) | [`mod@dispatch`] |
+//! | Chaos harness (fault injection, retry policy) | [`chaos`] |
 //! | Named preset library | [`presets`] |
 //! | Windowed recording | [`recorder`] |
 //! | Settling/recovery detection | [`detect`] |
@@ -127,6 +128,7 @@
 //! std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+pub mod chaos;
 pub mod colony_bridge;
 pub mod detect;
 pub mod dispatch;
@@ -140,6 +142,9 @@ pub mod stats;
 pub mod sweep;
 pub mod timeline;
 
+pub use chaos::{
+    ChaosConfig, ChaosLedger, ChaosTransport, Fault, FaultyFs, HandoffFault, RetryPolicy,
+};
 pub use dispatch::{
     dispatch, parse_host_manifest, DispatchOptions, DispatchOutcome, DispatchReport, LocalProcess,
     Mock, MockBehaviour, PollStatus, ShardJob, ShardTransport, Ssh, SshHost,

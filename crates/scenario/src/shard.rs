@@ -5,10 +5,15 @@
 //! self-describing contiguous slices — a pure function of the run count
 //! and the shard count, independent of worker threads — so any host can
 //! compute its own slice from nothing but the sweep descriptor. Each
-//! shard writes an append-only JSONL *checkpoint* while it runs (one
-//! line per completed run, measures encoded as exact `f64` bit
+//! shard writes an append-only *checkpoint* journal while it runs (one
+//! line per completed run — a monotonic sequence number, a CRC-32 of
+//! the row, then the row JSON with measures encoded as exact `f64` bit
 //! patterns) and a *shard artefact* when it finishes; an interrupted
-//! shard resumes from its checkpoint instead of restarting.
+//! shard resumes from its checkpoint instead of restarting. A torn
+//! tail line (a process killed mid-append) is benign and recomputed;
+//! corruption anywhere *else* in the journal is detected by the CRC
+//! and sequence checks, and the journal is quarantined rather than
+//! silently trusted ([`load_checkpoint`]).
 //! [`merge_shards`] recombines a complete shard set through the same
 //! aggregation fold the single-process orchestrator uses, so the merged
 //! artefact is **byte-identical** to an unsharded run
@@ -21,7 +26,7 @@
 //! merged. See `docs/sharding.md` for the formats and the protocol.
 
 use std::collections::BTreeMap;
-use std::io::Write as _;
+use std::io::{Seek as _, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -288,16 +293,13 @@ impl ShardResult {
         Self::from_json_text(&text).map_err(|e| format!("{}: {e}", path.display()))
     }
 
-    /// Writes the shard artefact.
+    /// Writes the shard artefact atomically (see [`atomic_write`]).
     ///
     /// # Errors
     ///
     /// Returns any I/O error.
     pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        std::fs::write(path, self.to_json().render_pretty())
+        atomic_write(path, &self.to_json().render_pretty())
     }
 
     /// The conventional artefact file name: `NAME.shard-K-of-N.json`
@@ -311,42 +313,195 @@ impl ShardResult {
     }
 }
 
+/// Writes `contents` to `path` atomically: stage into a `.tmp` sibling
+/// on the same filesystem, then rename over the target. A crash
+/// mid-write leaves at worst a stale `.tmp` file — a reader of `path`
+/// sees the old bytes or the new bytes, never a torn artefact. Parent
+/// directories are created as needed. detlint rule R2 points bare
+/// `std::fs::write` call sites on artefact paths here.
+///
+/// # Errors
+///
+/// Returns any I/O error from staging or renaming.
+pub fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("cannot write {}: path has no file name", path.display()),
+        )
+    })?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320 polynomial) of `bytes` —
+/// the per-row integrity check in the checkpoint journal. Bitwise, no
+/// lookup table: journal rows are a couple of hundred bytes, so table
+/// throughput is irrelevant and the whole checksum stays auditable in
+/// eight lines.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
 /// The conventional checkpoint file name inside a checkpoint directory:
 /// `shard-K-of-N.ckpt` (1-based K).
 pub fn checkpoint_file(dir: &Path, plan: ShardPlan) -> PathBuf {
     dir.join(format!("shard-{}-of-{}.ckpt", plan.shard + 1, plan.shards))
 }
 
-/// Loads a shard checkpoint: a JSONL journal whose first line is a
-/// header (`kind`, `fingerprint`, shard coordinates) and whose
-/// remaining lines are completed run rows. A missing file is an empty
-/// checkpoint. Unparseable lines are skipped — a process killed
-/// mid-append leaves a torn tail line, and the run it described is
-/// simply recomputed on resume.
+/// Where [`load_checkpoint`] moves a journal it refuses to trust:
+/// `<journal>.quarantined`, next to the original so the evidence
+/// survives for inspection while the shard recomputes from scratch.
+pub fn quarantine_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(std::ffi::OsStr::to_os_string)
+        .unwrap_or_default();
+    name.push(".quarantined");
+    path.with_file_name(name)
+}
+
+/// Renders one checkpoint journal row: `SEQ CRC8HEX JSON` — the
+/// monotonic sequence number, the CRC-32 of the JSON text in fixed
+/// 8-digit hex, then the row itself.
+fn checkpoint_row(seq: u64, index: usize, summary: &RunSummary) -> String {
+    let json = summary_to_json(index, summary).render();
+    format!("{seq} {:08x} {json}", crc32(json.as_bytes()))
+}
+
+/// Parses and verifies one journal row line. The error string says
+/// *why* the line is untrustworthy; the caller decides whether that is
+/// a benign torn tail or quarantinable interior corruption.
+fn parse_checkpoint_row(line: &str) -> Result<(u64, usize, RunSummary), String> {
+    let (seq_tok, rest) = line
+        .split_once(' ')
+        .ok_or("missing sequence number field")?;
+    let (crc_tok, json) = rest.split_once(' ').ok_or("missing checksum field")?;
+    let seq: u64 = seq_tok
+        .parse()
+        .map_err(|_| format!("bad sequence number {seq_tok:?}"))?;
+    if seq == 0 {
+        return Err("sequence numbers start at 1".to_string());
+    }
+    if crc_tok.len() != 8 {
+        return Err(format!("bad checksum field {crc_tok:?}"));
+    }
+    let crc = u32::from_str_radix(crc_tok, 16).map_err(|_| format!("bad checksum {crc_tok:?}"))?;
+    let actual = crc32(json.as_bytes());
+    if actual != crc {
+        return Err(format!(
+            "checksum mismatch (row claims {crc_tok}, content hashes to {actual:08x})"
+        ));
+    }
+    let row = parse(json).map_err(|e| format!("bad row JSON: {e}"))?;
+    let (index, summary) = summary_from_json(&row)?;
+    Ok((seq, index, summary))
+}
+
+/// What [`load_checkpoint`] recovered from a journal.
+#[derive(Debug)]
+pub struct LoadedCheckpoint {
+    /// Completed run rows, keyed by run index.
+    pub completed: BTreeMap<usize, RunSummary>,
+    /// The sequence number the next appended row must carry.
+    pub next_seq: u64,
+    /// Byte length of the trusted prefix of the journal — the header
+    /// plus every verified row line, including trailing newlines. Zero
+    /// means "no trustworthy content, start the journal over". The
+    /// resume writer truncates the file back to this length before
+    /// appending, so a torn tail never glues onto the next row.
+    pub valid_len: u64,
+}
+
+impl LoadedCheckpoint {
+    /// An empty checkpoint: nothing completed, journal starts over.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            completed: BTreeMap::new(),
+            next_seq: 1,
+            valid_len: 0,
+        }
+    }
+}
+
+/// Quarantines a corrupt journal (rename to [`quarantine_path`]) and
+/// produces the load error naming the offending 1-based file line.
+fn quarantine(path: &Path, file_line: usize, reason: &str) -> String {
+    let dest = quarantine_path(path);
+    let moved = std::fs::rename(path, &dest).is_ok();
+    format!(
+        "{}: checkpoint journal line {file_line} is corrupt: {reason}{} — \
+         the shard will recompute from scratch rather than resume from a damaged journal",
+        path.display(),
+        if moved {
+            format!(" (journal quarantined to {})", dest.display())
+        } else {
+            String::new()
+        }
+    )
+}
+
+/// Loads a shard checkpoint: a line-oriented journal whose first line
+/// is a JSON header (`kind`, `fingerprint`, shard coordinates) and
+/// whose remaining lines are completed run rows in `SEQ CRC JSON`
+/// form. A missing file is an empty checkpoint.
+///
+/// Damage is classified by *where* it sits. Exactly one torn or
+/// unverifiable **tail** line is the benign signature of a process
+/// killed mid-append: the line is dropped and its run recomputed.
+/// Anything wrong **before** the tail — a failed CRC, garbage, an
+/// out-of-sequence or repeated-index row — means the journal was
+/// edited, spliced, or corrupted at rest; the file is renamed to
+/// [`quarantine_path`] and an error names the offending line, because
+/// resuming from it could silently drop completed work. An exact
+/// byte-for-byte repeat of the immediately preceding row is tolerated
+/// (the harmless signature of a duplicated append at handoff).
 ///
 /// # Errors
 ///
-/// Returns an error if the header exists but names a different sweep
-/// fingerprint or shard coordinates (resuming against an edited spec).
+/// Returns an error if the header names a different sweep fingerprint
+/// or shard coordinates (resuming against an edited spec), or on
+/// interior corruption as above (after quarantining the journal).
 pub fn load_checkpoint(
     path: &Path,
     fingerprint: &str,
     plan: ShardPlan,
-) -> Result<BTreeMap<usize, RunSummary>, String> {
+) -> Result<LoadedCheckpoint, String> {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(LoadedCheckpoint::empty()),
         Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
     };
-    let mut lines = text.lines();
-    let header = match lines.next() {
-        None => return Ok(BTreeMap::new()),
-        // A torn header (killed mid-first-write) means no run completed:
-        // treat as empty; the writer truncates and starts over.
-        Some(line) => match parse(line) {
-            Ok(header) => header,
-            Err(_) => return Ok(BTreeMap::new()),
-        },
+    let mut segments = text.split_inclusive('\n');
+    // A torn header (killed mid-first-write: no trailing newline, or
+    // unparseable JSON) means no run completed: treat as empty; the
+    // writer truncates and starts over.
+    let Some(header_seg) = segments.next() else {
+        return Ok(LoadedCheckpoint::empty());
+    };
+    if !header_seg.ends_with('\n') {
+        return Ok(LoadedCheckpoint::empty());
+    }
+    let Ok(header) = parse(header_seg.trim_end_matches('\n')) else {
+        return Ok(LoadedCheckpoint::empty());
     };
     if header.get("kind").and_then(Json::as_str) != Some("sirtm-shard-checkpoint") {
         return Err(format!("{}: not a shard checkpoint", path.display()));
@@ -369,19 +524,122 @@ pub fn load_checkpoint(
             plan.shards
         ));
     }
-    let mut completed = BTreeMap::new();
-    for line in lines {
-        // Torn tail lines (interrupted append) parse as garbage and are
-        // dropped; their runs rerun.
-        if let Ok(row) = parse(line) {
-            if let Ok((index, summary)) = summary_from_json(&row) {
-                if plan.range().contains(&index) {
-                    completed.insert(index, summary);
-                }
-            }
+    let mut loaded = LoadedCheckpoint {
+        completed: BTreeMap::new(),
+        next_seq: 1,
+        valid_len: header_seg.len() as u64,
+    };
+    let segs: Vec<&str> = segments.collect();
+    let mut prev: Option<(u64, &str)> = None;
+    for (k, seg) in segs.iter().enumerate() {
+        // Header is file line 1, first row is file line 2.
+        let file_line = k + 2;
+        let last = k + 1 == segs.len();
+        let line = seg.strip_suffix('\n');
+        let verdict = match line {
+            // No trailing newline: the append never finished.
+            None => Err("line is torn (no trailing newline)".to_string()),
+            Some(line) => parse_checkpoint_row(line),
+        };
+        let (seq, index, summary) = match verdict {
+            Ok(row) => row,
+            // A single unverifiable TAIL line is the benign signature
+            // of a kill mid-append: drop it, the run recomputes. The
+            // trusted prefix excludes it, so resume truncates it away.
+            Err(_) if last => break,
+            Err(reason) => return Err(quarantine(path, file_line, &reason)),
+        };
+        let line = line.expect("verified rows have a trailing newline");
+        // An exact repeat of the previous row is a benign duplicated
+        // append (a salvage handoff replay): keep it in the trusted
+        // prefix, count it once.
+        if prev == Some((seq, line)) {
+            loaded.valid_len += seg.len() as u64;
+            continue;
         }
+        if seq != loaded.next_seq {
+            return Err(quarantine(
+                path,
+                file_line,
+                &format!(
+                    "row sequence number {seq} where {} was expected \
+                     (reordered or spliced journal)",
+                    loaded.next_seq
+                ),
+            ));
+        }
+        if !plan.range().contains(&index) {
+            return Err(quarantine(
+                path,
+                file_line,
+                &format!("run index {index} outside shard range {:?}", plan.range()),
+            ));
+        }
+        if loaded.completed.contains_key(&index) {
+            return Err(quarantine(
+                path,
+                file_line,
+                &format!("run {index} journalled twice with distinct rows"),
+            ));
+        }
+        loaded.completed.insert(index, summary);
+        loaded.next_seq = seq + 1;
+        loaded.valid_len += seg.len() as u64;
+        prev = Some((seq, line));
     }
-    Ok(completed)
+    Ok(loaded)
+}
+
+/// The trusted prefix of a checkpoint journal *text*: the header plus
+/// every CRC- and sequence-verified row, stopping at the first line
+/// that fails verification. `None` when even the header is
+/// untrustworthy or names a different sweep/shard. The dispatcher runs
+/// every salvaged journal through this before caching or staging it,
+/// so a journal corrupted in flight (or truncated/duplicated at
+/// handoff) can never poison later attempts — the worker-side
+/// quarantine in [`load_checkpoint`] stays the last line of defence
+/// for corruption at rest.
+#[must_use]
+pub fn sanitize_journal(text: &str, fingerprint: &str, plan: ShardPlan) -> Option<String> {
+    let mut segments = text.split_inclusive('\n');
+    let header_seg = segments.next()?;
+    if !header_seg.ends_with('\n') {
+        return None;
+    }
+    let header = parse(header_seg.trim_end_matches('\n')).ok()?;
+    if header.get("kind").and_then(Json::as_str) != Some("sirtm-shard-checkpoint")
+        || header.get("fingerprint").and_then(Json::as_str) != Some(fingerprint)
+    {
+        return None;
+    }
+    let coord = |key: &str| header.get(key).and_then(Json::as_num).map(|n| n as usize);
+    if coord("shard") != Some(plan.shard) || coord("shards") != Some(plan.shards) {
+        return None;
+    }
+    let mut out = String::from(header_seg);
+    let mut next_seq = 1u64;
+    let mut seen = std::collections::BTreeSet::new();
+    let mut prev: Option<(u64, &str)> = None;
+    for seg in segments {
+        let Some(line) = seg.strip_suffix('\n') else {
+            break;
+        };
+        let Ok((seq, index, _)) = parse_checkpoint_row(line) else {
+            break;
+        };
+        if prev == Some((seq, line)) {
+            // A benign exact duplicate: drop it from the sanitized
+            // copy rather than forwarding it.
+            continue;
+        }
+        if seq != next_seq || !plan.range().contains(&index) || !seen.insert(index) {
+            break;
+        }
+        next_seq += 1;
+        out.push_str(seg);
+        prev = Some((seq, line));
+    }
+    Some(out)
 }
 
 fn checkpoint_header(fingerprint: &str, plan: ShardPlan) -> Json {
@@ -439,14 +697,14 @@ pub fn run_shard(
     );
     let plans = sweep.expand();
     let print = fingerprint(sweep);
-    let mut completed = match checkpoint_dir {
+    let loaded = match checkpoint_dir {
         Some(dir) => {
             let path = checkpoint_file(dir, plan);
-            let completed = load_checkpoint(&path, &print, plan)?;
+            let loaded = load_checkpoint(&path, &print, plan)?;
             // Integrity: a checkpoint row must describe the run the plan
             // derives (the fingerprint already pins the spec; this pins
             // the row itself).
-            for (&index, summary) in &completed {
+            for (&index, summary) in &loaded.completed {
                 if summary.seed != plans[index].seed {
                     return Err(format!(
                         "{}: run {index} seed {} disagrees with the plan's {}",
@@ -456,10 +714,11 @@ pub fn run_shard(
                     ));
                 }
             }
-            completed
+            loaded
         }
-        None => BTreeMap::new(),
+        None => LoadedCheckpoint::empty(),
     };
+    let mut completed = loaded.completed;
     let resumed = completed.len();
     let mut todo: Vec<usize> = plan
         .range()
@@ -474,16 +733,16 @@ pub fn run_shard(
             std::fs::create_dir_all(dir)
                 .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
             let path = checkpoint_file(dir, plan);
-            // No recovered rows means no trustworthy journal content —
-            // the file is absent, empty, or a torn header — so start it
-            // over; otherwise a valid header is already on line 1 (rows
-            // are only recovered after the header checks pass).
-            let fresh = completed.is_empty();
+            // A zero trusted prefix means no trustworthy journal content
+            // — the file is absent, empty, or a torn header — so start
+            // it over; otherwise a valid header is already on line 1
+            // (rows are only recovered after the header checks pass).
+            let fresh = loaded.valid_len == 0;
             let mut open = std::fs::OpenOptions::new();
             if fresh {
                 open.create(true).write(true).truncate(true);
             } else {
-                open.create(true).append(true);
+                open.create(true).write(true);
             }
             let mut file = open
                 .open(&path)
@@ -491,8 +750,16 @@ pub fn run_shard(
             if fresh {
                 writeln!(file, "{}", checkpoint_header(&print, plan).render())
                     .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            } else {
+                // Truncate any torn tail back to the trusted prefix
+                // before appending, so a half-written line never glues
+                // onto the next row.
+                file.set_len(loaded.valid_len)
+                    .map_err(|e| format!("cannot truncate {}: {e}", path.display()))?;
+                file.seek(std::io::SeekFrom::End(0))
+                    .map_err(|e| format!("cannot seek {}: {e}", path.display()))?;
             }
-            Some(Mutex::new(file))
+            Some(Mutex::new((file, loaded.next_seq)))
         }
         _ => None,
     };
@@ -502,8 +769,10 @@ pub fn run_shard(
         if let Some(journal) = &journal {
             // One line per completed run, flushed immediately: the
             // checkpoint is never more than one torn line behind.
-            let line = summary_to_json(index, &summary).render();
-            let mut file = journal.lock().expect("checkpoint journal poisoned");
+            let mut guard = journal.lock().expect("checkpoint journal poisoned");
+            let (file, next_seq) = &mut *guard;
+            let line = checkpoint_row(*next_seq, index, &summary);
+            *next_seq += 1;
             writeln!(file, "{line}").expect("checkpoint append failed");
         }
         (index, summary)
@@ -817,5 +1086,216 @@ mod tests {
             err.contains("dup/a.json") && err.contains("more than one shard"),
             "error must name the duplicate: {err}"
         );
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sirtm_shard_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        // The IEEE 802.3 check value — any table/bitwise variant that
+        // disagrees here is not CRC-32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn checkpoint_rows_round_trip_and_reject_damage() {
+        let summary = RunSummary {
+            seed: 42,
+            settle_ms: 1.5,
+            pre_rate: 2.0,
+            recovery_ms: None,
+            final_rate: 3.0,
+        };
+        let row = checkpoint_row(7, 3, &summary);
+        let (seq, index, back) = parse_checkpoint_row(&row).expect("round-trips");
+        assert_eq!((seq, index), (7, 3));
+        assert_eq!(back.seed, summary.seed);
+        // Any single-byte edit breaks the CRC.
+        let mut bytes = row.clone().into_bytes();
+        let at = bytes.len() - 2;
+        bytes[at] ^= 1;
+        let edited = String::from_utf8(bytes).expect("still utf8");
+        assert!(
+            parse_checkpoint_row(&edited).is_err(),
+            "edit must fail the CRC"
+        );
+        assert!(
+            parse_checkpoint_row("1 zzzz {}").is_err(),
+            "malformed CRC token"
+        );
+        assert!(
+            parse_checkpoint_row("{\"index\":0}").is_err(),
+            "pre-CRC format rows are not trusted"
+        );
+    }
+
+    #[test]
+    fn atomic_write_stages_next_to_the_target_and_cleans_up() {
+        let dir = temp_dir("atomic");
+        let path = dir.join("nested").join("artefact.json");
+        atomic_write(&path, "first").expect("writes");
+        assert_eq!(std::fs::read_to_string(&path).expect("reads"), "first");
+        let tmp = path.with_file_name("artefact.json.tmp");
+        assert!(!tmp.exists(), "the staging file is consumed by the rename");
+        // A stale staging file from an interrupted writer is simply
+        // overwritten by the next write — never read, never merged.
+        std::fs::write(&tmp, "stale garbage").expect("writes");
+        atomic_write(&path, "second").expect("writes");
+        assert_eq!(std::fs::read_to_string(&path).expect("reads"), "second");
+        assert!(!tmp.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interior_journal_corruption_quarantines_and_recomputes() {
+        let sweep = small_sweep();
+        let dir = temp_dir("quarantine");
+        let plan = ShardPlan::all(1, sweep.run_count())[0];
+        let opts = SweepOptions { threads: 1 };
+        run_shard(&sweep, plan, Some(&dir), opts, Some(3)).expect("partial runs");
+        let path = checkpoint_file(&dir, plan);
+        let text = std::fs::read_to_string(&path).expect("reads");
+        // Damage one byte of the first row (file line 2) — interior
+        // corruption, not a torn tail, so skipping it would silently
+        // lose a journalled run.
+        let header_len = text
+            .split_inclusive('\n')
+            .next()
+            .expect("has a header")
+            .len();
+        let mut bytes = text.into_bytes();
+        bytes[header_len] = b'#';
+        std::fs::write(&path, bytes).expect("writes");
+        let err = load_checkpoint(&path, &fingerprint(&sweep), plan)
+            .expect_err("interior damage must not load");
+        assert!(
+            err.contains("line 2") && err.contains("quarantined"),
+            "the error names the damaged line and the quarantine: {err}"
+        );
+        assert!(!path.exists(), "the damaged journal is moved aside");
+        assert!(quarantine_path(&path).exists(), "the evidence survives");
+        // The shard recomputes from scratch, byte-identical to a clean
+        // uncheckpointed run.
+        let report = run_shard(&sweep, plan, Some(&dir), opts, None).expect("recomputes");
+        assert_eq!((report.resumed, report.executed), (0, plan.len()));
+        let clean = run_shard(&sweep, plan, None, opts, None)
+            .expect("clean runs")
+            .result
+            .expect("completes");
+        assert_eq!(report.result.expect("completes"), clean);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reordered_journal_rows_are_rejected() {
+        let sweep = small_sweep();
+        let dir = temp_dir("reorder");
+        let plan = ShardPlan::all(1, sweep.run_count())[0];
+        let opts = SweepOptions { threads: 1 };
+        run_shard(&sweep, plan, Some(&dir), opts, Some(3)).expect("partial runs");
+        let path = checkpoint_file(&dir, plan);
+        let text = std::fs::read_to_string(&path).expect("reads");
+        let mut segs: Vec<&str> = text.split_inclusive('\n').collect();
+        assert!(segs.len() >= 4, "header + 3 rows");
+        segs.swap(1, 2);
+        std::fs::write(&path, segs.concat()).expect("writes");
+        let err = load_checkpoint(&path, &fingerprint(&sweep), plan)
+            .expect_err("a spliced journal must not load");
+        assert!(err.contains("reordered"), "unexpected error: {err}");
+        assert!(quarantine_path(&path).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_truncates_the_torn_tail_before_appending() {
+        // The glue hazard: an append-mode resume would write its first
+        // new row onto the torn fragment, turning a benign tear into
+        // interior corruption. The writer must truncate to the trusted
+        // prefix first, so the healed journal re-loads cleanly.
+        let sweep = small_sweep();
+        let dir = temp_dir("tail_heal");
+        let plan = ShardPlan::all(1, sweep.run_count())[0];
+        let opts = SweepOptions { threads: 1 };
+        run_shard(&sweep, plan, Some(&dir), opts, Some(2)).expect("partial runs");
+        let path = checkpoint_file(&dir, plan);
+        let text = std::fs::read_to_string(&path).expect("reads");
+        std::fs::write(&path, &text[..text.len() - 7]).expect("tears");
+        let resumed = run_shard(&sweep, plan, Some(&dir), opts, None).expect("resumes");
+        assert_eq!((resumed.resumed, resumed.executed), (1, plan.len() - 1));
+        let loaded = load_checkpoint(&path, &fingerprint(&sweep), plan)
+            .expect("the healed journal loads cleanly");
+        assert_eq!(loaded.completed.len(), plan.len());
+        assert!(!quarantine_path(&path).exists(), "nothing was quarantined");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicated_journal_rows_are_collapsed_on_load() {
+        let sweep = small_sweep();
+        let dir = temp_dir("dup_row");
+        let plan = ShardPlan::all(1, sweep.run_count())[0];
+        let opts = SweepOptions { threads: 1 };
+        run_shard(&sweep, plan, Some(&dir), opts, Some(2)).expect("partial runs");
+        let path = checkpoint_file(&dir, plan);
+        let text = std::fs::read_to_string(&path).expect("reads");
+        let last = text.lines().last().expect("has rows");
+        std::fs::write(&path, format!("{text}{last}\n")).expect("writes");
+        let loaded = load_checkpoint(&path, &fingerprint(&sweep), plan)
+            .expect("an exact duplicate is a handoff artefact, not corruption");
+        assert_eq!(loaded.completed.len(), 2, "the duplicate collapses");
+        let resumed = run_shard(&sweep, plan, Some(&dir), opts, None).expect("resumes");
+        assert_eq!((resumed.resumed, resumed.executed), (2, plan.len() - 2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sanitize_journal_trims_to_the_trusted_prefix() {
+        let sweep = small_sweep();
+        let dir = temp_dir("sanitize");
+        let plan = ShardPlan::all(1, sweep.run_count())[0];
+        run_shard(
+            &sweep,
+            plan,
+            Some(&dir),
+            SweepOptions { threads: 1 },
+            Some(3),
+        )
+        .expect("partial runs");
+        let path = checkpoint_file(&dir, plan);
+        let text = std::fs::read_to_string(&path).expect("reads");
+        let fp = fingerprint(&sweep);
+        let header = text.split_inclusive('\n').next().expect("has a header");
+        assert_eq!(
+            sanitize_journal(&text, &fp, plan).as_deref(),
+            Some(text.as_str()),
+            "a clean journal passes through untouched"
+        );
+        // A torn tail trims to the complete rows.
+        let sane = sanitize_journal(&text[..text.len() - 7], &fp, plan).expect("salvages");
+        assert!(sane.ends_with('\n') && text.starts_with(&sane) && sane.len() < text.len());
+        // A duplicated last row collapses.
+        let last = text.lines().last().expect("has rows");
+        assert_eq!(
+            sanitize_journal(&format!("{text}{last}\n"), &fp, plan).as_deref(),
+            Some(text.as_str())
+        );
+        // Interior corruption: nothing after the damage is trusted.
+        let mut bytes = text.clone().into_bytes();
+        bytes[header.len()] = b'#';
+        let corrupt = String::from_utf8(bytes).expect("still utf8");
+        assert_eq!(
+            sanitize_journal(&corrupt, &fp, plan).as_deref(),
+            Some(header),
+            "damage in the first row leaves only the header"
+        );
+        // A journal for a different sweep salvages nothing.
+        assert_eq!(sanitize_journal(&text, "0000000000000000", plan), None);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

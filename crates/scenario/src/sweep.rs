@@ -657,28 +657,24 @@ impl SweepResult {
         ])
     }
 
-    /// Writes the JSON artefact.
+    /// Writes the JSON artefact atomically (temp-then-rename via
+    /// [`crate::shard::atomic_write`], so a crash mid-write never
+    /// leaves a torn artefact).
     ///
     /// # Errors
     ///
     /// Returns any I/O error.
     pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        std::fs::write(path, self.to_json().render_pretty())
+        crate::shard::atomic_write(path, &self.to_json().render_pretty())
     }
 
     /// Writes the per-run CSV artefact (one row per run, cell labels as
-    /// leading columns).
+    /// leading columns), atomically (temp-then-rename).
     ///
     /// # Errors
     ///
     /// Returns any I/O error.
     pub fn write_csv(&self, path: &std::path::Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
         let mut out = String::new();
         let labels: Vec<&str> = self
             .cells
@@ -703,7 +699,7 @@ impl SweepResult {
                 ));
             }
         }
-        std::fs::write(path, out)
+        crate::shard::atomic_write(path, &out)
     }
 }
 

@@ -84,13 +84,18 @@ fn interrupted_shard_resumes_from_its_checkpoint() {
     let partial = run_shard(&sweep, plans[0], Some(&dir), opts, Some(2)).expect("partial runs");
     assert!(partial.result.is_none(), "interrupted shard is incomplete");
     assert_eq!((partial.resumed, partial.executed), (0, 2));
-    let completed = load_checkpoint(
+    let loaded = load_checkpoint(
         &checkpoint_file(&dir, plans[0]),
         &fingerprint(&sweep),
         plans[0],
     )
     .expect("checkpoint loads");
-    assert_eq!(completed.len(), 2, "two runs journalled before the kill");
+    assert_eq!(
+        loaded.completed.len(),
+        2,
+        "two runs journalled before the kill"
+    );
+    assert_eq!(loaded.next_seq, 3, "rows are sequence-numbered from 1");
 
     // Resume with the same arguments: the two checkpointed runs load
     // instead of re-executing, the remaining four run now.
@@ -127,9 +132,8 @@ fn torn_checkpoint_tail_is_dropped_and_recomputed() {
     let text = std::fs::read_to_string(&path).expect("checkpoint exists");
     let torn = &text[..text.len() - 20];
     std::fs::write(&path, torn).expect("writes");
-    let completed =
-        load_checkpoint(&path, &fingerprint(&sweep), plan).expect("torn checkpoint loads");
-    assert_eq!(completed.len(), 2, "the torn third line is dropped");
+    let loaded = load_checkpoint(&path, &fingerprint(&sweep), plan).expect("torn checkpoint loads");
+    assert_eq!(loaded.completed.len(), 2, "the torn third line is dropped");
     // Resume recomputes the dropped run and completes the shard.
     let resumed = run_shard(&sweep, plan, Some(&dir), opts, None).expect("resume runs");
     assert_eq!(resumed.resumed, 2);
@@ -151,9 +155,10 @@ fn empty_or_torn_header_checkpoints_heal_on_resume() {
     let path = checkpoint_file(&dir, plan);
     for broken in ["", "{\"kind\":\"sirtm-shard-ch"] {
         std::fs::write(&path, broken).expect("writes");
-        let completed = load_checkpoint(&path, &fingerprint(&sweep), plan)
+        let loaded = load_checkpoint(&path, &fingerprint(&sweep), plan)
             .expect("broken-header checkpoint reads as empty");
-        assert!(completed.is_empty());
+        assert!(loaded.completed.is_empty());
+        assert_eq!(loaded.valid_len, 0, "nothing in the journal is trusted");
         let report = run_shard(&sweep, plan, Some(&dir), opts, None).expect("heals and runs");
         assert_eq!((report.resumed, report.executed), (0, plan.len()));
         assert!(report.result.is_some());
