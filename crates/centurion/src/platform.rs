@@ -7,6 +7,7 @@ use sirtm_noc::{
     Cycle, Mesh, MeshStats, MulticastService, NodeId, Packet, PacketKind, Port, Router,
 };
 use sirtm_taskgraph::{Mapping, TaskGraph, TaskId};
+use sirtm_telemetry::SimCounters;
 
 use crate::config::PlatformConfig;
 use crate::directory::{gossip_round, gossip_round_into, Directory};
@@ -91,6 +92,12 @@ pub struct Platform {
     mcast: Option<MulticastService>,
     cycle: Cycle,
     stats: PlatformStats,
+    /// Deterministic sim-plane telemetry (cycle/scan/gossip counters);
+    /// NoC message counters are merged in from the mesh on snapshot.
+    sim: SimCounters,
+    /// Runtime gate for the sim-plane increments, so benches can A/B
+    /// counter overhead in one binary. On by default.
+    sim_enabled: bool,
 
     // ---- activity-gating state (see DESIGN: "Performance architecture")
     /// Per-node `models[idx].is_passive()`, cached so the hot loop can
@@ -226,6 +233,8 @@ impl Platform {
             dirs,
             neighbours,
             cycle: 0,
+            sim: SimCounters::default(),
+            sim_enabled: true,
             cfg,
             passive,
             pe_next: vec![0; n],
@@ -271,6 +280,27 @@ impl Platform {
     /// NoC fabric counters.
     pub fn mesh_stats(&self) -> MeshStats {
         self.mesh.stats()
+    }
+
+    /// Snapshot of the deterministic sim-plane counters: the platform's
+    /// own cycle/scan/gossip counts merged with the mesh's message
+    /// counters. A pure function of the simulation — bit-identical for
+    /// a given build sequence regardless of host, thread or shard.
+    pub fn sim_counters(&self) -> SimCounters {
+        let m = self.mesh.stats();
+        SimCounters {
+            messages_injected: m.injected,
+            messages_delivered: m.delivered,
+            flit_hops: m.flit_hops,
+            ..self.sim
+        }
+    }
+
+    /// Enables or disables the sim-plane counter increments (on by
+    /// default). Counting never affects simulation decisions, so this
+    /// only exists to let the hotloop bench A/B the counter overhead.
+    pub fn set_sim_telemetry(&mut self, enabled: bool) {
+        self.sim_enabled = enabled;
     }
 
     /// Immutable access to the fabric (for advanced inspection).
@@ -557,6 +587,9 @@ impl Platform {
                     }
                 }
                 self.mesh.skip_idle_cycles(dt);
+                if self.sim_enabled {
+                    self.sim.cycles_fast_forwarded += dt;
+                }
                 self.cycle = next;
             }
         }
@@ -627,6 +660,9 @@ impl Platform {
         // via the precomputed residue buckets instead of 128 modulo
         // tests.
         let r = (now % self.cfg.aim_period as u64) as usize;
+        if self.sim_enabled {
+            self.sim.aim_scans += self.scan_buckets[r].len() as u64;
+        }
         for k in 0..self.scan_buckets[r].len() {
             let idx = self.scan_buckets[r][k] as usize;
             self.scan_fast(idx, now);
@@ -635,6 +671,9 @@ impl Platform {
         // reproduces its input it is a fixpoint and is skipped until an
         // advertised task or directory changes.
         if now.is_multiple_of(self.cfg.gossip_period as u64) && !self.gossip_converged {
+            if self.sim_enabled {
+                self.sim.gossip_rounds += 1;
+            }
             let mut next = std::mem::take(&mut self.dirs_next);
             gossip_round_into(
                 &self.dirs,
@@ -653,6 +692,9 @@ impl Platform {
         }
         // 5. Fabric cycle.
         self.mesh.step();
+        if self.sim_enabled {
+            self.sim.cycles_stepped += 1;
+        }
         self.cycle += 1;
     }
 
@@ -692,11 +734,17 @@ impl Platform {
         let period = self.cfg.aim_period as u64;
         for idx in 0..self.pes.len() {
             if (now + idx as u64 * 7).is_multiple_of(period) {
+                if self.sim_enabled {
+                    self.sim.aim_scans += 1;
+                }
                 self.scan(idx, now);
             }
         }
         // 4. Gossip directory round.
         if now.is_multiple_of(self.cfg.gossip_period as u64) {
+            if self.sim_enabled {
+                self.sim.gossip_rounds += 1;
+            }
             let locals: Vec<Option<TaskId>> = self
                 .pes
                 .iter()
@@ -712,6 +760,9 @@ impl Platform {
         }
         // 5. Fabric cycle.
         self.mesh.step();
+        if self.sim_enabled {
+            self.sim.cycles_stepped += 1;
+        }
         self.cycle += 1;
     }
 

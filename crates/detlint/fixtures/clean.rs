@@ -56,6 +56,22 @@ pub struct NotWallClock {
     pub rate: f64,
 }
 
+pub struct SidecarCounters {
+    /// Sim-plane sidecar fields are deterministic cycle facts, not
+    /// wall-clock ones: none of them are on the D4 denylist.
+    pub cycles_stepped: u64,
+    pub cycles_fast_forwarded: u64,
+    pub gossip_rounds: u64,
+    pub aim_scans: u64,
+}
+
+pub fn emit_sidecar(c: &SidecarCounters) -> Vec<(String, u64)> {
+    vec![
+        ("cycles_stepped".to_string(), c.cycles_stepped),
+        ("aim_scans".to_string(), c.aim_scans),
+    ]
+}
+
 pub fn unsafe_in_name_only() -> u32 {
     let unsafe_count = 1; // ident merely containing `unsafe`
     unsafe_count

@@ -51,3 +51,12 @@ pub fn read_raw(p: *const u8) -> u8 {
 pub fn save_artifact(path: &std::path::Path, body: &str) {
     let _ = std::fs::write(path, body); // R2: torn-write hazard
 }
+
+pub struct TraceLeak {
+    pub ts_us: u64, // D4: trace-stream vocabulary in an artefact struct
+    pub rate: f64,
+}
+
+pub fn emit_trace_leak(t: &TraceLeak) -> Vec<(String, u64)> {
+    vec![("dur_us".to_string(), t.ts_us)] // D4: trace key in artefact JSON
+}

@@ -341,6 +341,22 @@ fn rule_d4(
         "finished_at",
         "recorded_at",
         "created_at",
+        // Host-plane trace vocabulary (crates/telemetry/src/trace.rs,
+        // a lint.toml host file): these names belong to the wall-clock
+        // trace stream and the dispatch report, and must never leak
+        // into a fingerprinted artefact.
+        "ts_us",
+        "dur_us",
+        "ts_ms",
+        "dur_ms",
+        "wall_us",
+        "wall_s",
+        "span_id",
+        "trace_id",
+        "elapsed_ms",
+        "elapsed_us",
+        "heartbeat_at",
+        "polled_at",
     ];
     for (i, t) in code.iter().enumerate() {
         if in_test(t.start) {
@@ -640,9 +656,18 @@ mod tests {
     fn d4_fields_and_keys() {
         assert_eq!(rules_of("struct A { timestamp: u64 }"), ["D4"]);
         assert_eq!(rules_of("fn f() { obj.push((\"hostname\", v)); }"), ["D4"]);
+        // Trace-stream vocabulary is denied in deterministic code too:
+        // the host plane owns `ts_us`/`dur_us`, artefacts never do.
+        assert_eq!(rules_of("struct E { ts_us: u64 }"), ["D4"]);
+        assert_eq!(
+            rules_of("fn f() { obj.push((\"elapsed_ms\", v)); }"),
+            ["D4"]
+        );
         // Paths and unrelated idents do not fire.
         assert!(rules_of("fn f() { let x = timestamp::parse(); }").is_empty());
         assert!(rules_of("struct A { timestamped: u64 }").is_empty());
+        // Sim-plane counter names are not wall-clock facts.
+        assert!(rules_of("struct S { cycles_stepped: u64, aim_scans: u64 }").is_empty());
     }
 
     #[test]

@@ -54,6 +54,8 @@ fn dirty_fixture_fires_every_d_and_u_rule_at_exact_lines() {
             ("D4", 32), // "hostname" artefact key
             ("U1", 48), // unsafe without SAFETY:
             ("R2", 52), // bare std::fs::write
+            ("D4", 56), // ts_us field (trace vocabulary)
+            ("D4", 61), // "dur_us" artefact key (trace vocabulary)
         ],
         "full finding list: {findings:#?}"
     );
@@ -136,5 +138,5 @@ fn reports_render_for_the_corpus() {
     assert_eq!(json.matches('{').count(), json.matches('}').count());
     let text = detlint::report::render_text(&active, &suppressed, 1);
     assert!(text.contains("fixtures/dirty.rs:5:"));
-    assert!(text.contains("13 finding(s)"));
+    assert!(text.contains("15 finding(s)"));
 }

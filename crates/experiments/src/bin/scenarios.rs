@@ -18,6 +18,8 @@
 //!               [--cycles C] [--chaos-seed S] [--chaos-rate PCT]
 //!                                             fault-storm dispatch soak
 //! scenarios check PATH                        re-parse a sweep artefact
+//! scenarios status --checkpoint DIR           live per-shard/per-worker progress
+//! scenarios trace check PATH                  validate a trace file
 //! scenarios bench [--out PATH]                runs/sec at 1/4/8 threads
 //! scenarios bench-shard [--out PATH]          shard overhead vs unsharded
 //! scenarios bench-dispatch [--out PATH]       1 vs 2 local dispatch workers
@@ -57,29 +59,44 @@
 //! byte-identical to the clean single-process sweep. The fault mix is
 //! reproducible from `--chaos-seed`; injected-fault counts land in the
 //! dispatch report. See `docs/chaos.md`.
+//!
+//! Observability (`docs/observability.md`): `--sidecar PATH` writes the
+//! deterministic sim-plane counter sidecar next to a `run`'s artefact
+//! (bit-identical across thread counts and shard plans, and never part
+//! of the fingerprinted artefact itself); `--trace PATH` writes a
+//! Chrome trace-event JSON of host-plane spans and `--trace-jsonl PATH`
+//! streams the same events live, one JSON object per line. `status`
+//! reads the checkpoint journals (and, with `--trace-jsonl`, the live
+//! trace stream) of a dispatch in flight and renders per-shard,
+//! per-worker progress without disturbing the run. `trace check`
+//! validates either trace format.
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use sirtm_experiments::render;
-use sirtm_scenario::json::Json;
+use sirtm_scenario::json::{parse, Json};
 use sirtm_scenario::shard::{checkpoint_file, fingerprint};
+use sirtm_scenario::telemetry::Tracer;
 use sirtm_scenario::{
-    check_artifact, dispatch, merge_named_shards, merge_shards, parse_host_manifest, presets,
-    run_shard, run_sweep, ChaosConfig, ChaosLedger, ChaosTransport, DispatchOptions, FaultyFs,
-    LocalProcess, OnlineStats, RetryPolicy, ScenarioSpec, SeedScheme, ShardPlan, ShardResult,
-    ShardTransport, Ssh, SweepOptions, SweepResult, SweepSpec,
+    check_artifact, dispatch, journal_progress, merge_named_shards, merge_shards,
+    parse_host_manifest, presets, run_shard, run_shard_observed, run_sweep, run_sweep_observed,
+    ChaosConfig, ChaosLedger, ChaosTransport, DispatchOptions, FaultyFs, LocalProcess, OnlineStats,
+    RetryPolicy, ScenarioSpec, SeedScheme, ShardPlan, ShardResult, ShardTransport, Ssh,
+    SweepOptions, SweepResult, SweepSpec, SweepTelemetry,
 };
 
 fn die(msg: &str) -> ! {
     eprintln!("scenarios: {msg}");
     eprintln!(
         "usage: scenarios [list|show NAME|run NAME|shard-plan NAME|merge SHARD...|dispatch NAME|\
-         chaos-soak NAME|check PATH|bench|bench-shard|bench-dispatch] [--spec FILE] \
+         chaos-soak NAME|check PATH|status|trace check PATH|bench|bench-shard|bench-dispatch] \
+         [--spec FILE] \
          [--sweep FILE] [--runs N] [--threads T] [--seed S] [--out PATH] [--csv PATH] \
          [--shards N] [--shard K/N] [--checkpoint DIR] [--limit M] [--local N] [--hosts FILE] \
          [--report PATH] [--poll-ms MS] [--stall-polls K] [--max-attempts A] [--cycles C] \
-         [--chaos-seed S] [--chaos-rate PCT]"
+         [--chaos-seed S] [--chaos-rate PCT] [--sidecar PATH] [--trace PATH] \
+         [--trace-jsonl PATH]"
     );
     std::process::exit(2);
 }
@@ -107,6 +124,9 @@ struct Args {
     cycles: usize,
     chaos_seed: u64,
     chaos_rate: u64,
+    sidecar: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    trace_jsonl: Option<PathBuf>,
 }
 
 impl Args {
@@ -155,6 +175,9 @@ fn parse_args() -> Args {
         cycles: 3,
         chaos_seed: 0xC4A05,
         chaos_rate: 25,
+        sidecar: None,
+        trace: None,
+        trace_jsonl: None,
     };
     let mut it = std::env::args().skip(1);
     if let Some(cmd) = it.next() {
@@ -240,13 +263,23 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| die("--chaos-rate needs a percentage 0-100"));
             }
+            "--sidecar" => args.sidecar = Some(PathBuf::from(next_val("--sidecar"))),
+            "--trace" => args.trace = Some(PathBuf::from(next_val("--trace"))),
+            "--trace-jsonl" => args.trace_jsonl = Some(PathBuf::from(next_val("--trace-jsonl"))),
             other if !other.starts_with("--") => args.targets.push(other.to_string()),
             other => die(&format!("unknown flag `{other}`")),
         }
     }
-    if args.command != "merge" && args.targets.len() > 1 {
+    // `merge` takes many shard paths; `trace` takes a subcommand plus a
+    // path.
+    let max_targets = match args.command.as_str() {
+        "merge" => usize::MAX,
+        "trace" => 2,
+        _ => 1,
+    };
+    if args.targets.len() > max_targets {
         die(&format!(
-            "`{}` takes one positional argument, got {:?}",
+            "`{}` got too many positional arguments: {:?}",
             args.command, args.targets
         ));
     }
@@ -296,6 +329,74 @@ fn resolve_sweep(args: &Args) -> SweepSpec {
     }
 }
 
+/// Builds the host-plane tracer when `--trace`/`--trace-jsonl` asked
+/// for one: a 64 Ki-event ring, plus a live JSONL sink when
+/// `--trace-jsonl` names a file.
+fn build_tracer(args: &Args) -> Option<Tracer> {
+    if args.trace.is_none() && args.trace_jsonl.is_none() {
+        return None;
+    }
+    const CAPACITY: usize = 65_536;
+    Some(match &args.trace_jsonl {
+        Some(path) => {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent)
+                    .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", parent.display())));
+            }
+            Tracer::with_sink(CAPACITY, path)
+                .unwrap_or_else(|e| die(&format!("cannot open {}: {e}", path.display())))
+        }
+        None => Tracer::new(CAPACITY),
+    })
+}
+
+/// Writes the Chrome trace (`--trace`) at command exit and reports
+/// where the host-plane streams went.
+fn finish_trace(args: &Args, tracer: Option<&Tracer>) {
+    let Some(tracer) = tracer else {
+        return;
+    };
+    if let Some(path) = &args.trace {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)
+                .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", parent.display())));
+        }
+        std::fs::write(path, tracer.chrome_json())
+            .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+        println!("trace   : {} ({} event(s))", path.display(), tracer.len());
+    }
+    if let Some(path) = &args.trace_jsonl {
+        println!("trace jsonl: {}", path.display());
+    }
+    if tracer.dropped() > 0 {
+        println!(
+            "note: ring buffer evicted {} event(s); the --trace-jsonl stream (if any) kept them",
+            tracer.dropped()
+        );
+    }
+}
+
+/// Writes the sim-plane sidecar (`--sidecar`): the deterministic
+/// per-run counter artefact, separate from the fingerprinted sweep
+/// artefact by construction.
+fn write_sidecar(args: &Args, telemetry: &SweepTelemetry) {
+    let Some(path) = &args.sidecar else {
+        return;
+    };
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)
+            .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", parent.display())));
+    }
+    std::fs::write(path, telemetry.render_sidecar())
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+    println!(
+        "sidecar : {} ({} run(s), {})",
+        path.display(),
+        telemetry.sidecar().len(),
+        telemetry.totals()
+    );
+}
+
 fn summary_table(result: &SweepResult) -> String {
     let headers = [
         "cell",
@@ -339,13 +440,26 @@ fn run(args: &Args) {
     }
     let sweep = resolve_sweep(args);
     let name = sweep.name.clone();
+    let tracer = build_tracer(args);
+    let mut telemetry = SweepTelemetry::new(&name);
+    if let Some(tracer) = &tracer {
+        telemetry = telemetry.with_tracer(tracer.clone());
+    }
     let started = Instant::now();
-    let result = run_sweep(
+    let sweep_span = tracer.as_ref().map(|t| {
+        let mut span = t.span("sweep", "sweep");
+        span.arg("name", &name);
+        span.arg("runs", &sweep.run_count().to_string());
+        span
+    });
+    let result = run_sweep_observed(
         &sweep,
         SweepOptions {
             threads: args.threads,
         },
+        &telemetry,
     );
+    drop(sweep_span);
     let elapsed = started.elapsed();
     println!(
         "sweep `{name}`: {} runs on {} threads in {elapsed:.1?} ({:.1} runs/sec)",
@@ -368,6 +482,8 @@ fn run(args: &Args) {
             .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", csv.display())));
         println!("csv     : {}", csv.display());
     }
+    write_sidecar(args, &telemetry);
+    finish_trace(args, tracer.as_ref());
 }
 
 /// `run NAME --shard K/N`: execute one shard of the sweep's
@@ -384,8 +500,13 @@ fn run_one_shard(args: &Args) {
         );
     }
     let plan = ShardPlan::of_sweep(&sweep, k - 1, n);
+    let tracer = build_tracer(args);
+    let mut telemetry = SweepTelemetry::new(&sweep.name);
+    if let Some(tracer) = &tracer {
+        telemetry = telemetry.with_tracer(tracer.clone());
+    }
     let started = Instant::now();
-    let report = run_shard(
+    let report = run_shard_observed(
         &sweep,
         plan,
         args.checkpoint.as_deref(),
@@ -393,6 +514,7 @@ fn run_one_shard(args: &Args) {
             threads: args.threads,
         },
         args.limit,
+        &telemetry,
     )
     .unwrap_or_else(|e| die(&e));
     let elapsed = started.elapsed();
@@ -418,6 +540,10 @@ fn run_one_shard(args: &Args) {
             println!("shard artefact: {}", out.display());
         }
     }
+    // The sidecar covers only runs this invocation executed — runs
+    // resumed from a checkpoint never re-ran, so they have no counters.
+    write_sidecar(args, &telemetry);
+    finish_trace(args, tracer.as_ref());
 }
 
 /// `shard-plan NAME --shards N`: print the deterministic partition as
@@ -559,12 +685,14 @@ fn dispatch_cmd(args: &Args) {
     } else {
         workers.len()
     };
+    let tracer = build_tracer(args);
     let opts = DispatchOptions {
         poll_interval: Duration::from_millis(args.poll_ms),
         stall_polls: args.stall_polls,
         max_attempts: args.max_attempts,
         worker_strikes: 3,
         retry: RetryPolicy::default(),
+        tracer: tracer.clone(),
     };
     let outcome = dispatch(&sweep, shards, &mut workers, &opts)
         .unwrap_or_else(|e| die(&format!("dispatch of `{}` failed: {e}", sweep.name)));
@@ -587,6 +715,8 @@ fn dispatch_cmd(args: &Args) {
                 w.worker.clone(),
                 w.completed.to_string(),
                 w.failed.to_string(),
+                w.retries.to_string(),
+                w.salvaged.to_string(),
                 format!("{:.0}", w.busy.as_secs_f64() * 1e3),
                 if w.retired { "yes" } else { "" }.to_string(),
             ]
@@ -595,7 +725,15 @@ fn dispatch_cmd(args: &Args) {
     println!(
         "{}",
         render::ascii_table(
-            &["worker", "completed", "failed", "busy (ms)", "retired"],
+            &[
+                "worker",
+                "completed",
+                "failed",
+                "retries",
+                "salvaged",
+                "busy (ms)",
+                "retired"
+            ],
             &rows
         )
     );
@@ -616,6 +754,7 @@ fn dispatch_cmd(args: &Args) {
         .write_json(&report_path)
         .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", report_path.display())));
     println!("report  : {}", report_path.display());
+    finish_trace(args, tracer.as_ref());
 }
 
 /// `chaos-soak NAME --local N --checkpoint DIR [--cycles C]
@@ -649,6 +788,7 @@ fn chaos_soak(args: &Args) {
         .to_json()
         .render_pretty();
     let ledger = ChaosLedger::new();
+    let tracer = build_tracer(args);
     let mut faulty = FaultyFs::new(args.chaos_seed ^ 0xF5);
     // LocalProcess journals under DIR/ckpt/<fingerprint>/ — damage must
     // land on the journals the workers actually resume from.
@@ -692,11 +832,15 @@ fn chaos_soak(args: &Args) {
         };
         let mut workers: Vec<Box<dyn ShardTransport>> = (0..args.local)
             .map(|i| {
-                Box::new(ChaosTransport::new(
+                let mut transport = ChaosTransport::new(
                     LocalProcess::new(&format!("local-{i}"), &bin, &work_dir, args.threads),
                     cfg,
                     ledger.clone(),
-                )) as Box<dyn ShardTransport>
+                );
+                if let Some(tracer) = &tracer {
+                    transport = transport.with_tracer(tracer.clone());
+                }
+                Box::new(transport) as Box<dyn ShardTransport>
             })
             .collect();
         let opts = DispatchOptions {
@@ -715,6 +859,7 @@ fn chaos_soak(args: &Args) {
             max_attempts: args.max_attempts.max(25),
             worker_strikes: 1000,
             retry: RetryPolicy::persistent(cycle_seed),
+            tracer: tracer.clone(),
         };
         let outcome = dispatch(&sweep, shards, &mut workers, &opts)
             .unwrap_or_else(|e| die(&format!("chaos-soak cycle {cycle} failed: {e}")));
@@ -732,7 +877,7 @@ fn chaos_soak(args: &Args) {
         last = Some(outcome);
     }
     let mut outcome = last.expect("at least one cycle ran");
-    outcome.report.injected = ledger.counts();
+    outcome.report.attribute_faults(&ledger);
     println!(
         "chaos-soak `{}`: {cycles} cycle(s), {} injected fault(s), every merge byte-identical \
          in {:.1?}",
@@ -761,6 +906,7 @@ fn chaos_soak(args: &Args) {
         .write_json(&report_path)
         .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", report_path.display())));
     println!("report  : {}", report_path.display());
+    finish_trace(args, tracer.as_ref());
 }
 
 fn bench_dispatch(args: &Args) {
@@ -872,6 +1018,7 @@ fn bench_dispatch(args: &Args) {
             max_attempts: 25,
             worker_strikes: 1000,
             retry: RetryPolicy::persistent(CHAOS_SEED),
+            ..DispatchOptions::default()
         };
         let started = Instant::now();
         let outcome = dispatch(&sweep, SHARDS, &mut workers, &dopts)
@@ -1125,6 +1272,235 @@ fn round1(x: f64) -> f64 {
     (x * 10.0).round() / 10.0
 }
 
+/// `status --checkpoint DIR [--trace-jsonl PATH]`: live progress of a
+/// dispatch (or sharded run) in flight, read purely from the side:
+/// checkpoint journals under `DIR/ckpt/<fingerprint>/` give per-shard
+/// completed-run counts (tolerating torn tails — a journal being
+/// appended to is normal here), and the trace JSONL stream, when one
+/// is being written, gives each worker's last observed activity.
+fn status_cmd(args: &Args) {
+    let work_dir = args
+        .checkpoint
+        .clone()
+        .unwrap_or_else(|| die("status needs --checkpoint DIR (the dispatch work directory)"));
+    let ckpt_root = work_dir.join("ckpt");
+    // `run --shard` checkpoints journal directly under --checkpoint
+    // DIR; dispatch workers namespace theirs per fingerprint under
+    // DIR/ckpt/. Scan both layouts.
+    let mut journals: Vec<PathBuf> = Vec::new();
+    let mut scan = |dir: &PathBuf| {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "ckpt") {
+                journals.push(path);
+            } else if path.is_dir() {
+                let Ok(inner) = std::fs::read_dir(&path) else {
+                    continue;
+                };
+                for entry in inner.flatten() {
+                    let path = entry.path();
+                    if path.extension().is_some_and(|e| e == "ckpt") {
+                        journals.push(path);
+                    }
+                }
+            }
+        }
+    };
+    scan(&work_dir);
+    scan(&ckpt_root);
+    journals.sort();
+    journals.dedup();
+    if journals.is_empty() {
+        println!(
+            "no checkpoint journals under {} (yet) — nothing has completed a run",
+            work_dir.display()
+        );
+    } else {
+        let rows: Vec<Vec<String>> = journals
+            .iter()
+            .filter_map(|path| {
+                let progress = match journal_progress(path) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("note: skipping {}: {e}", path.display());
+                        return None;
+                    }
+                };
+                let pct = if progress.expected() == 0 {
+                    100.0
+                } else {
+                    100.0 * progress.completed as f64 / progress.expected() as f64
+                };
+                Some(vec![
+                    format!("{}/{}", progress.plan.shard + 1, progress.plan.shards),
+                    progress.fingerprint.chars().take(12).collect(),
+                    format!("{}/{}", progress.completed, progress.expected()),
+                    format!("{pct:.0}%"),
+                    if progress.is_complete() {
+                        "complete"
+                    } else {
+                        "in progress"
+                    }
+                    .to_string(),
+                ])
+            })
+            .collect();
+        println!(
+            "{}",
+            render::ascii_table(&["shard", "fingerprint", "runs", "%", "state"], &rows)
+        );
+    }
+    let Some(stream) = &args.trace_jsonl else {
+        return;
+    };
+    let text = match std::fs::read_to_string(stream) {
+        Ok(text) => text,
+        Err(e) => {
+            println!("trace stream {}: not readable ({e})", stream.display());
+            return;
+        }
+    };
+    // Last event per track wins; a torn final line (mid-append) is
+    // expected and skipped.
+    let mut latest: Vec<(String, String, u64)> = Vec::new();
+    for line in text.lines() {
+        let Ok(event) = parse(line) else {
+            continue;
+        };
+        let (Some(track), Some(name), Some(ts)) = (
+            event.get("track").and_then(Json::as_str),
+            event.get("name").and_then(Json::as_str),
+            event.get("ts_us").and_then(Json::as_num),
+        ) else {
+            continue;
+        };
+        match latest.iter_mut().find(|(t, _, _)| t == track) {
+            Some(slot) => *slot = (track.to_string(), name.to_string(), ts as u64),
+            None => latest.push((track.to_string(), name.to_string(), ts as u64)),
+        }
+    }
+    if latest.is_empty() {
+        println!("trace stream {}: no events yet", stream.display());
+        return;
+    }
+    latest.sort();
+    let rows: Vec<Vec<String>> = latest
+        .iter()
+        .map(|(track, name, ts)| {
+            vec![
+                track.clone(),
+                name.clone(),
+                format!("{:.1}s", *ts as f64 / 1e6),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::ascii_table(&["track", "last event", "at"], &rows)
+    );
+}
+
+/// `trace check PATH`: validate a host-plane trace file — either the
+/// Chrome trace-event JSON `--trace` writes or the JSONL stream
+/// `--trace-jsonl` writes (detected from the first byte). Exits
+/// non-zero on the first malformed event.
+fn trace_cmd(args: &Args) {
+    let sub = args.targets.first().map(String::as_str);
+    if sub != Some("check") {
+        die("trace needs a subcommand: trace check PATH");
+    }
+    let path = args
+        .targets
+        .get(1)
+        .unwrap_or_else(|| die("trace check needs a trace file path"));
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    // A Chrome trace is one JSON document spanning the whole file; a
+    // JSONL stream is one document per line (so the whole-file parse
+    // fails at line two's opening byte).
+    let (format, events) = match parse(&text) {
+        Ok(doc) if doc.get("traceEvents").is_some() => ("chrome", check_chrome_trace(path, &doc)),
+        _ => ("jsonl", check_jsonl_trace(path, &text)),
+    };
+    println!("{path}: OK ({format}, {events} event(s))");
+}
+
+/// Validates a Chrome trace-event document; returns the event count.
+fn check_chrome_trace(path: &str, doc: &Json) -> usize {
+    let Some(events) = doc.get("traceEvents").and_then(Json::as_arr) else {
+        die(&format!("{path}: INVALID: no `traceEvents` array"));
+    };
+    let mut counted = 0usize;
+    for (i, event) in events.iter().enumerate() {
+        let bad = |what: &str| -> ! { die(&format!("{path}: INVALID: event {i}: {what}")) };
+        let Some(ph) = event.get("ph").and_then(Json::as_str) else {
+            bad("missing `ph`");
+        };
+        if event.get("name").and_then(Json::as_str).is_none() {
+            bad("missing `name`");
+        }
+        if event.get("pid").and_then(Json::as_num).is_none() {
+            bad("missing `pid`");
+        }
+        match ph {
+            "M" => continue, // metadata (track names): no timestamp
+            "X" => {
+                if event.get("ts").and_then(Json::as_num).is_none() {
+                    bad("span without `ts`");
+                }
+                if event.get("dur").and_then(Json::as_num).is_none() {
+                    bad("span without `dur`");
+                }
+            }
+            "i" => {
+                if event.get("ts").and_then(Json::as_num).is_none() {
+                    bad("instant without `ts`");
+                }
+            }
+            other => bad(&format!("unknown phase `{other}`")),
+        }
+        counted += 1;
+    }
+    counted
+}
+
+/// Validates a JSONL trace stream; returns the event count. A torn
+/// final line (the writer was mid-append) is tolerated; torn interior
+/// lines are not.
+fn check_jsonl_trace(path: &str, text: &str) -> usize {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut counted = 0usize;
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = match parse(line) {
+            Ok(event) => event,
+            Err(e) => {
+                if i + 1 == lines.len() && !text.ends_with('\n') {
+                    break; // torn tail: the writer is mid-append
+                }
+                die(&format!("{path}: INVALID: line {}: {e}", i + 1));
+            }
+        };
+        let bad = |what: &str| -> ! { die(&format!("{path}: INVALID: line {}: {what}", i + 1)) };
+        if event.get("ts_us").and_then(Json::as_num).is_none() {
+            bad("missing `ts_us`");
+        }
+        if event.get("track").and_then(Json::as_str).is_none() {
+            bad("missing `track`");
+        }
+        if event.get("name").and_then(Json::as_str).is_none() {
+            bad("missing `name`");
+        }
+        counted += 1;
+    }
+    counted
+}
+
 fn main() {
     let args = parse_args();
     match args.command.as_str() {
@@ -1136,6 +1512,8 @@ fn main() {
         "dispatch" => dispatch_cmd(&args),
         "chaos-soak" => chaos_soak(&args),
         "check" => check(&args),
+        "status" => status_cmd(&args),
+        "trace" => trace_cmd(&args),
         "bench" => bench(&args),
         "bench-shard" => bench_shard(&args),
         "bench-dispatch" => bench_dispatch(&args),

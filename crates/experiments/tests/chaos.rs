@@ -71,6 +71,7 @@ fn seeded_storm_over_local_processes_converges_byte_identical() {
         max_attempts: 25,
         worker_strikes: 1000,
         retry: RetryPolicy::persistent(cfg.seed),
+        ..DispatchOptions::default()
     };
     let outcome = dispatch(&sweep, 4, &mut workers, &opts).expect("storm dispatch completes");
     assert_eq!(

@@ -217,12 +217,52 @@ pub enum Instruction {
 }
 
 impl Instruction {
+    /// Number of opcode families (the variant count of this enum).
+    pub const COUNT: usize = 18;
+
+    /// Opcode mnemonics in [`Instruction::opcode_index`] order.
+    pub const MNEMONICS: [&'static str; Self::COUNT] = [
+        "LOAD", "AND", "OR", "XOR", "ADD", "ADDCY", "SUB", "SUBCY", "COMPARE", "TEST", "SHIFT",
+        "STORE", "FETCH", "INPUT", "OUTPUT", "JUMP", "CALL", "RETURN",
+    ];
+
     /// Returns `true` for instructions that can change control flow.
     pub fn is_branch(&self) -> bool {
         matches!(
             self,
             Instruction::Jump(..) | Instruction::Call(..) | Instruction::Return(..)
         )
+    }
+
+    /// Dense opcode-family index in declaration order (`0..COUNT`);
+    /// indexes [`Instruction::MNEMONICS`] and the VM's per-opcode
+    /// profile counters.
+    pub fn opcode_index(&self) -> usize {
+        match self {
+            Instruction::Load(..) => 0,
+            Instruction::And(..) => 1,
+            Instruction::Or(..) => 2,
+            Instruction::Xor(..) => 3,
+            Instruction::Add(..) => 4,
+            Instruction::AddCy(..) => 5,
+            Instruction::Sub(..) => 6,
+            Instruction::SubCy(..) => 7,
+            Instruction::Compare(..) => 8,
+            Instruction::Test(..) => 9,
+            Instruction::Shift(..) => 10,
+            Instruction::Store(..) => 11,
+            Instruction::Fetch(..) => 12,
+            Instruction::Input(..) => 13,
+            Instruction::Output(..) => 14,
+            Instruction::Jump(..) => 15,
+            Instruction::Call(..) => 16,
+            Instruction::Return(..) => 17,
+        }
+    }
+
+    /// The instruction's mnemonic.
+    pub fn mnemonic(&self) -> &'static str {
+        Self::MNEMONICS[self.opcode_index()]
     }
 }
 

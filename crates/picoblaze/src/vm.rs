@@ -154,6 +154,12 @@ pub struct Picoblaze {
     zero: bool,
     carry: bool,
     instret: u64,
+    /// Retired instructions per opcode family, indexed by
+    /// [`Instruction::opcode_index`]. The raw material for a future
+    /// trace-compiling backend: hot opcodes and loop bodies fall
+    /// straight out of this histogram.
+    #[cfg(feature = "profile")]
+    opcode_counts: [u64; Instruction::COUNT],
 }
 
 impl Picoblaze {
@@ -168,6 +174,8 @@ impl Picoblaze {
             zero: false,
             carry: false,
             instret: 0,
+            #[cfg(feature = "profile")]
+            opcode_counts: [0; Instruction::COUNT],
         }
     }
 
@@ -180,6 +188,10 @@ impl Picoblaze {
         self.zero = false;
         self.carry = false;
         self.instret = 0;
+        #[cfg(feature = "profile")]
+        {
+            self.opcode_counts = [0; Instruction::COUNT];
+        }
     }
 
     /// Current value of register `r`.
@@ -215,6 +227,26 @@ impl Picoblaze {
     /// Number of instructions retired since construction/reset.
     pub fn instret(&self) -> u64 {
         self.instret
+    }
+
+    /// Retired-instruction counts per opcode family, indexed by
+    /// [`Instruction::opcode_index`] (pair with
+    /// [`Instruction::MNEMONICS`]). Faulting instructions are not
+    /// counted, so the histogram always sums to [`Picoblaze::instret`].
+    #[cfg(feature = "profile")]
+    pub fn opcode_counts(&self) -> &[u64; Instruction::COUNT] {
+        &self.opcode_counts
+    }
+
+    /// The opcode histogram as `(mnemonic, count)` pairs, zero entries
+    /// included, in [`Instruction::opcode_index`] order.
+    #[cfg(feature = "profile")]
+    pub fn opcode_profile(&self) -> Vec<(&'static str, u64)> {
+        Instruction::MNEMONICS
+            .iter()
+            .zip(self.opcode_counts.iter())
+            .map(|(&m, &c)| (m, c))
+            .collect()
     }
 
     /// The loaded program.
@@ -378,6 +410,10 @@ impl Picoblaze {
         }
         self.pc = next_pc;
         self.instret += 1;
+        #[cfg(feature = "profile")]
+        {
+            self.opcode_counts[instr.opcode_index()] += 1;
+        }
         Ok(())
     }
 
@@ -763,6 +799,38 @@ mod tests {
             .expect("no fault");
         assert_eq!(outcome, RunOutcome::BudgetExhausted);
         assert_eq!(cpu.instret(), 50);
+    }
+
+    #[cfg(feature = "profile")]
+    #[test]
+    fn opcode_profile_counts_retired_families() {
+        let prog = vec![
+            Load(r(0), Operand::Imm(1)),
+            Add(r(0), Operand::Imm(1)),
+            Add(r(0), Operand::Imm(1)),
+            Output(r(0), Address::Direct(0x00)),
+            Jump(Condition::Always, 1),
+        ];
+        let mut cpu = Picoblaze::new(prog);
+        let mut io = SparseIo::new();
+        cpu.step_n(9, &mut io).expect("runs");
+        let profile = cpu.opcode_profile();
+        let count = |m: &str| {
+            profile
+                .iter()
+                .find(|(name, _)| *name == m)
+                .map(|(_, c)| *c)
+                .expect("known mnemonic")
+        };
+        assert_eq!(count("LOAD"), 1);
+        assert_eq!(count("ADD"), 4);
+        assert_eq!(count("OUTPUT"), 2);
+        assert_eq!(count("JUMP"), 2);
+        assert_eq!(count("AND"), 0);
+        let total: u64 = cpu.opcode_counts().iter().sum();
+        assert_eq!(total, cpu.instret(), "histogram sums to instret");
+        cpu.reset();
+        assert_eq!(cpu.opcode_counts().iter().sum::<u64>(), 0);
     }
 
     #[test]

@@ -30,6 +30,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use sirtm_rng::{Rng, SplitMix64};
+use sirtm_telemetry::Tracer;
 
 use crate::dispatch::{PollStatus, ShardJob, ShardTransport};
 use crate::shard::ShardResult;
@@ -247,11 +248,23 @@ impl ChaosConfig {
     }
 }
 
-/// Shared injected-fault counter: fault-class name → times fired.
-/// Clone it into every [`ChaosTransport`] of a pool; read the totals
-/// after the dispatch for the report artefact.
+/// The two count maps behind a [`ChaosLedger`]: pool-wide totals and
+/// the same counts attributed to the worker label whose transport
+/// fired them.
+#[derive(Debug, Default)]
+struct LedgerInner {
+    totals: BTreeMap<String, usize>,
+    by_worker: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+/// Shared injected-fault counter: fault-class name → times fired,
+/// pool-wide and attributed per worker label. Clone it into every
+/// [`ChaosTransport`] of a pool; read the totals after the dispatch
+/// for the report artefact, and the per-worker slices for
+/// [`crate::dispatch::WorkerReport`] fault columns — one vocabulary
+/// (the [`Fault`]/[`HandoffFault`] names) shared by report and trace.
 #[derive(Debug, Clone, Default)]
-pub struct ChaosLedger(Arc<Mutex<BTreeMap<String, usize>>>);
+pub struct ChaosLedger(Arc<Mutex<LedgerInner>>);
 
 impl ChaosLedger {
     /// An empty ledger.
@@ -260,34 +273,81 @@ impl ChaosLedger {
         Self::default()
     }
 
-    /// Counts one firing of `kind`.
+    fn lock(&self) -> std::sync::MutexGuard<'_, LedgerInner> {
+        self.0.lock().expect("chaos ledger poisoned")
+    }
+
+    /// Counts one firing of `kind` without worker attribution.
     pub fn record(&self, kind: &str) {
-        let mut map = self.0.lock().expect("chaos ledger poisoned");
-        *map.entry(kind.to_string()).or_insert(0) += 1;
+        *self.lock().totals.entry(kind.to_string()).or_insert(0) += 1;
+    }
+
+    /// Counts one firing of `kind`, attributed to `worker`.
+    pub fn record_for(&self, worker: &str, kind: &str) {
+        let mut inner = self.lock();
+        *inner.totals.entry(kind.to_string()).or_insert(0) += 1;
+        *inner
+            .by_worker
+            .entry(worker.to_string())
+            .or_default()
+            .entry(kind.to_string())
+            .or_insert(0) += 1;
     }
 
     /// All counts, sorted by fault-class name.
     #[must_use]
     pub fn counts(&self) -> Vec<(String, usize)> {
-        self.0
-            .lock()
-            .expect("chaos ledger poisoned")
+        self.lock()
+            .totals
             .iter()
             .map(|(k, v)| (k.clone(), *v))
             .collect()
     }
 
+    /// The counts attributed to `worker`, sorted by fault-class name
+    /// (empty if that worker fired nothing).
+    #[must_use]
+    pub fn worker_counts(&self, worker: &str) -> Vec<(String, usize)> {
+        self.lock()
+            .by_worker
+            .get(worker)
+            .map(|m| m.iter().map(|(k, v)| (k.clone(), *v)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Total faults attributed to `worker`.
+    #[must_use]
+    pub fn worker_total(&self, worker: &str) -> usize {
+        self.lock()
+            .by_worker
+            .get(worker)
+            .map(|m| m.values().sum())
+            .unwrap_or(0)
+    }
+
     /// Total faults fired.
     #[must_use]
     pub fn total(&self) -> usize {
-        self.0.lock().expect("chaos ledger poisoned").values().sum()
+        self.lock().totals.values().sum()
     }
 
-    /// Folds another ledger's counts into this one.
+    /// Folds another ledger's counts (totals and per-worker) into this
+    /// one.
     pub fn absorb(&self, other: &ChaosLedger) {
-        for (k, v) in other.counts() {
-            let mut map = self.0.lock().expect("chaos ledger poisoned");
-            *map.entry(k).or_insert(0) += v;
+        // Snapshot first: `other` may share this ledger's mutex.
+        let (totals, by_worker) = {
+            let theirs = other.lock();
+            (theirs.totals.clone(), theirs.by_worker.clone())
+        };
+        let mut inner = self.lock();
+        for (k, v) in totals {
+            *inner.totals.entry(k).or_insert(0) += v;
+        }
+        for (worker, counts) in by_worker {
+            let slot = inner.by_worker.entry(worker).or_default();
+            for (k, v) in counts {
+                *slot.entry(k).or_insert(0) += v;
+            }
         }
     }
 }
@@ -319,6 +379,7 @@ pub struct ChaosTransport<T> {
     freeze_recorded: bool,
     script: VecDeque<Option<Fault>>,
     script_handoff: VecDeque<Option<HandoffFault>>,
+    tracer: Option<Tracer>,
 }
 
 impl<T: ShardTransport> ChaosTransport<T> {
@@ -334,6 +395,28 @@ impl<T: ShardTransport> ChaosTransport<T> {
             freeze_recorded: false,
             script: VecDeque::new(),
             script_handoff: VecDeque::new(),
+            tracer: None,
+        }
+    }
+
+    /// Attaches a host-plane [`Tracer`]: every fired fault also emits
+    /// an instant event on the worker's track (`name = "fault"`,
+    /// `kind` arg = the ledger's fault-class name), so the Chrome
+    /// trace and the dispatch report count the same firings under the
+    /// same vocabulary.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Records one fault firing: ledger (attributed to this worker's
+    /// label) plus the optional trace instant.
+    fn fire(&self, kind: &str) {
+        let label = self.inner.label();
+        self.ledger.record_for(label, kind);
+        if let Some(tracer) = &self.tracer {
+            tracer.instant(label, "fault", &[("kind", kind)]);
         }
     }
 
@@ -451,7 +534,7 @@ impl<T: ShardTransport> ShardTransport for ChaosTransport<T> {
         self.active = self.draw_fault();
         if self.active == Some(Fault::RefuseSpawn) {
             self.active = None;
-            self.ledger.record(Fault::RefuseSpawn.name());
+            self.fire(Fault::RefuseSpawn.name());
             return Err(format!(
                 "{}: chaos: spawn refused (attempt {})",
                 self.inner.label(),
@@ -468,14 +551,14 @@ impl<T: ShardTransport> ShardTransport for ChaosTransport<T> {
                 // exit invisible. Only the stall window ends this.
                 if !self.freeze_recorded {
                     self.freeze_recorded = true;
-                    self.ledger.record(Fault::FreezeHeartbeat.name());
+                    self.fire(Fault::FreezeHeartbeat.name());
                 }
                 PollStatus::Running
             }
             Some(Fault::KillAfterHeartbeats(n)) => {
                 if self.inner.heartbeat() >= n {
                     self.active = None;
-                    self.ledger.record(Fault::KillAfterHeartbeats(n).name());
+                    self.fire(Fault::KillAfterHeartbeats(n).name());
                     self.inner.kill();
                     return PollStatus::Exited {
                         success: false,
@@ -498,11 +581,11 @@ impl<T: ShardTransport> ShardTransport for ChaosTransport<T> {
     fn fetch(&mut self, job: &ShardJob) -> Result<ShardResult, String> {
         match self.active.take() {
             Some(Fault::FetchError) => {
-                self.ledger.record(Fault::FetchError.name());
+                self.fire(Fault::FetchError.name());
                 Err(format!("{}: chaos: fetch failed", self.inner.label()))
             }
             Some(Fault::CorruptArtifact) => {
-                self.ledger.record(Fault::CorruptArtifact.name());
+                self.fire(Fault::CorruptArtifact.name());
                 let mut result = self.inner.fetch(job)?;
                 // Mangle the envelope: fetch validation must reject
                 // this artefact and retry the shard.
@@ -531,14 +614,14 @@ impl<T: ShardTransport> ShardTransport for ChaosTransport<T> {
                 );
                 let torn = truncate_tail(&journal, &mut sm);
                 if torn != journal {
-                    self.ledger.record(HandoffFault::TruncateTail.name());
+                    self.fire(HandoffFault::TruncateTail.name());
                 }
                 Some(torn)
             }
             Some(HandoffFault::DuplicateLastRow) => {
                 let doubled = duplicate_last_row(&journal);
                 if doubled != journal {
-                    self.ledger.record(HandoffFault::DuplicateLastRow.name());
+                    self.fire(HandoffFault::DuplicateLastRow.name());
                 }
                 Some(doubled)
             }

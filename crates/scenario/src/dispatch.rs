@@ -39,7 +39,9 @@ use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
-use crate::chaos::RetryPolicy;
+use sirtm_telemetry::{SpanGuard, Tracer};
+
+use crate::chaos::{ChaosLedger, RetryPolicy};
 use crate::json::{parse, Json};
 use crate::shard::{
     checkpoint_file, fingerprint, merge_shards, run_shard, sanitize_journal, ShardPlan, ShardResult,
@@ -875,7 +877,7 @@ impl ShardTransport for Mock {
 // ---------------------------------------------------------------------------
 
 /// Dispatcher tuning knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DispatchOptions {
     /// Sleep between poll rounds ([`Duration::ZERO`] = spin; the mock
     /// tests do, real transports should not).
@@ -899,6 +901,12 @@ pub struct DispatchOptions {
     /// retries); [`RetryPolicy::persistent`] rides out transient
     /// faults with deterministic backoff.
     pub retry: RetryPolicy,
+    /// Host-plane tracer. When set, the dispatcher emits one `attempt`
+    /// span per assignment on the worker's track plus instant events
+    /// for spawn failures, in-attempt retries, heartbeat progress,
+    /// stall kills and checkpoint salvages. Purely observational: the
+    /// merged artefact is byte-identical with or without it.
+    pub tracer: Option<Tracer>,
 }
 
 impl Default for DispatchOptions {
@@ -909,6 +917,7 @@ impl Default for DispatchOptions {
             max_attempts: 5,
             worker_strikes: 3,
             retry: RetryPolicy::default(),
+            tracer: None,
         }
     }
 }
@@ -945,6 +954,18 @@ pub struct WorkerReport {
     pub completed: usize,
     /// Failed attempts (crashes, stalls, spawn failures).
     pub failed: usize,
+    /// In-attempt transport retries: spawn/fetch tries beyond each
+    /// op's first, as executed under [`RetryPolicy`].
+    pub retries: usize,
+    /// Checkpoint journals salvaged off this worker after failed
+    /// attempts (counted only when the salvage advanced the cache).
+    pub salvaged: usize,
+    /// Injected-fault counts attributed to this worker (fault class →
+    /// firings), filled from [`ChaosLedger::worker_counts`] by
+    /// [`DispatchReport::attribute_faults`] when a chaos harness drove
+    /// the dispatch; empty otherwise. Same vocabulary as the trace's
+    /// `fault` instant events.
+    pub faults: Vec<(String, usize)>,
     /// Total wall time spent on attempts.
     pub busy: Duration,
     /// Whether the worker hit its strike limit and was retired.
@@ -1006,13 +1027,27 @@ impl DispatchReport {
                     self.workers
                         .iter()
                         .map(|w| {
-                            Json::obj(vec![
+                            let mut obj = vec![
                                 ("worker", Json::Str(w.worker.clone())),
                                 ("completed", Json::Num(w.completed as f64)),
                                 ("failed", Json::Num(w.failed as f64)),
+                                ("retries", Json::Num(w.retries as f64)),
+                                ("salvaged", Json::Num(w.salvaged as f64)),
                                 ("busy_ms", ms(w.busy)),
                                 ("retired", Json::Bool(w.retired)),
-                            ])
+                            ];
+                            if !w.faults.is_empty() {
+                                obj.push((
+                                    "faults",
+                                    Json::Obj(
+                                        w.faults
+                                            .iter()
+                                            .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                                            .collect(),
+                                    ),
+                                ));
+                            }
+                            Json::obj(obj)
                         })
                         .collect(),
                 ),
@@ -1070,6 +1105,17 @@ impl DispatchReport {
     pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
         crate::shard::atomic_write(path, &self.to_json().render_pretty())
     }
+
+    /// Fills the chaos columns from `ledger`: the pool-wide `injected`
+    /// counts plus each worker's attributed `faults` slice, so the
+    /// report, the ledger and the trace all count the same firings
+    /// under the same fault-class names.
+    pub fn attribute_faults(&mut self, ledger: &ChaosLedger) {
+        self.injected = ledger.counts();
+        for w in &mut self.workers {
+            w.faults = ledger.worker_counts(&w.worker);
+        }
+    }
 }
 
 /// What a successful dispatch returns: the merged sweep result
@@ -1125,6 +1171,17 @@ impl Ledger {
                     .as_ref()
                     .is_none_or(|old| journal_rows(&journal) > journal_rows(old));
                 if ahead {
+                    if let Some(tracer) = &opts.tracer {
+                        tracer.instant(
+                            worker.label(),
+                            "salvage",
+                            &[
+                                ("shard", &shard.to_string()),
+                                ("rows", &journal_rows(&journal).to_string()),
+                            ],
+                        );
+                    }
+                    self.workers[worker_idx].salvaged += 1;
                     self.salvaged[shard] = Some(journal);
                 }
             }
@@ -1147,6 +1204,16 @@ impl Ledger {
                 job.plan.shards,
                 self.shards[shard].attempts.len()
             ));
+        }
+        if let Some(tracer) = &opts.tracer {
+            tracer.instant(
+                worker.label(),
+                "requeue",
+                &[
+                    ("shard", &shard.to_string()),
+                    ("attempts", &self.shards[shard].attempts.len().to_string()),
+                ],
+            );
         }
         self.pending.push_front(shard);
         Ok(())
@@ -1180,6 +1247,18 @@ struct Busy {
     started: Instant,
     last_heartbeat: usize,
     quiet_polls: usize,
+    /// The host-plane `attempt` span, closed (recorded) when the
+    /// attempt ends; `None` when tracing is off.
+    span: Option<SpanGuard>,
+}
+
+impl Busy {
+    /// Ends the attempt span with its outcome arg (no-op untraced).
+    fn close_span(&mut self, outcome: &str) {
+        if let Some(mut span) = self.span.take() {
+            span.arg("outcome", outcome);
+        }
+    }
 }
 
 /// Splits `sweep` into `shard_count` shards and executes them across
@@ -1243,6 +1322,9 @@ pub fn dispatch(
                 worker: w.label().to_string(),
                 completed: 0,
                 failed: 0,
+                retries: 0,
+                salvaged: 0,
+                faults: Vec::new(),
                 busy: Duration::ZERO,
                 retired: false,
             })
@@ -1260,13 +1342,26 @@ pub fn dispatch(
         done: 0,
     };
     let mut busy: Vec<Option<Busy>> = workers.iter().map(|_| None).collect();
+    let dispatch_span = opts.tracer.as_ref().map(|t| {
+        let mut span = t.span("dispatch", "dispatch");
+        span.arg("sweep", &sweep.name);
+        span.arg("shards", &shard_count.to_string());
+        span.arg("workers", &workers.len().to_string());
+        span
+    });
     if let Err(e) = dispatch_loop(&jobs, workers, opts, &mut ledger, &mut busy) {
+        if let Some(mut span) = dispatch_span {
+            span.arg("outcome", "failed");
+        }
         // Don't leak running workers (subprocesses, ssh sessions) past
         // a failed dispatch.
         for worker in workers.iter_mut() {
             worker.kill();
         }
         return Err(e);
+    }
+    if let Some(mut span) = dispatch_span {
+        span.arg("outcome", "completed");
     }
 
     let results: Vec<ShardResult> = ledger
@@ -1290,17 +1385,30 @@ pub fn dispatch(
     })
 }
 
-/// Calls `spawn` under the per-op retry budget of `retry`, with
-/// deterministic backoff between tries.
+/// Emits the in-attempt `retry` instant on the worker's track.
+fn trace_retry(opts: &DispatchOptions, label: &str, op: &str, try_idx: u32) {
+    if let Some(tracer) = &opts.tracer {
+        tracer.instant(label, "retry", &[("op", op), ("try", &try_idx.to_string())]);
+    }
+}
+
+/// Calls `spawn` under the per-op retry budget of `opts.retry`, with
+/// deterministic backoff between tries. Tries beyond the first are
+/// accumulated into `retries` and traced as `retry` instants.
 fn spawn_with_retry(
     worker: &mut dyn ShardTransport,
     job: &ShardJob,
-    retry: &RetryPolicy,
+    opts: &DispatchOptions,
+    retries: &mut usize,
 ) -> Result<(), String> {
-    let tries = retry.spawn_tries.max(1);
+    let tries = opts.retry.spawn_tries.max(1);
     let mut last = String::new();
     for t in 0..tries {
-        let wait = retry.delay("spawn", worker.label(), t);
+        if t > 0 {
+            *retries += 1;
+            trace_retry(opts, worker.label(), "spawn", t);
+        }
+        let wait = opts.retry.delay("spawn", worker.label(), t);
         if !wait.is_zero() {
             std::thread::sleep(wait);
         }
@@ -1316,16 +1424,21 @@ fn spawn_with_retry(
     }
 }
 
-/// Calls `fetch` under the per-op retry budget of `retry`.
+/// Calls `fetch` under the per-op retry budget of `opts.retry`.
 fn fetch_with_retry(
     worker: &mut dyn ShardTransport,
     job: &ShardJob,
-    retry: &RetryPolicy,
+    opts: &DispatchOptions,
+    retries: &mut usize,
 ) -> Result<ShardResult, String> {
-    let tries = retry.fetch_tries.max(1);
+    let tries = opts.retry.fetch_tries.max(1);
     let mut last = String::new();
     for t in 0..tries {
-        let wait = retry.delay("fetch", worker.label(), t);
+        if t > 0 {
+            *retries += 1;
+            trace_retry(opts, worker.label(), "fetch", t);
+        }
+        let wait = opts.retry.delay("fetch", worker.label(), t);
         if !wait.is_zero() {
             std::thread::sleep(wait);
         }
@@ -1366,16 +1479,29 @@ fn dispatch_loop(
                 // Best-effort: a failed staging just recomputes runs.
                 let _ = worker.seed_checkpoint(job, &journal);
             }
-            match spawn_with_retry(worker.as_mut(), job, &opts.retry) {
+            match spawn_with_retry(worker.as_mut(), job, opts, &mut ledger.workers[w].retries) {
                 Ok(()) => {
+                    let span = opts.tracer.as_ref().map(|t| {
+                        let mut span = t.span(worker.label(), "attempt");
+                        span.arg("shard", &shard.to_string());
+                        span
+                    });
                     busy[w] = Some(Busy {
                         shard,
                         started: Instant::now(),
                         last_heartbeat: 0,
                         quiet_polls: 0,
+                        span,
                     });
                 }
                 Err(e) => {
+                    if let Some(tracer) = &opts.tracer {
+                        tracer.instant(
+                            worker.label(),
+                            "spawn-failed",
+                            &[("shard", &shard.to_string())],
+                        );
+                    }
                     ledger.fail(
                         w,
                         worker.as_mut(),
@@ -1418,6 +1544,13 @@ fn dispatch_loop(
                     }
                     let hb = worker.heartbeat();
                     if hb > state.last_heartbeat {
+                        if let Some(tracer) = &opts.tracer {
+                            tracer.instant(
+                                worker.label(),
+                                "heartbeat",
+                                &[("shard", &shard.to_string()), ("runs", &hb.to_string())],
+                            );
+                        }
                         state.last_heartbeat = hb;
                         state.quiet_polls = 0;
                     } else {
@@ -1426,6 +1559,14 @@ fn dispatch_loop(
                     if state.quiet_polls >= opts.stall_polls {
                         worker.kill();
                         let elapsed = state.started.elapsed();
+                        state.close_span("stalled");
+                        if let Some(tracer) = &opts.tracer {
+                            tracer.instant(
+                                worker.label(),
+                                "stall-kill",
+                                &[("shard", &shard.to_string())],
+                            );
+                        }
                         busy[w] = None;
                         ledger.fail(
                             w,
@@ -1442,15 +1583,24 @@ fn dispatch_loop(
                 }
                 PollStatus::Exited { success: true, .. } => {
                     let elapsed = state.started.elapsed();
-                    busy[w] = None;
-                    match fetch_with_retry(worker.as_mut(), job, &opts.retry) {
+                    let Some(mut slot) = busy[w].take() else {
+                        continue;
+                    };
+                    match fetch_with_retry(
+                        worker.as_mut(),
+                        job,
+                        opts,
+                        &mut ledger.workers[w].retries,
+                    ) {
                         Ok(result)
                             if result.fingerprint == job.fingerprint && result.plan == job.plan =>
                         {
+                            slot.close_span("completed");
                             let label = worker.label().to_string();
                             ledger.succeed(w, &label, shard, result, elapsed);
                         }
                         Ok(result) => {
+                            slot.close_span("artefact-mismatch");
                             ledger.fail(
                                 w,
                                 worker.as_mut(),
@@ -1469,6 +1619,7 @@ fn dispatch_loop(
                             )?;
                         }
                         Err(e) => {
+                            slot.close_span("fetch-failed");
                             ledger.fail(
                                 w,
                                 worker.as_mut(),
@@ -1485,7 +1636,10 @@ fn dispatch_loop(
                     detail,
                 } => {
                     let elapsed = state.started.elapsed();
-                    busy[w] = None;
+                    let Some(mut slot) = busy[w].take() else {
+                        continue;
+                    };
+                    slot.close_span("crashed");
                     ledger.fail(w, worker.as_mut(), job, detail, elapsed, opts)?;
                 }
             }

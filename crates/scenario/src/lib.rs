@@ -21,6 +21,7 @@
 //! | Sharding, checkpoint/resume, merge | [`shard`] |
 //! | Multi-host shard dispatch (transports, work stealing) | [`mod@dispatch`] |
 //! | Chaos harness (fault injection, retry policy) | [`chaos`] |
+//! | Host-plane sweep observation (sidecar + tracing) | [`observe`] |
 //! | Named preset library | [`presets`] |
 //! | Windowed recording | [`recorder`] |
 //! | Settling/recovery detection | [`detect`] |
@@ -133,6 +134,7 @@ pub mod colony_bridge;
 pub mod detect;
 pub mod dispatch;
 pub mod json;
+pub mod observe;
 pub mod presets;
 pub mod recorder;
 pub mod run;
@@ -149,14 +151,20 @@ pub use dispatch::{
     dispatch, parse_host_manifest, DispatchOptions, DispatchOutcome, DispatchReport, LocalProcess,
     Mock, MockBehaviour, PollStatus, ShardJob, ShardTransport, Ssh, SshHost,
 };
+pub use observe::SweepTelemetry;
 pub use run::{build_platform, run_spec, RunOutcome, RunSummary};
 pub use shard::{
-    merge_named_shards, merge_shards, run_shard, ShardPlan, ShardResult, ShardRunReport,
+    journal_progress, merge_named_shards, merge_shards, run_shard, run_shard_observed,
+    JournalProgress, ShardPlan, ShardResult, ShardRunReport,
 };
 pub use spec::{EventAction, EventSpec, MappingSpec, ScenarioSpec, ThermalEventSpec, WorkloadSpec};
 pub use stats::{OnlineStats, Quartiles};
 pub use sweep::{
-    check_artifact, parallel_map, run_sweep, Axis, CellResult, RunPlan, SeedScheme, SweepOptions,
-    SweepResult, SweepSpec,
+    check_artifact, parallel_map, run_sweep, run_sweep_observed, Axis, CellResult, NullObserver,
+    RunPlan, SeedScheme, SweepObserver, SweepOptions, SweepResult, SweepSpec,
 };
 pub use timeline::Timeline;
+
+/// The telemetry crate, re-exported so downstream consumers (the
+/// `scenarios` binary, tests) name one dependency.
+pub use sirtm_telemetry as telemetry;

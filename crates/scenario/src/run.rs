@@ -11,6 +11,7 @@
 use sirtm_centurion::Platform;
 use sirtm_rng::Xoshiro256StarStar;
 use sirtm_taskgraph::Mapping;
+use sirtm_telemetry::SimCounters;
 
 use crate::detect::{settling_ms, DetectorConfig};
 use crate::recorder::{Recorder, RunTrace};
@@ -34,6 +35,10 @@ pub struct RunOutcome {
     pub recovery_ms: Option<f64>,
     /// Steady throughput at the end of the run, sinks/ms.
     pub final_rate: f64,
+    /// Deterministic sim-plane telemetry for the run (sidecar material;
+    /// deliberately absent from [`RunSummary`] so it can never reach a
+    /// fingerprinted artefact).
+    pub sim: SimCounters,
 }
 
 impl RunOutcome {
@@ -108,15 +113,18 @@ pub fn run_spec(spec: &ScenarioSpec, seed: u64) -> RunOutcome {
     let mut platform = build_platform(spec, seed);
     let mut timeline = Timeline::compile(spec, seed);
     let mut recorder = Recorder::new(spec.window_ms, spec.sink());
+    let thermal_solves = timeline.thermal_solves();
     recorder.run_windows(&mut platform, spec.total_windows(), |_, p| {
         timeline.poll(p);
     });
+    let mut sim = platform.sim_counters();
+    sim.thermal_solves += thermal_solves;
     let trace = recorder.into_trace();
-    measure(spec, seed, trace)
+    measure(spec, seed, trace, sim)
 }
 
 /// Extracts the paper's measures from a recorded trace.
-fn measure(spec: &ScenarioSpec, seed: u64, trace: RunTrace) -> RunOutcome {
+fn measure(spec: &ScenarioSpec, seed: u64, trace: RunTrace, sim: SimCounters) -> RunOutcome {
     let cut = spec
         .settle_region_ms
         .map(|ms| (ms / spec.window_ms).round() as usize)
@@ -173,6 +181,7 @@ fn measure(spec: &ScenarioSpec, seed: u64, trace: RunTrace) -> RunOutcome {
         pre_rate,
         recovery_ms,
         final_rate,
+        sim,
     }
 }
 

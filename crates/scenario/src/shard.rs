@@ -33,7 +33,9 @@ use std::sync::Mutex;
 use crate::json::{parse, Json};
 use crate::run::{run_spec, RunSummary};
 use crate::stats::OnlineStats;
-use crate::sweep::{aggregate, parallel_map, SweepOptions, SweepResult, SweepSpec};
+use crate::sweep::{
+    aggregate, parallel_map, NullObserver, SweepObserver, SweepOptions, SweepResult, SweepSpec,
+};
 
 /// One shard of a sweep: a contiguous, balanced slice of the expanded
 /// run list. Pure data — two processes given the same `(shards,
@@ -590,6 +592,101 @@ pub fn load_checkpoint(
     Ok(loaded)
 }
 
+/// A read-only progress snapshot of one shard's checkpoint journal —
+/// what `scenarios status` renders while a dispatch is live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalProgress {
+    /// The shard coordinates the journal's header declares.
+    pub plan: ShardPlan,
+    /// The sweep fingerprint the journal belongs to.
+    pub fingerprint: String,
+    /// Verified completed-run rows in the trusted prefix.
+    pub completed: usize,
+}
+
+impl JournalProgress {
+    /// Runs this shard's slice holds in total.
+    pub fn expected(&self) -> usize {
+        self.plan.range().len()
+    }
+
+    /// Whether every run of the slice is journalled.
+    pub fn is_complete(&self) -> bool {
+        self.completed >= self.expected()
+    }
+}
+
+/// Reads a checkpoint journal *without* knowing its sweep: header
+/// coordinates plus a count of verified rows. Purely observational —
+/// the file is never modified or quarantined, and a torn tail (the
+/// writer is mid-append on a live run) simply stops the count. Intended
+/// for live status views; resuming still goes through the strict
+/// [`load_checkpoint`].
+///
+/// # Errors
+///
+/// Returns an error if the file is unreadable or its header is not a
+/// shard-checkpoint header.
+pub fn journal_progress(path: &Path) -> Result<JournalProgress, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut segments = text.split_inclusive('\n');
+    let header_seg = segments
+        .next()
+        .filter(|seg| seg.ends_with('\n'))
+        .ok_or_else(|| format!("{}: journal has no complete header line", path.display()))?;
+    let header = parse(header_seg.trim_end_matches('\n'))
+        .map_err(|e| format!("{}: bad header: {e}", path.display()))?;
+    if header.get("kind").and_then(Json::as_str) != Some("sirtm-shard-checkpoint") {
+        return Err(format!("{}: not a shard checkpoint", path.display()));
+    }
+    let fingerprint = header
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{}: header missing `fingerprint`", path.display()))?
+        .to_string();
+    let coord = |key: &str| {
+        header
+            .get(key)
+            .and_then(Json::as_num)
+            .map(|n| n as usize)
+            .ok_or_else(|| format!("{}: header missing `{key}`", path.display()))
+    };
+    let (shard, shards, run_count) = (coord("shard")?, coord("shards")?, coord("run_count")?);
+    if shards == 0 || shard >= shards {
+        return Err(format!(
+            "{}: header names shard {shard}/{shards}",
+            path.display()
+        ));
+    }
+    let plan = ShardPlan::new(shard, shards, run_count);
+    let mut completed = 0usize;
+    let mut next_seq = 1u64;
+    let mut prev: Option<(u64, &str)> = None;
+    for seg in segments {
+        let Some(line) = seg.strip_suffix('\n') else {
+            break;
+        };
+        let Ok((seq, index, _)) = parse_checkpoint_row(line) else {
+            break;
+        };
+        if prev == Some((seq, line)) {
+            continue; // benign duplicated append
+        }
+        if seq != next_seq || !plan.range().contains(&index) {
+            break;
+        }
+        next_seq += 1;
+        completed += 1;
+        prev = Some((seq, line));
+    }
+    Ok(JournalProgress {
+        plan,
+        fingerprint,
+        completed,
+    })
+}
+
 /// The trusted prefix of a checkpoint journal *text*: the header plus
 /// every CRC- and sequence-verified row, stopping at the first line
 /// that fails verification. `None` when even the header is
@@ -690,6 +787,30 @@ pub fn run_shard(
     opts: SweepOptions,
     limit: Option<usize>,
 ) -> Result<ShardRunReport, String> {
+    run_shard_observed(sweep, plan, checkpoint_dir, opts, limit, &NullObserver)
+}
+
+/// [`run_shard`] with observation hooks around every freshly executed
+/// run (checkpoint-restored runs are not re-observed — they did not
+/// execute). Observers see the *global* run index via the plan, so a
+/// sidecar collected across shards merges back to the unsharded one.
+///
+/// # Errors
+///
+/// Returns checkpoint I/O and validation errors.
+///
+/// # Panics
+///
+/// Panics if the plan's run count disagrees with the sweep or a spec is
+/// invalid.
+pub fn run_shard_observed(
+    sweep: &SweepSpec,
+    plan: ShardPlan,
+    checkpoint_dir: Option<&Path>,
+    opts: SweepOptions,
+    limit: Option<usize>,
+    observer: &dyn SweepObserver,
+) -> Result<ShardRunReport, String> {
     assert_eq!(
         plan.run_count,
         sweep.run_count(),
@@ -765,7 +886,10 @@ pub fn run_shard(
     };
     let fresh = parallel_map(todo.len(), opts.threads, |k| {
         let index = todo[k];
-        let summary = run_spec(&plans[index].spec, plans[index].seed).summary();
+        observer.run_started(&plans[index]);
+        let outcome = run_spec(&plans[index].spec, plans[index].seed);
+        observer.run_finished(&plans[index], &outcome);
+        let summary = outcome.summary();
         if let Some(journal) = &journal {
             // One line per completed run, flushed immediately: the
             // checkpoint is never more than one torn line behind.

@@ -21,7 +21,7 @@ use sirtm_rng::{Rng, SplitMix64};
 use sirtm_taskgraph::GridDims;
 
 use crate::json::Json;
-use crate::run::{run_spec, RunSummary};
+use crate::run::{run_spec, RunOutcome, RunSummary};
 use crate::spec::{model_from_name, model_name, EventAction, EventSpec, ScenarioSpec};
 use crate::stats::{OnlineStats, Quartiles};
 
@@ -506,12 +506,52 @@ where
         .collect()
 }
 
+/// Observation hooks around each run of a sweep or shard.
+///
+/// The hooks are deliberately *clock-free*: this crate's orchestrators
+/// are deterministic code, so they never read wall time themselves —
+/// a host-side implementation (see [`crate::observe`]) does its own
+/// timing around the callbacks and collects each run's deterministic
+/// [`sirtm_telemetry::SimCounters`] from the outcome. Implementations
+/// must be `Sync` (runs call in from worker threads, concurrently) and
+/// must not panic: an observer is a bystander, never a participant.
+pub trait SweepObserver: Sync {
+    /// A run is about to execute on some worker thread.
+    fn run_started(&self, _plan: &RunPlan) {}
+
+    /// A run finished; `outcome` carries the full trace and the run's
+    /// deterministic sim-plane counters (`outcome.sim`).
+    fn run_finished(&self, _plan: &RunPlan, _outcome: &RunOutcome) {}
+}
+
+/// The no-op observer: [`run_sweep`] is `run_sweep_observed` with this.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl SweepObserver for NullObserver {}
+
 /// Executes a sweep and aggregates per cell.
 ///
 /// # Panics
 ///
 /// Panics if the sweep expands to zero runs or a spec is invalid.
 pub fn run_sweep(sweep: &SweepSpec, opts: SweepOptions) -> SweepResult {
+    run_sweep_observed(sweep, opts, &NullObserver)
+}
+
+/// [`run_sweep`] with observation hooks around every run. The observer
+/// sees runs in scheduling order (which varies with thread count); the
+/// returned result is bit-identical to an unobserved sweep — observers
+/// receive copies of deterministic state and cannot influence the run.
+///
+/// # Panics
+///
+/// Panics if the sweep expands to zero runs or a spec is invalid.
+pub fn run_sweep_observed(
+    sweep: &SweepSpec,
+    opts: SweepOptions,
+    observer: &dyn SweepObserver,
+) -> SweepResult {
     let plans = sweep.expand();
     assert!(!plans.is_empty(), "sweep expands to zero runs");
     let threads_used = if opts.threads == 0 {
@@ -524,7 +564,10 @@ pub fn run_sweep(sweep: &SweepSpec, opts: SweepOptions) -> SweepResult {
     .min(plans.len());
     let summaries = parallel_map(plans.len(), opts.threads, |i| {
         let plan = &plans[i];
-        run_spec(&plan.spec, plan.seed).summary()
+        observer.run_started(plan);
+        let outcome = run_spec(&plan.spec, plan.seed);
+        observer.run_finished(plan, &outcome);
+        outcome.summary()
     });
     let mut result = aggregate(sweep, &plans, &summaries);
     result.threads_used = threads_used;

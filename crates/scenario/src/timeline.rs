@@ -155,6 +155,12 @@ pub struct CompiledEvent {
 pub struct Timeline {
     events: Vec<CompiledEvent>,
     next: usize,
+    /// Thermal victim-set resolutions this compilation requested (the
+    /// sim plane's `thermal_solves` counter). Counted at compile rather
+    /// than at the physics layer because the thermal solver memoizes
+    /// process-wide: actual solve counts depend on what other runs have
+    /// already warmed, which would break sidecar determinism.
+    thermal_solves: u64,
 }
 
 impl Timeline {
@@ -184,6 +190,7 @@ impl Timeline {
             };
             event_rng(seed, at_ms, ordinal)
         };
+        let mut thermal_solves = 0u64;
         let mut events: Vec<CompiledEvent> = spec
             .events
             .iter()
@@ -236,15 +243,18 @@ impl Timeline {
                             FaultKind::PeDead,
                         ))
                     }
-                    EventAction::ThermalFaults(t) => CompiledAction::Faults(
-                        thermal_victims(dims, t, at)
-                            .into_iter()
-                            .map(|node| Fault {
-                                node,
-                                kind: FaultKind::PeDead,
-                            })
-                            .collect(),
-                    ),
+                    EventAction::ThermalFaults(t) => {
+                        thermal_solves += 1;
+                        CompiledAction::Faults(
+                            thermal_victims(dims, t, at)
+                                .into_iter()
+                                .map(|node| Fault {
+                                    node,
+                                    kind: FaultKind::PeDead,
+                                })
+                                .collect(),
+                        )
+                    }
                     EventAction::SetFrequencyAll { mhz } => CompiledAction::SetFrequencyAll(*mhz),
                     EventAction::SetFrequencyRows {
                         first_row,
@@ -271,12 +281,22 @@ impl Timeline {
             .collect();
         // Stable: simultaneous events keep their listed order.
         events.sort_by_key(|e| e.at);
-        Self { events, next: 0 }
+        Self {
+            events,
+            next: 0,
+            thermal_solves,
+        }
     }
 
     /// The compiled events, in firing order.
     pub fn events(&self) -> &[CompiledEvent] {
         &self.events
+    }
+
+    /// Thermal victim-set resolutions this compilation requested — the
+    /// sim plane's deterministic `thermal_solves` counter.
+    pub fn thermal_solves(&self) -> u64 {
+        self.thermal_solves
     }
 
     /// Whether every event has fired.

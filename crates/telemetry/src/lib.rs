@@ -1,0 +1,98 @@
+//! Two-plane observability for the SIRTM stack.
+//!
+//! The simulator's artefacts are *fingerprinted*: a sweep result must be
+//! byte-identical across thread counts, shard plans and re-runs, so no
+//! runtime fact (wall-clock time, hostnames, worker identity) may ever
+//! reach them. Yet a running sweep still has to explain where its cycles
+//! go and what the fleet is doing right now. This crate resolves that
+//! tension by splitting observability into two planes that never mix:
+//!
+//! * **Sim plane** ([`sim`]) — deterministic, cycle-stamped counters
+//!   ([`SimCounters`]) accumulated inside the simulation itself (steps
+//!   vs. fast-forwarded cycles, NoC messages, gossip rounds, AIM scans,
+//!   thermal solves). They are a pure function of `(spec, seed)` and are
+//!   emitted as a *sidecar* artefact next to — never inside — the
+//!   fingerprinted sweep artefact, bit-identical across thread counts
+//!   and shard plans ([`SidecarCollector`]).
+//! * **Host plane** ([`trace`]) — wall-clock spans and instant events
+//!   ([`Tracer`]) recorded into a bounded ring buffer and exported as
+//!   JSONL or Chrome trace-event JSON (`chrome://tracing` /
+//!   `ui.perfetto.dev`). Host-plane output is a *report*, not an
+//!   artefact: it may carry timestamps, worker names and durations, and
+//!   it is classified host-side in `lint.toml` so detlint keeps its
+//!   vocabulary (`ts_us`, `dur_us`, …) out of deterministic code.
+//!
+//! The crate is dependency-free and renders its own JSON so that `u64`
+//! counters round-trip with exact digits (the workspace JSON value type
+//! stores numbers as `f64`).
+//!
+//! # Examples
+//!
+//! Sim plane — counters collect per run, keyed by global run index:
+//!
+//! ```
+//! use sirtm_telemetry::{SidecarCollector, SimCounters};
+//!
+//! let collector = SidecarCollector::new("smoke");
+//! let mut c = SimCounters::default();
+//! c.cycles_stepped = 1_000;
+//! c.gossip_rounds = 4;
+//! collector.record(0, 0xDEAD, c);
+//! let sidecar = collector.render();
+//! assert!(sidecar.contains("\"kind\": \"sirtm-sim-sidecar\""));
+//! assert!(sidecar.contains("\"cycles_stepped\": 1000"));
+//! ```
+//!
+//! Host plane — spans close on drop; the export is Chrome-loadable:
+//!
+//! ```
+//! use sirtm_telemetry::Tracer;
+//!
+//! let tracer = Tracer::new(1024);
+//! {
+//!     let _span = tracer.span("worker-0", "fetch");
+//!     tracer.instant("worker-0", "fault", &[("kind", "spawn-io")]);
+//! }
+//! assert_eq!(tracer.len(), 2);
+//! assert!(tracer.chrome_json().contains("\"traceEvents\""));
+//! ```
+
+pub mod sim;
+pub mod trace;
+
+pub use sim::{SidecarCollector, SimCounters};
+pub use trace::{SpanGuard, TraceEvent, Tracer};
+
+/// Escapes a string for inclusion in a JSON string literal (without the
+/// surrounding quotes). Shared by both planes' renderers.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::escape_json;
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b"), "a\\\"b");
+        assert_eq!(escape_json("a\\b"), "a\\\\b");
+        assert_eq!(escape_json("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,440 @@
+//! Host plane: wall-clock spans and instant events.
+//!
+//! Everything in this module is *host-side report* material: wall-clock
+//! timestamps, durations, worker names. None of it may feed a
+//! fingerprinted artefact — this file is classified as host code in
+//! `lint.toml`, and detlint's D4 rule keeps its vocabulary (`ts_us`,
+//! `dur_us`, `wall_ms`, …) out of deterministic crates.
+//!
+//! The tracer is a bounded ring buffer behind an `Arc<Mutex<…>>`, cheap
+//! to clone and share across the dispatcher's poll loop and worker
+//! bookkeeping. Two export shapes:
+//!
+//! * **JSONL** — one JSON object per line, append-friendly; with a live
+//!   file sink attached, each event is written (and flushed) as it is
+//!   recorded, so `scenarios status` can tail it.
+//! * **Chrome trace-event JSON** — loadable in `chrome://tracing` or
+//!   `ui.perfetto.dev`; each track (worker) becomes a named thread row.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::escape_json;
+
+/// One recorded event: a completed span (`dur_us = Some`) or an instant
+/// (`dur_us = None`), stamped in microseconds since the tracer's epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Microseconds since the tracer was created.
+    pub ts_us: u64,
+    /// Span duration in microseconds; `None` for instant events.
+    pub dur_us: Option<u64>,
+    /// The track (worker / component) the event belongs to.
+    pub track: String,
+    /// Event name (`fetch`, `spawn`, `fault`, …).
+    pub name: String,
+    /// Free-form string key/value annotations.
+    pub args: Vec<(String, String)>,
+}
+
+impl TraceEvent {
+    /// Renders the event as one JSONL line (no trailing newline).
+    pub fn jsonl_line(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"ts_us\": ");
+        out.push_str(&self.ts_us.to_string());
+        if let Some(dur) = self.dur_us {
+            out.push_str(", \"dur_us\": ");
+            out.push_str(&dur.to_string());
+        }
+        out.push_str(", \"track\": \"");
+        out.push_str(&escape_json(&self.track));
+        out.push_str("\", \"name\": \"");
+        out.push_str(&escape_json(&self.name));
+        out.push('"');
+        if !self.args.is_empty() {
+            out.push_str(", \"args\": ");
+            push_args(&mut out, &self.args);
+        }
+        out.push('}');
+        out
+    }
+
+    fn chrome_event(&self, tid: usize) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"name\": \"");
+        out.push_str(&escape_json(&self.name));
+        out.push_str("\", \"cat\": \"sirtm\", \"ph\": \"");
+        match self.dur_us {
+            Some(dur) => {
+                out.push_str("X\", \"ts\": ");
+                out.push_str(&self.ts_us.to_string());
+                out.push_str(", \"dur\": ");
+                out.push_str(&dur.to_string());
+            }
+            None => {
+                out.push_str("i\", \"s\": \"t\", \"ts\": ");
+                out.push_str(&self.ts_us.to_string());
+            }
+        }
+        out.push_str(", \"pid\": 1, \"tid\": ");
+        out.push_str(&tid.to_string());
+        if !self.args.is_empty() {
+            out.push_str(", \"args\": ");
+            push_args(&mut out, &self.args);
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn push_args(out: &mut String, args: &[(String, String)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('"');
+        out.push_str(&escape_json(k));
+        out.push_str("\": \"");
+        out.push_str(&escape_json(v));
+        out.push('"');
+    }
+    out.push('}');
+}
+
+struct Inner {
+    epoch: Instant,
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+    tracks: Vec<String>,
+    sink: Option<File>,
+}
+
+impl Inner {
+    fn track_id(&mut self, track: &str) -> usize {
+        if let Some(i) = self.tracks.iter().position(|t| t == track) {
+            return i;
+        }
+        self.tracks.push(track.to_string());
+        self.tracks.len() - 1
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        self.track_id(&event.track);
+        if let Some(sink) = self.sink.as_mut() {
+            // Live tail support: one line per event, flushed eagerly so
+            // `scenarios status` sees progress while the run is live.
+            let line = event.jsonl_line();
+            let _ = writeln!(sink, "{line}");
+            let _ = sink.flush();
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+/// A shared, bounded wall-clock tracer.
+///
+/// Cloning is cheap (shared `Arc`); all clones feed one ring buffer.
+/// When the buffer is full the oldest event is dropped and counted in
+/// [`Tracer::dropped`] — tracing must never stall or abort the work it
+/// observes.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Tracer {
+    /// Creates a tracer with a ring buffer of `capacity` events
+    /// (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(Inner {
+                epoch: Instant::now(),
+                capacity: capacity.max(1),
+                events: VecDeque::new(),
+                dropped: 0,
+                tracks: Vec::new(),
+                sink: None,
+            })),
+        }
+    }
+
+    /// Creates a tracer that additionally appends every event, as it is
+    /// recorded, to a JSONL file at `path` (truncating any existing
+    /// file). The in-memory ring buffer still applies; the file does
+    /// not — it receives every event.
+    pub fn with_sink(capacity: usize, path: &Path) -> io::Result<Self> {
+        let sink = File::create(path)?;
+        let tracer = Self::new(capacity);
+        tracer.lock().sink = Some(sink);
+        Ok(tracer)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records an instant event on `track`.
+    pub fn instant(&self, track: &str, name: &str, args: &[(&str, &str)]) {
+        let mut inner = self.lock();
+        let ts_us = inner.epoch.elapsed().as_micros() as u64;
+        inner.record(TraceEvent {
+            ts_us,
+            dur_us: None,
+            track: track.to_string(),
+            name: name.to_string(),
+            args: args
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        });
+    }
+
+    /// Opens a span on `track`; the event is recorded (with its
+    /// duration) when the returned guard drops.
+    pub fn span(&self, track: &str, name: &str) -> SpanGuard {
+        self.span_started_at(track, name, Instant::now())
+    }
+
+    /// Opens a span whose start is back-dated to `start` — for callers
+    /// that measured the start themselves and only hand the span over
+    /// at the end (a `start` after the tracer's epoch is expected;
+    /// anything earlier clamps to the epoch).
+    pub fn span_started_at(&self, track: &str, name: &str, start: Instant) -> SpanGuard {
+        let epoch = self.lock().epoch;
+        let start_us = start.saturating_duration_since(epoch).as_micros() as u64;
+        SpanGuard {
+            tracer: self.clone(),
+            track: track.to_string(),
+            name: name.to_string(),
+            args: Vec::new(),
+            start,
+            start_us,
+        }
+    }
+
+    /// Number of events currently held in the ring buffer.
+    pub fn len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// True if no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events evicted from the ring buffer so far.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Snapshot of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.lock().events.iter().cloned().collect()
+    }
+
+    /// Renders the buffered events as JSONL (one object per line).
+    pub fn jsonl(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::with_capacity(inner.events.len() * 96);
+        for e in &inner.events {
+            out.push_str(&e.jsonl_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the buffered events as a Chrome trace-event JSON
+    /// document (load it in `chrome://tracing` or `ui.perfetto.dev`).
+    /// Each track becomes a named thread row via `thread_name` metadata
+    /// events.
+    pub fn chrome_json(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::with_capacity(256 + inner.events.len() * 128);
+        out.push_str("{\"traceEvents\": [");
+        let mut first = true;
+        for (tid, track) in inner.tracks.iter().enumerate() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": ");
+            out.push_str(&tid.to_string());
+            out.push_str(", \"args\": {\"name\": \"");
+            out.push_str(&escape_json(track));
+            out.push_str("\"}}");
+        }
+        for e in &inner.events {
+            let tid = inner.tracks.iter().position(|t| t == &e.track).unwrap_or(0);
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n  ");
+            out.push_str(&e.chrome_event(tid));
+        }
+        out.push_str("\n], \"otherData\": {\"dropped\": \"");
+        out.push_str(&inner.dropped.to_string());
+        out.push_str("\"}}\n");
+        out
+    }
+
+    /// Flushes the live JSONL sink, if one is attached.
+    pub fn flush(&self) {
+        if let Some(sink) = self.lock().sink.as_mut() {
+            let _ = sink.flush();
+        }
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("Tracer")
+            .field("events", &inner.events.len())
+            .field("capacity", &inner.capacity)
+            .field("dropped", &inner.dropped)
+            .field("tracks", &inner.tracks.len())
+            .field("sink", &inner.sink.is_some())
+            .finish()
+    }
+}
+
+/// An open span; records a completed-span event when dropped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    tracer: Tracer,
+    track: String,
+    name: String,
+    args: Vec<(String, String)>,
+    start: Instant,
+    start_us: u64,
+}
+
+impl SpanGuard {
+    /// Attaches a key/value annotation to the span.
+    pub fn arg(&mut self, key: &str, value: &str) {
+        self.args.push((key.to_string(), value.to_string()));
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let dur_us = self.start.elapsed().as_micros() as u64;
+        let event = TraceEvent {
+            ts_us: self.start_us,
+            dur_us: Some(dur_us),
+            track: std::mem::take(&mut self.track),
+            name: std::mem::take(&mut self.name),
+            args: std::mem::take(&mut self.args),
+        };
+        self.tracer.lock().record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_and_instants_buffer_in_order() {
+        let tracer = Tracer::new(16);
+        {
+            let mut span = tracer.span("w0", "fetch");
+            span.arg("shard", "1/2");
+            tracer.instant("w0", "fault", &[("kind", "fetch-io")]);
+        }
+        let events = tracer.events();
+        assert_eq!(events.len(), 2);
+        // The instant records first; the span closes when its guard drops.
+        assert_eq!(events[0].name, "fault");
+        assert_eq!(events[0].dur_us, None);
+        assert_eq!(events[1].name, "fetch");
+        assert!(events[1].dur_us.is_some());
+        assert_eq!(
+            events[1].args,
+            vec![("shard".to_string(), "1/2".to_string())]
+        );
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest_and_counts_drops() {
+        let tracer = Tracer::new(3);
+        for i in 0..5 {
+            tracer.instant("w", &format!("e{i}"), &[]);
+        }
+        assert_eq!(tracer.len(), 3);
+        assert_eq!(tracer.dropped(), 2);
+        let names: Vec<String> = tracer.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, ["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn chrome_export_names_tracks_and_types_events() {
+        let tracer = Tracer::new(8);
+        tracer.instant("w1", "fault", &[("kind", "spawn-io")]);
+        drop(tracer.span("w0", "poll"));
+        let doc = tracer.chrome_json();
+        assert!(doc.contains("\"traceEvents\""));
+        assert!(doc.contains("\"thread_name\""));
+        assert!(doc.contains("\"w0\""));
+        assert!(doc.contains("\"w1\""));
+        assert!(
+            doc.contains("\"ph\": \"X\""),
+            "span must be a complete event"
+        );
+        assert!(
+            doc.contains("\"ph\": \"i\""),
+            "instant must be an instant event"
+        );
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let tracer = Tracer::new(8);
+        tracer.instant("w", "a", &[]);
+        tracer.instant("w", "b", &[("k", "v")]);
+        let text = tracer.jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"ts_us\": "));
+        assert!(lines[1].contains("\"args\": {\"k\": \"v\"}"));
+    }
+
+    #[test]
+    fn sink_receives_every_event_despite_ring_eviction() {
+        let dir = std::env::temp_dir().join(format!("sirtm_trace_sink_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("trace.jsonl");
+        let tracer = Tracer::with_sink(2, &path).expect("sink opens");
+        for i in 0..4 {
+            tracer.instant("w", &format!("e{i}"), &[]);
+        }
+        tracer.flush();
+        let text = std::fs::read_to_string(&path).expect("sink readable");
+        assert_eq!(text.lines().count(), 4, "sink keeps evicted events");
+        assert_eq!(tracer.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let a = Tracer::new(8);
+        let b = a.clone();
+        a.instant("w", "from-a", &[]);
+        b.instant("w", "from-b", &[]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+    }
+}
