@@ -189,6 +189,121 @@ fn ffw_twins_agree_on_the_full_grid() {
     );
 }
 
+/// Like [`assert_twins_agree`] but driven by an explicit hostile
+/// timeline: `(window, event)` pairs applied to both twins. The three
+/// tests below mirror shrunk reproducers from the `scenarios fuzz`
+/// frontier corpus (`corpus/frontier.jsonl`), with the corpus entries'
+/// derived evaluation seeds, so the optimized stepper is pinned against
+/// the naive one exactly where the fuzzer found the colony breaking.
+type TimelineEvent<'a> = (usize, &'a dyn Fn(&mut Platform));
+
+fn assert_twins_agree_on_timeline(
+    model: ModelKind,
+    seed: u64,
+    dims: GridDims,
+    total_windows: usize,
+    timeline: &[TimelineEvent],
+) {
+    let mut naive = build(&model, seed, dims);
+    let mut fast = build(&model, seed, dims);
+    let window_cycles = naive.config().ms_to_cycles(2.0);
+    for w in 0..total_windows {
+        for (at, event) in timeline {
+            if *at == w {
+                event(&mut naive);
+                event(&mut fast);
+            }
+        }
+        for _ in 0..window_cycles {
+            naive.step_naive();
+        }
+        fast.run_until(fast.now() + window_cycles);
+        assert_eq!(
+            observe(&naive, window_cycles),
+            observe(&fast, window_cycles),
+            "steppers diverged: model {model:?}, seed {seed:#x}, window {w}"
+        );
+    }
+}
+
+/// A Manhattan disc of PE deaths around `(x, y)` — the corpus's
+/// hotspot-faults event.
+fn hotspot(p: &mut Platform, x: u16, y: u16, radius: u16) {
+    let dims = p.config().dims;
+    for i in 0..dims.len() {
+        let (nx, ny) = dims.xy(i);
+        if nx.abs_diff(x) + ny.abs_diff(y) <= radius {
+            p.kill_pe(NodeId::new(i as u16));
+        }
+    }
+}
+
+/// A band of full rows dies, routers included — the corpus's
+/// clock-region-faults event.
+fn clock_region(p: &mut Platform, first_row: u16, rows: u16) {
+    let dims = p.config().dims;
+    for i in 0..dims.len() {
+        let (_, ny) = dims.xy(i);
+        if ny >= first_row && ny < first_row + rows {
+            p.kill_tile(NodeId::new(i as u16));
+        }
+    }
+}
+
+#[test]
+fn twins_agree_on_fuzz_clock_region_burn() {
+    // Frontier pin 45828b3283fa153e: a one-row clock-region burn late in
+    // the run, no recovery runway. Routers die with their PEs, so the
+    // optimized stepper's event tables lose whole mesh columns at once.
+    assert_twins_agree_on_timeline(
+        ModelKind::ForagingForWork(FfwConfig::default()),
+        0xd9b7_34a8_b193_6bee,
+        GridDims::new(4, 4),
+        52,
+        &[(46, &|p: &mut Platform| clock_region(p, 1, 1))],
+    );
+}
+
+#[test]
+fn twins_agree_on_fuzz_phase_shift_stall() {
+    // Frontier pins 76e56634907329d2 / b1971042afe23796: generation-
+    // period retunes in both directions. A 4x faster source floods the
+    // mesh; a 2x slower one opens quiescent stretches the optimized
+    // stepper fast-forwards across — both must land cycle-exact.
+    assert_twins_agree_on_timeline(
+        ModelKind::ForagingForWork(FfwConfig::default()),
+        0x281d_cc93_20ef_e756,
+        GridDims::new(4, 4),
+        40,
+        &[
+            (12, &|p: &mut Platform| {
+                p.set_generation_period(sirtm_taskgraph::TaskId::new(0), 400)
+            }),
+            (26, &|p: &mut Platform| {
+                p.set_generation_period(sirtm_taskgraph::TaskId::new(0), 3200)
+            }),
+        ],
+    );
+}
+
+#[test]
+fn twins_agree_on_fuzz_corner_hotspot_under_throttle() {
+    // Frontier pins 415f77c1e7e30a92 / ac10fa6a334b4d54 composed: the
+    // minimal agent-extinction reproducer (radius-2 corner burn) on a
+    // die throttled to the bottom of the DVFS range, where every event
+    // interval stretches and fast-forward windows grow long.
+    assert_twins_agree_on_timeline(
+        ModelKind::NetworkInteraction(NiConfig::default()),
+        0x4a53_411b_c7fa_8d16,
+        GridDims::new(4, 4),
+        48,
+        &[
+            (10, &|p: &mut Platform| p.set_frequency_all(25)),
+            (40, &|p: &mut Platform| hotspot(p, 3, 0, 2)),
+        ],
+    );
+}
+
 #[test]
 fn interleaving_steppers_is_safe() {
     // Mixing naive and optimized stepping on ONE platform must match a

@@ -113,6 +113,50 @@ proptest! {
 }
 
 #[test]
+fn backends_agree_on_fuzz_derived_seeds() {
+    // Three evaluation seeds from the committed fuzz frontier corpus
+    // (`corpus/frontier.jsonl`, pins 45828b3283fa153e, 76e56634907329d2
+    // and 415f77c1e7e30a92): the stimulus streams are regenerated from
+    // the exact seeds whose scenarios broke the colony, and both model
+    // families are run with hair-trigger configs (threshold 1, no
+    // fixation; forage timeout 1) so a single off-by-one in either
+    // backend changes a decision.
+    use proptest::test_runner::TestRng;
+    for seed in [
+        0xd9b7_34a8_b193_6bee_u64,
+        0x281d_cc93_20ef_e756,
+        0x4a53_411b_c7fa_8d16,
+    ] {
+        let mut rng = TestRng::new(seed);
+        let gen = stimulus(3);
+        let trace: Vec<Stimulus> = (0..160).map(|_| gen.pick(&mut rng)).collect();
+        let ni = NiConfig {
+            threshold: 1,
+            fixation_scans: 0,
+            ..NiConfig::default()
+        };
+        let mut behavioural = ModelKind::NetworkInteraction(ni.clone()).build(3);
+        let mut firmware = ModelKind::NetworkInteractionFirmware(ni).build(3);
+        assert_eq!(
+            run_trace(behavioural.as_mut(), &trace, 3),
+            run_trace(firmware.as_mut(), &trace, 3),
+            "NI backends diverged on fuzz seed {seed:#x}"
+        );
+        let ffw = FfwConfig {
+            timeout_scans: 1,
+            ..FfwConfig::default()
+        };
+        let mut behavioural = ModelKind::ForagingForWork(ffw.clone()).build(3);
+        let mut firmware = ModelKind::ForagingForWorkFirmware(ffw).build(3);
+        assert_eq!(
+            run_trace_from(behavioural.as_mut(), &trace, 3, Some(0)),
+            run_trace_from(firmware.as_mut(), &trace, 3, Some(0)),
+            "FFW backends diverged on fuzz seed {seed:#x}"
+        );
+    }
+}
+
+#[test]
 fn ni_backends_agree_on_directed_burst() {
     // Deterministic spot-check: a burst that crosses the threshold twice.
     let cfg = NiConfig {

@@ -17,6 +17,10 @@
 //! scenarios chaos-soak NAME --local N --checkpoint DIR
 //!               [--cycles C] [--chaos-seed S] [--chaos-rate PCT]
 //!                                             fault-storm dispatch soak
+//! scenarios fuzz [NAME] [--budget N] [--fuzz-seed S] [--threshold X]
+//!               [--runs R] [--corpus PATH] [--log PATH]
+//!                                             adversarial scenario search
+//! scenarios fuzz replay PATH                  re-run a frontier corpus bit-exactly
 //! scenarios check PATH                        re-parse a sweep artefact
 //! scenarios status --checkpoint DIR           live per-shard/per-worker progress
 //! scenarios trace check PATH                  validate a trace file
@@ -60,6 +64,17 @@
 //! reproducible from `--chaos-seed`; injected-fault counts land in the
 //! dispatch report. See `docs/chaos.md`.
 //!
+//! `fuzz` runs an adversarial scenario search (`docs/fuzzing.md`): a
+//! deterministic generate-evaluate-shrink campaign that mutates the
+//! base spec's timeline, scores candidates with the failure-probe
+//! fitness vocabulary, shrinks frontier finds to minimal reproducers
+//! and pins them into a JSONL corpus (`--corpus`, default
+//! `target/sirtm/fuzz-<base>-corpus.jsonl`) alongside a campaign log
+//! (`--log`). Both artefacts are pure functions of `--fuzz-seed`:
+//! byte-identical across repeats and `--threads` counts (the CI smoke
+//! job `cmp`s them). `fuzz replay PATH` re-runs every corpus entry
+//! bit-exactly and exits non-zero on any fitness or fingerprint drift.
+//!
 //! Observability (`docs/observability.md`): `--sidecar PATH` writes the
 //! deterministic sim-plane counter sidecar next to a `run`'s artefact
 //! (bit-identical across thread counts and shard plans, and never part
@@ -76,26 +91,29 @@ use std::time::{Duration, Instant};
 
 use sirtm_experiments::render;
 use sirtm_scenario::json::{parse, Json};
-use sirtm_scenario::shard::{checkpoint_file, fingerprint};
+use sirtm_scenario::shard::{atomic_write, checkpoint_file, fingerprint};
 use sirtm_scenario::telemetry::Tracer;
 use sirtm_scenario::{
-    check_artifact, dispatch, journal_progress, merge_named_shards, merge_shards,
-    parse_host_manifest, presets, run_shard, run_shard_observed, run_sweep, run_sweep_observed,
-    ChaosConfig, ChaosLedger, ChaosTransport, DispatchOptions, FaultyFs, LocalProcess, OnlineStats,
-    RetryPolicy, ScenarioSpec, SeedScheme, ShardPlan, ShardResult, ShardTransport, Ssh,
-    SweepOptions, SweepResult, SweepSpec, SweepTelemetry,
+    check_artifact, dispatch, journal_progress, merge_named_shards, merge_shards, parse_corpus,
+    parse_host_manifest, presets, replay_entry, run_campaign, run_shard, run_shard_observed,
+    run_sweep, run_sweep_observed, ChaosConfig, ChaosLedger, ChaosTransport, DispatchOptions,
+    FaultyFs, FuzzConfig, FuzzTelemetry, LocalProcess, OnlineStats, RetryPolicy, ScenarioSpec,
+    SeedScheme, ShardPlan, ShardResult, ShardTransport, Ssh, SweepOptions, SweepResult, SweepSpec,
+    SweepTelemetry,
 };
 
 fn die(msg: &str) -> ! {
     eprintln!("scenarios: {msg}");
     eprintln!(
         "usage: scenarios [list|show NAME|run NAME|shard-plan NAME|merge SHARD...|dispatch NAME|\
-         chaos-soak NAME|check PATH|status|trace check PATH|bench|bench-shard|bench-dispatch] \
+         chaos-soak NAME|fuzz [NAME]|fuzz replay PATH|check PATH|status|trace check PATH|bench|\
+         bench-shard|bench-dispatch] \
          [--spec FILE] \
          [--sweep FILE] [--runs N] [--threads T] [--seed S] [--out PATH] [--csv PATH] \
          [--shards N] [--shard K/N] [--checkpoint DIR] [--limit M] [--local N] [--hosts FILE] \
          [--report PATH] [--poll-ms MS] [--stall-polls K] [--max-attempts A] [--cycles C] \
-         [--chaos-seed S] [--chaos-rate PCT] [--sidecar PATH] [--trace PATH] \
+         [--chaos-seed S] [--chaos-rate PCT] [--budget N] [--fuzz-seed S] [--threshold X] \
+         [--corpus PATH] [--log PATH] [--sidecar PATH] [--trace PATH] \
          [--trace-jsonl PATH]"
     );
     std::process::exit(2);
@@ -106,7 +124,7 @@ struct Args {
     targets: Vec<String>,
     spec_file: Option<PathBuf>,
     sweep_file: Option<PathBuf>,
-    runs: usize,
+    runs: Option<usize>,
     threads: usize,
     seed: u64,
     out: Option<PathBuf>,
@@ -127,6 +145,11 @@ struct Args {
     sidecar: Option<PathBuf>,
     trace: Option<PathBuf>,
     trace_jsonl: Option<PathBuf>,
+    budget: usize,
+    fuzz_seed: u64,
+    threshold: f64,
+    corpus: Option<PathBuf>,
+    log: Option<PathBuf>,
 }
 
 impl Args {
@@ -157,7 +180,7 @@ fn parse_args() -> Args {
         targets: Vec::new(),
         spec_file: None,
         sweep_file: None,
-        runs: 8,
+        runs: None,
         threads: 0,
         seed: 2020,
         out: None,
@@ -178,6 +201,11 @@ fn parse_args() -> Args {
         sidecar: None,
         trace: None,
         trace_jsonl: None,
+        budget: 60,
+        fuzz_seed: 0xC0FFEE,
+        threshold: 1.0,
+        corpus: None,
+        log: None,
     };
     let mut it = std::env::args().skip(1);
     if let Some(cmd) = it.next() {
@@ -192,9 +220,11 @@ fn parse_args() -> Args {
             "--spec" => args.spec_file = Some(PathBuf::from(next_val("--spec"))),
             "--sweep" => args.sweep_file = Some(PathBuf::from(next_val("--sweep"))),
             "--runs" => {
-                args.runs = next_val("--runs")
-                    .parse()
-                    .unwrap_or_else(|_| die("--runs needs a number"));
+                args.runs = Some(
+                    next_val("--runs")
+                        .parse()
+                        .unwrap_or_else(|_| die("--runs needs a number")),
+                );
             }
             "--threads" => {
                 args.threads = next_val("--threads")
@@ -263,6 +293,26 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| die("--chaos-rate needs a percentage 0-100"));
             }
+            "--budget" => {
+                args.budget = next_val("--budget")
+                    .parse()
+                    .unwrap_or_else(|_| die("--budget needs an evaluation count"));
+            }
+            "--fuzz-seed" => {
+                // Hex-quoted like --chaos-seed (0xC0FFEE in the docs and CI).
+                let v = next_val("--fuzz-seed");
+                args.fuzz_seed = v
+                    .strip_prefix("0x")
+                    .map_or_else(|| v.parse(), |hex| u64::from_str_radix(hex, 16))
+                    .unwrap_or_else(|_| die("--fuzz-seed needs a number (decimal or 0x-hex)"));
+            }
+            "--threshold" => {
+                args.threshold = next_val("--threshold")
+                    .parse()
+                    .unwrap_or_else(|_| die("--threshold needs a fitness value"));
+            }
+            "--corpus" => args.corpus = Some(PathBuf::from(next_val("--corpus"))),
+            "--log" => args.log = Some(PathBuf::from(next_val("--log"))),
             "--sidecar" => args.sidecar = Some(PathBuf::from(next_val("--sidecar"))),
             "--trace" => args.trace = Some(PathBuf::from(next_val("--trace"))),
             "--trace-jsonl" => args.trace_jsonl = Some(PathBuf::from(next_val("--trace-jsonl"))),
@@ -275,6 +325,8 @@ fn parse_args() -> Args {
     let max_targets = match args.command.as_str() {
         "merge" => usize::MAX,
         "trace" => 2,
+        // `fuzz replay PATH` is a subcommand plus a corpus path.
+        "fuzz" => 2,
         _ => 1,
     };
     if args.targets.len() > max_targets {
@@ -324,7 +376,7 @@ fn resolve_sweep(args: &Args) -> SweepSpec {
         name: base.name.clone(),
         base,
         axes: vec![],
-        replicates: args.runs,
+        replicates: args.runs.unwrap_or(8),
         seeds: SeedScheme::Derived { root: args.seed },
     }
 }
@@ -1501,6 +1553,124 @@ fn check_jsonl_trace(path: &str, text: &str) -> usize {
     counted
 }
 
+/// `fuzz [NAME]`: run an adversarial scenario-search campaign from the
+/// named preset (default `light-4x4`) or `--spec FILE`, writing the
+/// deterministic campaign log and frontier corpus.
+fn fuzz(args: &Args) {
+    if args.target() == Some("replay") {
+        return fuzz_replay(args);
+    }
+    let base = if args.spec_file.is_some() || args.target().is_some() {
+        resolve_spec(args)
+    } else {
+        presets::preset("light-4x4").expect("known preset")
+    };
+    let cfg = FuzzConfig {
+        fuzz_seed: args.fuzz_seed,
+        budget: args.budget,
+        replicates: args.runs.unwrap_or(2),
+        threads: args.threads,
+        threshold: args.threshold,
+        base,
+    };
+    let campaign = format!("fuzz-{}", cfg.base.name);
+    let tracer = build_tracer(args);
+    let mut telemetry = FuzzTelemetry::new(&campaign);
+    if let Some(tracer) = &tracer {
+        telemetry = telemetry.with_tracer(tracer.clone());
+    }
+    let started = Instant::now();
+    let result = run_campaign(&cfg, &telemetry);
+    let elapsed = started.elapsed();
+    println!(
+        "campaign `{campaign}`: {} evaluation(s), {} frontier find(s) in {elapsed:.1?}",
+        result.evaluations,
+        result.entries.len()
+    );
+    let log_path = args
+        .log
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(format!("target/sirtm/{campaign}.log")));
+    atomic_write(&log_path, &result.log)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", log_path.display())));
+    println!("log     : {}", log_path.display());
+    let corpus_path = args
+        .corpus
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(format!("target/sirtm/{campaign}-corpus.jsonl")));
+    atomic_write(&corpus_path, &result.corpus)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", corpus_path.display())));
+    println!(
+        "corpus  : {} ({} entr{})",
+        corpus_path.display(),
+        result.entries.len(),
+        if result.entries.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        }
+    );
+    if let Some(path) = &args.sidecar {
+        atomic_write(path, &telemetry.render_sidecar())
+            .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+        println!(
+            "sidecar : {} ({} candidate(s))",
+            path.display(),
+            telemetry.sidecar().len()
+        );
+    }
+    finish_trace(args, tracer.as_ref());
+}
+
+/// `fuzz replay PATH`: re-run every corpus entry bit-exactly; exit
+/// non-zero on any fingerprint or fitness drift.
+fn fuzz_replay(args: &Args) {
+    let path = args
+        .targets
+        .get(1)
+        .cloned()
+        .map(PathBuf::from)
+        .or_else(|| args.corpus.clone())
+        .unwrap_or_else(|| die("fuzz replay needs a corpus path (positional or --corpus)"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())));
+    let entries = parse_corpus(&text).unwrap_or_else(|e| die(&format!("{}: {e}", path.display())));
+    if entries.is_empty() {
+        die(&format!("{}: empty corpus", path.display()));
+    }
+    let mut drifted = 0usize;
+    for entry in &entries {
+        let report = replay_entry(entry, args.threads);
+        if report.matches(entry) {
+            println!(
+                "replay {:04} OK fingerprint={} fitness={:.4}",
+                entry.id,
+                entry.fingerprint,
+                entry.fitness.total()
+            );
+        } else {
+            drifted += 1;
+            eprintln!(
+                "replay {:04} DRIFT fingerprint {} -> {} fitness {:?} -> {:?}",
+                entry.id, entry.fingerprint, report.fingerprint, entry.fitness, report.fitness
+            );
+        }
+    }
+    if drifted > 0 {
+        die(&format!(
+            "{drifted} of {} corpus entr{} drifted",
+            entries.len(),
+            if entries.len() == 1 { "y" } else { "ies" }
+        ));
+    }
+    println!(
+        "{}: {} entr{} replayed bit-exactly",
+        path.display(),
+        entries.len(),
+        if entries.len() == 1 { "y" } else { "ies" }
+    );
+}
+
 fn main() {
     let args = parse_args();
     match args.command.as_str() {
@@ -1511,6 +1681,7 @@ fn main() {
         "merge" => merge(&args),
         "dispatch" => dispatch_cmd(&args),
         "chaos-soak" => chaos_soak(&args),
+        "fuzz" => fuzz(&args),
         "check" => check(&args),
         "status" => status_cmd(&args),
         "trace" => trace_cmd(&args),

@@ -21,6 +21,7 @@
 //! | Sharding, checkpoint/resume, merge | [`shard`] |
 //! | Multi-host shard dispatch (transports, work stealing) | [`mod@dispatch`] |
 //! | Chaos harness (fault injection, retry policy) | [`chaos`] |
+//! | Adversarial search (mutate, evaluate, shrink, pin) | [`fuzz`] |
 //! | Host-plane sweep observation (sidecar + tracing) | [`observe`] |
 //! | Named preset library | [`presets`] |
 //! | Windowed recording | [`recorder`] |
@@ -133,6 +134,7 @@ pub mod chaos;
 pub mod colony_bridge;
 pub mod detect;
 pub mod dispatch;
+pub mod fuzz;
 pub mod json;
 pub mod observe;
 pub mod presets;
@@ -151,7 +153,12 @@ pub use dispatch::{
     dispatch, parse_host_manifest, DispatchOptions, DispatchOutcome, DispatchReport, LocalProcess,
     Mock, MockBehaviour, PollStatus, ShardJob, ShardTransport, Ssh, SshHost,
 };
-pub use observe::SweepTelemetry;
+pub use fuzz::{
+    clamp_spec, evaluate_spec, parse_corpus, render_corpus, replay_entry, run_campaign,
+    CampaignResult, FitnessBreakdown, FrontierEntry, FuzzConfig, FuzzObserver, NullFuzzObserver,
+    Operator, ReplayReport,
+};
+pub use observe::{FuzzTelemetry, SweepTelemetry};
 pub use run::{build_platform, run_spec, RunOutcome, RunSummary};
 pub use shard::{
     journal_progress, merge_named_shards, merge_shards, run_shard, run_shard_observed,

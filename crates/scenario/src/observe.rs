@@ -24,6 +24,7 @@ use std::time::Instant;
 
 use sirtm_telemetry::{SidecarCollector, SimCounters, Tracer};
 
+use crate::fuzz::{FitnessBreakdown, FrontierEntry, FuzzObserver};
 use crate::run::RunOutcome;
 use crate::sweep::{RunPlan, SweepObserver};
 
@@ -139,9 +140,129 @@ impl SweepObserver for SweepTelemetry {
     }
 }
 
+/// Observer wiring a fuzz campaign into the two telemetry planes.
+///
+/// * **Sim plane** — one sidecar record per candidate (keyed by
+///   candidate id, carrying the evaluation root seed and the summed
+///   replicate counters) plus a census of mutation operators applied,
+///   shrink passes accepted and frontier entries pinned. All of it is a
+///   pure function of the fuzz seed, so the rendered sidecar is
+///   byte-identical across thread counts.
+/// * **Host plane** — a wall-clock `candidate` span per evaluated
+///   candidate and a `pin` instant per frontier find, on per-worker
+///   tracks like [`SweepTelemetry`]'s `run` spans.
+#[derive(Debug)]
+pub struct FuzzTelemetry {
+    sidecar: SidecarCollector,
+    tracer: Option<Tracer>,
+    /// Start instants of in-flight candidates, keyed by candidate id.
+    inflight: Mutex<Vec<(u64, Instant)>>,
+}
+
+impl FuzzTelemetry {
+    /// A telemetry sink for the campaign named `campaign`.
+    #[must_use]
+    pub fn new(campaign: &str) -> Self {
+        Self {
+            sidecar: SidecarCollector::new(campaign),
+            tracer: None,
+            inflight: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Attaches a host-plane tracer for per-candidate spans.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The sim-plane sidecar collected so far (records + census).
+    pub fn sidecar(&self) -> &SidecarCollector {
+        &self.sidecar
+    }
+
+    /// Renders the sim-plane sidecar artefact.
+    #[must_use]
+    pub fn render_sidecar(&self) -> String {
+        self.sidecar.render()
+    }
+
+    fn lock_inflight(&self) -> std::sync::MutexGuard<'_, Vec<(u64, Instant)>> {
+        self.inflight.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl FuzzObserver for FuzzTelemetry {
+    fn candidate_started(&self, id: u64, ops: &[&'static str]) {
+        for op in ops {
+            self.sidecar.note(&format!("mutate:{op}"));
+        }
+        if self.tracer.is_some() {
+            self.lock_inflight().push((id, Instant::now()));
+        }
+    }
+
+    fn candidate_finished(
+        &self,
+        id: u64,
+        seed: u64,
+        fitness: &FitnessBreakdown,
+        sim: &SimCounters,
+    ) {
+        self.sidecar.record(id, seed, *sim);
+        let Some(tracer) = &self.tracer else {
+            return;
+        };
+        let started = {
+            let mut inflight = self.lock_inflight();
+            inflight
+                .iter()
+                .position(|(i, _)| *i == id)
+                .map(|at| inflight.swap_remove(at).1)
+        };
+        let candidate = id.to_string();
+        let total = format!("{:.4}", fitness.total());
+        match started {
+            Some(at) => {
+                let mut span = tracer.span_started_at(&SweepTelemetry::track(), "candidate", at);
+                span.arg("candidate", &candidate);
+                span.arg("fitness", &total);
+            }
+            None => tracer.instant(
+                &SweepTelemetry::track(),
+                "candidate",
+                &[("candidate", &candidate), ("fitness", &total)],
+            ),
+        }
+    }
+
+    fn shrink_step(&self, _id: u64, pass: &'static str, accepted: bool) {
+        if accepted {
+            self.sidecar.note(&format!("shrink:{pass}"));
+        }
+    }
+
+    fn frontier_pinned(&self, entry: &FrontierEntry) {
+        self.sidecar.note("frontier:pinned");
+        if let Some(tracer) = &self.tracer {
+            let candidate = entry.id.to_string();
+            tracer.instant(
+                &SweepTelemetry::track(),
+                "pin",
+                &[
+                    ("candidate", &candidate),
+                    ("fingerprint", &entry.fingerprint),
+                ],
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fuzz::{run_campaign, FuzzConfig};
     use crate::presets;
     use crate::sweep::{run_sweep_observed, Axis, SeedScheme, SweepOptions, SweepSpec};
 
@@ -181,6 +302,54 @@ mod tests {
         let one = render(1);
         assert_eq!(one, render(4));
         assert_eq!(one, render(8));
+    }
+
+    fn tiny_fuzz(threads: usize) -> FuzzConfig {
+        FuzzConfig {
+            fuzz_seed: 0xCAFE,
+            budget: 3,
+            replicates: 1,
+            threads,
+            threshold: 0.8,
+            base: presets::preset("light-4x4").expect("known preset"),
+        }
+    }
+
+    #[test]
+    fn fuzz_sidecar_records_candidates_and_census() {
+        let cfg = tiny_fuzz(0);
+        let telemetry = FuzzTelemetry::new("fuzz-unit");
+        let result = run_campaign(&cfg, &telemetry);
+        assert_eq!(telemetry.sidecar().len(), 3, "one record per candidate");
+        let census = telemetry.sidecar().census();
+        assert!(
+            census.iter().any(|(k, _)| k.starts_with("mutate:")),
+            "census tracks mutation operators: {census:?}"
+        );
+        let doc = telemetry.render_sidecar();
+        assert!(doc.contains("\"census\": {"));
+        assert!(result.evaluations >= 3);
+    }
+
+    #[test]
+    fn fuzz_sidecar_is_identical_across_thread_counts() {
+        let render = |threads| {
+            let telemetry = FuzzTelemetry::new("fuzz-threads");
+            run_campaign(&tiny_fuzz(threads), &telemetry);
+            telemetry.render_sidecar()
+        };
+        assert_eq!(render(1), render(4));
+    }
+
+    #[test]
+    fn fuzz_tracer_sees_candidate_spans() {
+        let cfg = tiny_fuzz(0);
+        let tracer = Tracer::new(256);
+        let telemetry = FuzzTelemetry::new("fuzz-trace").with_tracer(tracer.clone());
+        run_campaign(&cfg, &telemetry);
+        let events = tracer.events();
+        let candidates = events.iter().filter(|e| e.name == "candidate").count();
+        assert_eq!(candidates, 3, "one candidate span per evaluated candidate");
     }
 
     #[test]

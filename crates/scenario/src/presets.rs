@@ -14,13 +14,14 @@ use crate::spec::{EventAction, EventSpec, ScenarioSpec, ThermalEventSpec, Worklo
 use crate::sweep::{Axis, SeedScheme, SweepSpec};
 
 /// The preset names, in listing order.
-pub const PRESET_NAMES: [&str; 6] = [
+pub const PRESET_NAMES: [&str; 7] = [
     "steady-state",
     "fault-storm",
     "thermal-throttle",
     "phase-shift",
     "churn",
     "light-4x4",
+    "frontier-pinch",
 ];
 
 /// One-line description of a preset.
@@ -40,6 +41,9 @@ pub fn describe(name: &str) -> &'static str {
         "phase-shift" => "source generation period halves at 500 ms — a workload phase change",
         "churn" => "repeated small kill waves every 150 ms from 300 ms on",
         "light-4x4" => "small, lightly-loaded 4x4 grid — the bench and smoke-test workhorse",
+        "frontier-pinch" => {
+            "fuzz-found corner-hotspot burn with no recovery runway (corpus pin 415f77c1e7e30a92)"
+        }
         other => panic!("unknown preset `{other}`"),
     }
 }
@@ -116,6 +120,33 @@ pub fn preset(name: &str) -> Option<ScenarioSpec> {
             s.events = vec![EventSpec {
                 at_ms: 60.0,
                 action: EventAction::RandomPeFaults { count: 3 },
+            }];
+            s
+        }
+        "frontier-pinch" => {
+            // Promoted from the seeded fuzz corpus (campaign 0xC0FFEE,
+            // shrunk candidate 0009): a radius-2 hotspot burn at the
+            // grid corner 4 ms before the horizon. The colony detects
+            // the wound but half the replicates lose every live task
+            // and none recover before the deadline — the minimal known
+            // agent-extinction reproducer.
+            let mut s = ScenarioSpec::new("frontier-pinch", ffw);
+            s.platform.dims = GridDims::new(4, 4);
+            s.platform.dir_dist_max = 12;
+            s.workload = WorkloadSpec::ForkJoin(ForkJoinParams {
+                generation_period: 1600,
+                ..ForkJoinParams::default()
+            });
+            s.duration_ms = 32.0;
+            s.window_ms = 4.0;
+            s.settle_region_ms = Some(32.0);
+            s.events = vec![EventSpec {
+                at_ms: 28.0,
+                action: EventAction::HotspotFaults {
+                    x: 3,
+                    y: 0,
+                    radius: 2,
+                },
             }];
             s
         }

@@ -1,0 +1,84 @@
+//! The frontier corpus as a regression suite.
+//!
+//! `corpus/frontier.jsonl` at the repo root holds minimal reproducer
+//! specs pinned by real `scenarios fuzz` campaigns. Each entry embeds
+//! the derived evaluation seed, the scored fitness breakdown and a
+//! fingerprint of the evaluation artefact; these tests replay every
+//! entry through the sweep orchestrator and require bit-exact
+//! agreement, so any behavioural drift in the stepper, the timeline
+//! compiler or the fitness vocabulary trips here first.
+
+use std::path::PathBuf;
+
+use sirtm_scenario::{parse_corpus, replay_entry, FrontierEntry};
+
+fn corpus_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus/frontier.jsonl")
+}
+
+fn load_corpus() -> Vec<FrontierEntry> {
+    let text = std::fs::read_to_string(corpus_path()).expect("committed corpus readable");
+    parse_corpus(&text).expect("committed corpus parses")
+}
+
+#[test]
+fn corpus_is_committed_and_non_trivial() {
+    let entries = load_corpus();
+    assert!(
+        entries.len() >= 5,
+        "frontier corpus must hold at least 5 pinned reproducers, found {}",
+        entries.len()
+    );
+    for entry in &entries {
+        assert!(
+            entry.fitness.total() >= 1.0,
+            "entry {:04} is below the frontier threshold",
+            entry.id
+        );
+        entry.spec.validate();
+    }
+}
+
+#[test]
+fn corpus_entries_are_minimal_reproducers() {
+    for entry in load_corpus() {
+        assert!(
+            entry.spec.events.len() <= 2,
+            "entry {:04} carries {} events — shrinking should have pruned it",
+            entry.id,
+            entry.spec.events.len()
+        );
+        assert!(
+            entry.spec.duration_ms <= 150.0,
+            "entry {:04} runs {} ms — shrinking should have bisected it",
+            entry.id,
+            entry.spec.duration_ms
+        );
+    }
+}
+
+#[test]
+fn every_corpus_entry_replays_bit_exactly() {
+    for entry in load_corpus() {
+        let report = replay_entry(&entry, 2);
+        assert_eq!(
+            report.fingerprint, entry.fingerprint,
+            "entry {:04} artefact fingerprint drifted",
+            entry.id
+        );
+        assert_eq!(
+            report.fitness, entry.fitness,
+            "entry {:04} fitness breakdown drifted",
+            entry.id
+        );
+        assert!(report.matches(&entry));
+    }
+}
+
+#[test]
+fn corpus_round_trips_through_the_jsonl_codec() {
+    let text = std::fs::read_to_string(corpus_path()).expect("committed corpus readable");
+    let entries = parse_corpus(&text).expect("committed corpus parses");
+    let rendered = sirtm_scenario::render_corpus(&entries);
+    assert_eq!(rendered, text, "corpus file must be in canonical form");
+}

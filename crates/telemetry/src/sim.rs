@@ -131,6 +131,7 @@ pub struct RunRecord {
 pub struct SidecarCollector {
     sweep: String,
     runs: Mutex<BTreeMap<u64, RunRecord>>,
+    census: Mutex<BTreeMap<String, u64>>,
 }
 
 impl SidecarCollector {
@@ -139,7 +140,31 @@ impl SidecarCollector {
         Self {
             sweep: sweep.to_string(),
             runs: Mutex::new(BTreeMap::new()),
+            census: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Increments the named census bucket by one.
+    ///
+    /// The census is a deterministic tally of discrete producer-side
+    /// events (e.g. the fuzz engine's mutation-operator counts). Like
+    /// the run records it must be a pure function of the producing
+    /// computation's seed — never of thread identity or wall clock —
+    /// so it can live in the fingerprint-stable sidecar.
+    pub fn note(&self, key: &str) {
+        self.note_by(key, 1);
+    }
+
+    /// Increments the named census bucket by `n`.
+    pub fn note_by(&self, key: &str, n: u64) {
+        let mut census = self.census.lock().unwrap_or_else(|e| e.into_inner());
+        *census.entry(key.to_string()).or_insert(0) += n;
+    }
+
+    /// Snapshot of the census, ordered by bucket name.
+    pub fn census(&self) -> Vec<(String, u64)> {
+        let census = self.census.lock().unwrap_or_else(|e| e.into_inner());
+        census.iter().map(|(k, v)| (k.clone(), *v)).collect()
     }
 
     /// Records one run's counters. Re-recording the same index (e.g. a
@@ -152,11 +177,16 @@ impl SidecarCollector {
     }
 
     /// Copies every record from `other` into `self` (shard merge).
+    /// Census buckets are summed: each shard tallies its own slice.
     pub fn absorb(&self, other: &SidecarCollector) {
         let theirs: Vec<RunRecord> = other.records();
         let mut runs = self.runs.lock().unwrap_or_else(|e| e.into_inner());
         for r in theirs {
             runs.insert(r.index, r);
+        }
+        drop(runs);
+        for (key, n) in other.census() {
+            self.note_by(&key, n);
         }
     }
 
@@ -199,6 +229,23 @@ impl SidecarCollector {
         out.push_str("  \"totals\": ");
         totals.render_into(&mut out, "  ");
         out.push_str(",\n");
+        // The census section only appears when buckets exist, so
+        // sidecars from producers that never call `note` render exactly
+        // as they did before the census existed.
+        let census = self.census();
+        if !census.is_empty() {
+            out.push_str("  \"census\": {");
+            for (i, (key, n)) in census.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n    \"");
+                out.push_str(&escape_json(key));
+                out.push_str("\": ");
+                out.push_str(&n.to_string());
+            }
+            out.push_str("\n  },\n");
+        }
         out.push_str("  \"runs\": [");
         for (i, r) in records.iter().enumerate() {
             if i > 0 {
@@ -306,6 +353,36 @@ mod tests {
         let doc = c.render();
         assert!(doc.contains("\"run_count\": 0"));
         assert!(doc.contains("\"runs\": []"));
+    }
+
+    #[test]
+    fn census_renders_sorted_and_absorb_sums() {
+        let a = SidecarCollector::new("s");
+        a.note("mutate:hotspot");
+        a.note("mutate:dvfs");
+        a.note("mutate:hotspot");
+        let b = SidecarCollector::new("s");
+        b.note_by("mutate:hotspot", 3);
+        b.note("shrink:delete-event");
+        a.absorb(&b);
+        assert_eq!(
+            a.census(),
+            vec![
+                ("mutate:dvfs".to_string(), 1),
+                ("mutate:hotspot".to_string(), 5),
+                ("shrink:delete-event".to_string(), 1),
+            ]
+        );
+        let doc = a.render();
+        assert!(doc.contains("\"census\": {"));
+        assert!(doc.contains("\"mutate:hotspot\": 5"));
+    }
+
+    #[test]
+    fn empty_census_leaves_render_unchanged() {
+        let c = SidecarCollector::new("plain");
+        c.record(0, 1, counters(1));
+        assert!(!c.render().contains("census"));
     }
 
     #[test]
