@@ -25,7 +25,10 @@
 //! | `0x00` | out | switch the node to the written task id |
 //! | `0xFF` | out | end-of-scan sync |
 
-use sirtm_picoblaze::vm::{Picoblaze, PortIo, RunOutcome};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use sirtm_picoblaze::block::{Engine, TierCensus};
+use sirtm_picoblaze::vm::{ExecuteCore, Picoblaze, PortIo, RunOutcome};
 use sirtm_picoblaze::{asm, Instruction};
 use sirtm_taskgraph::TaskId;
 
@@ -152,6 +155,114 @@ impl PortIo for FirmwarePorts<'_> {
     }
 }
 
+/// Selects the execution backend behind a [`FirmwareModel`]'s
+/// [`ExecuteCore`] seam. All three are differentially tested to be
+/// decision-identical; they differ only in speed and introspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// The raw-word reference interpreter ([`Picoblaze`]): decodes every
+    /// 18-bit word on each step. Slowest, simplest, the semantic oracle.
+    Reference,
+    /// The pre-decoded dispatch tier ([`Engine`] with the block tier
+    /// off): instructions are lowered once to dense micro-ops.
+    Interpreter,
+    /// The full tiered engine: pre-decoded dispatch plus profile-guided
+    /// compiled basic blocks. The production default.
+    #[default]
+    Tiered,
+}
+
+impl EngineKind {
+    /// All engine kinds, for A/B sweeps.
+    pub const ALL: [EngineKind; 3] = [
+        EngineKind::Reference,
+        EngineKind::Interpreter,
+        EngineKind::Tiered,
+    ];
+
+    fn to_u8(self) -> u8 {
+        match self {
+            EngineKind::Reference => 0,
+            EngineKind::Interpreter => 1,
+            EngineKind::Tiered => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => EngineKind::Reference,
+            1 => EngineKind::Interpreter,
+            _ => EngineKind::Tiered,
+        }
+    }
+}
+
+/// Process-wide default backend for newly built firmware models (the
+/// A/B switch). Individual models can still override it via
+/// [`FirmwareModel::with_engine_kind`].
+static DEFAULT_ENGINE_KIND: AtomicU8 = AtomicU8::new(2);
+
+/// Sets the process-wide default [`EngineKind`] used by firmware model
+/// constructors. Existing models are unaffected.
+pub fn set_default_engine_kind(kind: EngineKind) {
+    DEFAULT_ENGINE_KIND.store(kind.to_u8(), Ordering::Relaxed);
+}
+
+/// The current process-wide default [`EngineKind`].
+pub fn default_engine_kind() -> EngineKind {
+    EngineKind::from_u8(DEFAULT_ENGINE_KIND.load(Ordering::Relaxed))
+}
+
+/// The execution core behind the seam: either the reference interpreter
+/// or the tiered engine (with the block tier on or off).
+#[derive(Debug)]
+enum Core {
+    Reference(Picoblaze),
+    Engine(Engine),
+}
+
+impl Core {
+    fn build(program: Vec<Instruction>, kind: EngineKind) -> Self {
+        match kind {
+            EngineKind::Reference => Core::Reference(Picoblaze::new(program)),
+            EngineKind::Interpreter => {
+                let mut engine = Engine::new(program);
+                engine.set_block_threshold(None);
+                Core::Engine(engine)
+            }
+            EngineKind::Tiered => Core::Engine(Engine::new(program)),
+        }
+    }
+
+    fn seam(&mut self) -> &mut dyn ExecuteCore {
+        match self {
+            Core::Reference(cpu) => cpu,
+            Core::Engine(engine) => engine,
+        }
+    }
+
+    fn program(&self) -> &[Instruction] {
+        match self {
+            Core::Reference(cpu) => cpu.program(),
+            Core::Engine(engine) => engine.program(),
+        }
+    }
+
+    fn instret(&self) -> u64 {
+        match self {
+            Core::Reference(cpu) => cpu.instret(),
+            Core::Engine(engine) => engine.instret(),
+        }
+    }
+
+    fn tier_census(&self) -> Option<TierCensus> {
+        match self {
+            Core::Reference(_) => None,
+            Core::Engine(engine) => Some(engine.tier_census()),
+        }
+    }
+}
+
 /// An [`RtmModel`] whose decisions are made by PicoBlaze firmware.
 ///
 /// Each [`RtmModel::scan`] snapshots the monitor banks, then runs the core
@@ -180,7 +291,8 @@ impl PortIo for FirmwarePorts<'_> {
 /// ```
 #[derive(Debug)]
 pub struct FirmwareModel {
-    cpu: Picoblaze,
+    core: Core,
+    engine_kind: EngineKind,
     config: [u8; N_CONFIG_REGS],
     name: &'static str,
     budget: u64,
@@ -215,8 +327,10 @@ impl FirmwareModel {
             "the AIM port map supports at most {} tasks, got {n_tasks}",
             Self::MAX_TASKS
         );
+        let engine_kind = default_engine_kind();
         Self {
-            cpu: Picoblaze::new(program),
+            core: Core::build(program, engine_kind),
+            engine_kind,
             config: [0; N_CONFIG_REGS],
             name,
             budget: Self::DEFAULT_BUDGET,
@@ -232,9 +346,29 @@ impl FirmwareModel {
     /// Registers a scratchpad byte to be written now and after every
     /// reset (firmware state with a non-zero power-on value).
     pub fn preset_scratch(&mut self, addr: u8, value: u8) {
-        self.cpu.set_scratch(addr, value);
+        self.core.seam().set_scratch(addr, value);
         self.scratch_presets.retain(|&(a, _)| a != addr);
         self.scratch_presets.push((addr, value));
+    }
+
+    /// Rebuilds the model on a different execution backend. The program,
+    /// configuration and scratchpad presets carry over; dynamic core
+    /// state and fault/overrun counters restart from power-on (switch
+    /// engines before running, not mid-flight).
+    pub fn with_engine_kind(mut self, kind: EngineKind) -> Self {
+        self.core = Core::build(self.core.program().to_vec(), kind);
+        self.engine_kind = kind;
+        self.budget_overruns = 0;
+        self.faults = 0;
+        for &(addr, value) in &self.scratch_presets {
+            self.core.seam().set_scratch(addr, value);
+        }
+        self
+    }
+
+    /// The execution backend this model runs on.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine_kind
     }
 
     /// The bundled Network Interaction firmware.
@@ -288,7 +422,13 @@ impl FirmwareModel {
 
     /// Total instructions retired by the embedded core.
     pub fn instructions_retired(&self) -> u64 {
-        self.cpu.instret()
+        self.core.instret()
+    }
+
+    /// Tier execution census, when the backend is a tiered engine
+    /// (`None` on [`EngineKind::Reference`]).
+    pub fn tier_census(&self) -> Option<TierCensus> {
+        self.core.tier_census()
     }
 }
 
@@ -309,7 +449,8 @@ impl RtmModel for FirmwareModel {
             n_tasks: self.n_tasks,
         };
         match self
-            .cpu
+            .core
+            .seam()
             .run_until_port_write(OUT_SYNC, self.budget, &mut ports)
         {
             Ok(RunOutcome::PortWritten(_)) => {}
@@ -325,12 +466,16 @@ impl RtmModel for FirmwareModel {
     }
 
     fn reset(&mut self) {
-        self.cpu.reset();
+        self.core.seam().reset();
         self.budget_overruns = 0;
         self.faults = 0;
         for &(addr, value) in &self.scratch_presets {
-            self.cpu.set_scratch(addr, value);
+            self.core.seam().set_scratch(addr, value);
         }
+    }
+
+    fn tier_census(&self) -> Option<TierCensus> {
+        FirmwareModel::tier_census(self)
     }
 }
 

@@ -18,6 +18,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use sirtm_centurion::{Platform, PlatformConfig};
+use sirtm_core::firmware::{set_default_engine_kind, EngineKind};
 use sirtm_core::models::{FfwConfig, ModelKind};
 use sirtm_rng::Xoshiro256StarStar;
 use sirtm_taskgraph::workloads::{fork_join, ForkJoinParams};
@@ -78,13 +79,18 @@ fn cycles_per_sec(p: &mut Platform, naive: bool, budget_ms: u64) -> f64 {
     cycles as f64 / started.elapsed().as_secs_f64()
 }
 
-fn measure(model: &ModelKind, name: &'static str, dims: GridDims, budget_ms: u64) -> Vec<Row> {
-    let grid: &'static str = match dims.len() {
+fn grid_name(dims: GridDims) -> &'static str {
+    match dims.len() {
         16 => "4x4",
         64 => "8x8",
         128 => "8x16",
+        1024 => "32x32",
         _ => "other",
-    };
+    }
+}
+
+fn measure(model: &ModelKind, name: &'static str, dims: GridDims, budget_ms: u64) -> Vec<Row> {
+    let grid = grid_name(dims);
     [("light", true), ("heavy", false)]
         .into_iter()
         .map(|(load, light)| {
@@ -121,12 +127,7 @@ struct TelemetryRow {
 
 fn measure_telemetry(dims: GridDims, budget_ms: u64) -> Vec<TelemetryRow> {
     let model = ModelKind::NoIntelligence;
-    let grid: &'static str = match dims.len() {
-        16 => "4x4",
-        64 => "8x8",
-        128 => "8x16",
-        _ => "other",
-    };
+    let grid = grid_name(dims);
     [("light", true), ("heavy", false)]
         .into_iter()
         .map(|(load, light)| {
@@ -175,11 +176,26 @@ fn main() {
         GridDims::new(4, 4),
         GridDims::new(8, 8),
         GridDims::new(8, 16),
+        GridDims::new(32, 32),
     ] {
         rows.extend(measure(&baseline, "none", dims, budget_ms));
     }
     let ffw = ModelKind::ForagingForWork(FfwConfig::default());
     rows.extend(measure(&ffw, "ffw", GridDims::new(8, 16), budget_ms));
+    // The same firmware on each execution backend: the raw-word reference
+    // interpreter, the pre-decoded dispatch tier, and the tiered engine
+    // with compiled blocks (the production default, so it keeps the
+    // historical `ffw-fw` row name).
+    let ffw_fw = ModelKind::ForagingForWorkFirmware(FfwConfig::default());
+    for (kind, name) in [
+        (EngineKind::Reference, "ffw-fw-ref"),
+        (EngineKind::Interpreter, "ffw-fw-int"),
+        (EngineKind::Tiered, "ffw-fw"),
+    ] {
+        set_default_engine_kind(kind);
+        rows.extend(measure(&ffw_fw, name, GridDims::new(8, 16), budget_ms));
+    }
+    set_default_engine_kind(EngineKind::default());
     eprintln!("hotloop: sim-plane counter overhead (optimized stepper, telemetry off vs on)");
     let telemetry_rows = measure_telemetry(GridDims::new(8, 16), budget_ms);
 

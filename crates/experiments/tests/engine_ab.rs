@@ -1,0 +1,64 @@
+//! Engine A/B invariance: flipping the process-wide firmware execution
+//! backend between the reference interpreter, the pre-decoded dispatch
+//! tier and the full tiered engine must leave every deterministic
+//! artefact *byte-identical* — the sweep artefact JSON and the sim-plane
+//! sidecar alike. The backend is an implementation detail of the
+//! [`ExecuteCore`](sirtm_picoblaze::vm::ExecuteCore) seam, and this test
+//! is the workspace-level proof that it never leaks into results.
+//!
+//! Deliberately a single `#[test]` in its own integration-test binary:
+//! the default engine kind is process-global state, and a dedicated
+//! process keeps the flips race-free without serializing other tests.
+
+use sirtm_core::firmware::{default_engine_kind, set_default_engine_kind, EngineKind};
+use sirtm_core::models::{FfwConfig, ModelKind};
+use sirtm_scenario::{
+    presets, run_sweep_observed, Axis, SeedScheme, SweepOptions, SweepSpec, SweepTelemetry,
+};
+
+fn firmware_sweep() -> SweepSpec {
+    let mut base = presets::preset("light-4x4").expect("known preset");
+    base.model = ModelKind::ForagingForWorkFirmware(FfwConfig::default());
+    SweepSpec {
+        name: "engine-ab".to_string(),
+        base,
+        axes: vec![Axis::RandomFaults {
+            at_ms: 60.0,
+            counts: vec![0, 2],
+        }],
+        replicates: 2,
+        seeds: SeedScheme::Derived { root: 97 },
+    }
+}
+
+#[test]
+fn artefact_and_sidecar_are_engine_invariant() {
+    assert_eq!(
+        default_engine_kind(),
+        EngineKind::Tiered,
+        "tiered engine is the production default"
+    );
+    let sweep = firmware_sweep();
+    let render = |kind: EngineKind| {
+        set_default_engine_kind(kind);
+        // Census collection stays off: the census is the one sidecar
+        // plane that legitimately differs per backend, so the byte
+        // comparison below covers exactly the engine-invariant surface.
+        let telemetry = SweepTelemetry::new(&sweep.name);
+        let result = run_sweep_observed(&sweep, SweepOptions::default(), &telemetry);
+        (result.to_json().render_pretty(), telemetry.render_sidecar())
+    };
+    let (artefact_ref, sidecar_ref) = render(EngineKind::Reference);
+    for kind in [EngineKind::Interpreter, EngineKind::Tiered] {
+        let (artefact, sidecar) = render(kind);
+        assert_eq!(
+            artefact_ref, artefact,
+            "sweep artefact must be byte-identical on {kind:?}"
+        );
+        assert_eq!(
+            sidecar_ref, sidecar,
+            "sim-plane sidecar must be byte-identical on {kind:?}"
+        );
+    }
+    set_default_engine_kind(EngineKind::Tiered);
+}

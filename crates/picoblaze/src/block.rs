@@ -1,0 +1,749 @@
+//! Profile-guided basic-block tier and the tiered [`Engine`] built on it.
+//!
+//! The engine executes a pre-decoded program ([`crate::decode`]) through
+//! two tiers behind one seam:
+//!
+//! 1. **Dispatch tier** — a dense-match interpreter over [`MicroOp`]s,
+//!    one instruction per iteration.
+//! 2. **Block tier** — straight-line basic blocks (maximal branch-free
+//!    runs) whose execution count crosses a heat threshold are compiled
+//!    into Rust closures that retire the whole body in one call, with a
+//!    guard-checked entry (enough instruction budget for the full body)
+//!    and a side-exit back to the dispatch tier when the guard fails or
+//!    the watched sync port is written mid-block.
+//!
+//! Both tiers execute the same [`crate::decode::exec_straight`] /
+//! [`crate::decode::exec_branch`] semantics in the same order, so tier
+//! choice can never change architectural state, I/O traffic or faults —
+//! the determinism argument is laid out in `docs/firmware-engine.md` and
+//! enforced by the lockstep rig ([`crate::lockstep`]).
+
+use std::fmt;
+
+use crate::decode::{exec_branch, exec_straight, predecode, CoreState, MicroOp, StepEffect};
+use crate::isa::{Instruction, Register};
+use crate::vm::{CoreSnapshot, ExecuteCore, PortIo, RunOutcome, VmError};
+
+/// Executions of a block's leader before it is compiled.
+pub const DEFAULT_BLOCK_THRESHOLD: u32 = 8;
+
+/// Blocks shorter than this stay in the dispatch tier (a compiled
+/// one-instruction body saves nothing over a dispatch step).
+const MIN_BLOCK_LEN: usize = 2;
+
+/// Per-engine execution census: how much work each tier retired and how
+/// often the block tier was entered, compiled and side-exited.
+///
+/// `dispatch_retired + block_retired` always equals the core's
+/// [`Engine::instret`], which the tests pin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierCensus {
+    /// Instructions retired one-at-a-time by the dispatch tier.
+    pub dispatch_retired: u64,
+    /// Instructions retired inside compiled blocks.
+    pub block_retired: u64,
+    /// Compiled-block entries (guard passed).
+    pub block_entries: u64,
+    /// Basic blocks compiled so far.
+    pub blocks_compiled: u64,
+    /// Entry-guard failures (budget too small for the body): the engine
+    /// fell back to the dispatch tier for that stretch.
+    pub guard_bails: u64,
+    /// Blocks left before their last instruction (watched-port write
+    /// mid-body committed the prefix and returned to the dispatch tier).
+    pub side_exits: u64,
+}
+
+impl TierCensus {
+    /// Total instructions retired across both tiers.
+    pub fn retired(&self) -> u64 {
+        self.dispatch_retired + self.block_retired
+    }
+
+    /// Accumulates another census (for per-platform aggregation).
+    pub fn merge(&mut self, other: &TierCensus) {
+        self.dispatch_retired += other.dispatch_retired;
+        self.block_retired += other.block_retired;
+        self.block_entries += other.block_entries;
+        self.blocks_compiled += other.blocks_compiled;
+        self.guard_bails += other.guard_bails;
+        self.side_exits += other.side_exits;
+    }
+}
+
+/// Result of one compiled-block execution.
+struct BlockRun {
+    /// Instructions retired (the full body, or the prefix up to and
+    /// including the watched-port write).
+    retired: u64,
+    /// The watched port was written.
+    watch_hit: bool,
+}
+
+/// A compiled straight-line block: executes its body against the core
+/// state, committing `pc`/`instret` for however much it retired.
+type CompiledBlock =
+    Box<dyn Fn(&mut CoreState, &mut dyn PortIo, Option<u8>) -> BlockRun + Send + Sync>;
+
+struct Block {
+    start: u16,
+    len: u16,
+    heat: u32,
+    compiled: Option<CompiledBlock>,
+    /// Per-family retire counts of the full body, precomputed so a full
+    /// block retire updates the profile histogram in one pass.
+    #[cfg(feature = "profile")]
+    families: [u64; Instruction::COUNT],
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Block")
+            .field("start", &self.start)
+            .field("len", &self.len)
+            .field("heat", &self.heat)
+            .field("compiled", &self.compiled.is_some())
+            .finish()
+    }
+}
+
+/// Compiles a straight-line body into a closure. The closure is the
+/// block tier's whole code-generation story: rustc monomorphises the
+/// loop over the captured body, and the per-instruction dispatch cost
+/// (PC fetch, bounds check, tier lookup) disappears for the body's
+/// duration.
+fn compile_block(start: u16, body: Box<[MicroOp]>) -> CompiledBlock {
+    Box::new(move |st, io, watch| {
+        for (i, &op) in body.iter().enumerate() {
+            if let Some(StepEffect::Output(port)) = exec_straight(st, op, io) {
+                if watch == Some(port) {
+                    let retired = (i + 1) as u64;
+                    st.pc = start + i as u16 + 1;
+                    st.instret += retired;
+                    return BlockRun {
+                        retired,
+                        watch_hit: true,
+                    };
+                }
+            }
+        }
+        let retired = body.len() as u64;
+        st.pc = start + body.len() as u16;
+        st.instret += retired;
+        BlockRun {
+            retired,
+            watch_hit: false,
+        }
+    })
+}
+
+/// Finds basic-block leaders and carves out straight-line bodies.
+///
+/// Leaders are instruction 0, every branch target and every
+/// post-branch fall-through (which also covers call return addresses).
+/// A block is the maximal branch-free run from a leader; runs shorter
+/// than [`MIN_BLOCK_LEN`] are left to the dispatch tier.
+fn discover_blocks(ops: &[MicroOp]) -> (Vec<Block>, Vec<u32>) {
+    use MicroOp::*;
+    let len = ops.len();
+    let mut is_leader = vec![false; len];
+    if len > 0 {
+        is_leader[0] = true;
+    }
+    for (pc, op) in ops.iter().enumerate() {
+        let target = match *op {
+            Jump(t) | JumpZero(t) | JumpNotZero(t) | JumpCarry(t) | JumpNotCarry(t) | Call(t)
+            | CallZero(t) | CallNotZero(t) | CallCarry(t) | CallNotCarry(t) => Some(t),
+            Return | ReturnZero | ReturnNotZero | ReturnCarry | ReturnNotCarry => None,
+            _ => continue,
+        };
+        if let Some(t) = target {
+            if (t as usize) < len {
+                is_leader[t as usize] = true;
+            }
+        }
+        if pc + 1 < len {
+            is_leader[pc + 1] = true;
+        }
+    }
+    let mut blocks = Vec::new();
+    let mut index = vec![0u32; len];
+    for start in 0..len {
+        if !is_leader[start] || ops[start].is_branch() {
+            continue;
+        }
+        let mut end = start;
+        while end < len && !ops[end].is_branch() {
+            end += 1;
+        }
+        if end - start < MIN_BLOCK_LEN {
+            continue;
+        }
+        #[cfg(feature = "profile")]
+        let families = {
+            let mut f = [0u64; Instruction::COUNT];
+            for op in &ops[start..end] {
+                f[op.family()] += 1;
+            }
+            f
+        };
+        blocks.push(Block {
+            start: start as u16,
+            len: (end - start) as u16,
+            heat: 0,
+            compiled: None,
+            #[cfg(feature = "profile")]
+            families,
+        });
+        index[start] = blocks.len() as u32;
+    }
+    (blocks, index)
+}
+
+/// One engine quantum: a single dispatched instruction or a whole
+/// compiled block.
+struct Quantum {
+    retired: u64,
+    watch_hit: bool,
+}
+
+/// The tiered PicoBlaze execution engine: pre-decoded dispatch plus a
+/// profile-guided compiled-block tier.
+///
+/// Architecturally equivalent to [`crate::vm::Picoblaze`] — same
+/// registers, flags, stack, scratchpad, fault behaviour and I/O traffic
+/// on every program — but faster on hot firmware loops. The equivalence
+/// is enforced instruction-by-instruction by [`crate::lockstep`] and by
+/// property tests over random programs.
+///
+/// # Examples
+///
+/// ```
+/// use sirtm_picoblaze::isa::{Instruction, Operand, Register, Condition};
+/// use sirtm_picoblaze::block::Engine;
+/// use sirtm_picoblaze::vm::SparseIo;
+///
+/// let s0 = Register::new(0);
+/// let prog = vec![
+///     Instruction::Load(s0, Operand::Imm(40)),
+///     Instruction::Add(s0, Operand::Imm(2)),
+///     Instruction::Jump(Condition::Always, 2), // spin
+/// ];
+/// let mut engine = Engine::new(prog);
+/// engine.step_n(2, &mut SparseIo::new())?;
+/// assert_eq!(engine.reg(s0), 42);
+/// # Ok::<(), sirtm_picoblaze::VmError>(())
+/// ```
+pub struct Engine {
+    program: Vec<Instruction>,
+    ops: Vec<MicroOp>,
+    state: CoreState,
+    blocks: Vec<Block>,
+    /// `pc -> block index + 1` (0 = no block starts here).
+    block_index: Vec<u32>,
+    /// `None` disables the block tier (pure dispatch interpreter).
+    threshold: Option<u32>,
+    census: TierCensus,
+    #[cfg(feature = "profile")]
+    opcode_counts: [u64; Instruction::COUNT],
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("pc", &self.state.pc)
+            .field("instret", &self.state.instret)
+            .field("blocks", &self.blocks.len())
+            .field("threshold", &self.threshold)
+            .field("census", &self.census)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Creates an engine with the program pre-decoded, blocks discovered
+    /// and all state zeroed. The block tier is on with
+    /// [`DEFAULT_BLOCK_THRESHOLD`].
+    pub fn new(program: Vec<Instruction>) -> Self {
+        let ops = predecode(&program);
+        let (blocks, block_index) = discover_blocks(&ops);
+        Self {
+            program,
+            ops,
+            state: CoreState::new(),
+            blocks,
+            block_index,
+            threshold: Some(DEFAULT_BLOCK_THRESHOLD),
+            census: TierCensus::default(),
+            #[cfg(feature = "profile")]
+            opcode_counts: [0; Instruction::COUNT],
+        }
+    }
+
+    /// Sets the block-compilation heat threshold; `None` disables the
+    /// block tier entirely (the engine becomes a pure pre-decoded
+    /// dispatch interpreter). Takes effect from the next quantum.
+    pub fn set_block_threshold(&mut self, threshold: Option<u32>) {
+        self.threshold = threshold;
+    }
+
+    /// Resets registers, scratchpad, flags, stack, PC and the tier
+    /// census (program, discovered blocks and compiled closures kept —
+    /// they are pure functions of the program).
+    pub fn reset(&mut self) {
+        self.state.reset();
+        self.census = TierCensus::default();
+        #[cfg(feature = "profile")]
+        {
+            self.opcode_counts = [0; Instruction::COUNT];
+        }
+    }
+
+    /// Current value of register `r`.
+    pub fn reg(&self, r: Register) -> u8 {
+        self.state.regs[r.index()]
+    }
+
+    /// Sets register `r` (useful for test harnesses).
+    pub fn set_reg(&mut self, r: Register, value: u8) {
+        self.state.regs[r.index()] = value;
+    }
+
+    /// Reads a scratchpad byte.
+    pub fn scratch(&self, addr: u8) -> u8 {
+        self.state.scratch[addr as usize]
+    }
+
+    /// Writes a scratchpad byte (useful for preloading state).
+    pub fn set_scratch(&mut self, addr: u8, value: u8) {
+        self.state.scratch[addr as usize] = value;
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u16 {
+        self.state.pc
+    }
+
+    /// `(zero, carry)` flags.
+    pub fn flags(&self) -> (bool, bool) {
+        (self.state.zero, self.state.carry)
+    }
+
+    /// Number of instructions retired since construction/reset.
+    pub fn instret(&self) -> u64 {
+        self.state.instret
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &[Instruction] {
+        &self.program
+    }
+
+    /// The tier execution census since construction/reset.
+    pub fn tier_census(&self) -> TierCensus {
+        self.census
+    }
+
+    /// Copies out the full architectural state (see [`CoreSnapshot`]).
+    pub fn snapshot(&self) -> CoreSnapshot {
+        CoreSnapshot {
+            regs: self.state.regs,
+            scratch: self.state.scratch,
+            stack: self.state.stack.clone(),
+            pc: self.state.pc,
+            zero: self.state.zero,
+            carry: self.state.carry,
+            instret: self.state.instret,
+        }
+    }
+
+    /// Number of basic blocks discovered in the program (compiled or
+    /// not).
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Retired-instruction counts per opcode family, indexed by
+    /// [`Instruction::opcode_index`]; identical to the reference
+    /// interpreter's histogram on the same run and always sums to
+    /// [`Engine::instret`].
+    #[cfg(feature = "profile")]
+    pub fn opcode_counts(&self) -> &[u64; Instruction::COUNT] {
+        &self.opcode_counts
+    }
+
+    /// Executes exactly one instruction through the dispatch tier
+    /// (never enters compiled blocks; the single-step API retires one
+    /// instruction at a time by contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on PC escape, stack overflow or underflow,
+    /// leaving the state as it was before the faulting instruction.
+    pub fn step(&mut self, io: &mut dyn PortIo) -> Result<(), VmError> {
+        self.dispatch_step(io)?;
+        self.census.dispatch_retired += 1;
+        Ok(())
+    }
+
+    /// Executes up to `n` instructions through the dispatch tier.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first [`VmError`].
+    pub fn step_n(&mut self, n: u64, io: &mut dyn PortIo) -> Result<(), VmError> {
+        for _ in 0..n {
+            self.step(io)?;
+        }
+        Ok(())
+    }
+
+    /// Executes one engine quantum — a single dispatched instruction,
+    /// or a whole compiled block if one starts at the current PC — and
+    /// returns how many instructions retired. This is the granularity
+    /// the lockstep rig verifies at.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`VmError`]; faults retire nothing.
+    pub fn step_quantum(&mut self, io: &mut dyn PortIo) -> Result<u64, VmError> {
+        self.quantum(io, None, u64::MAX).map(|q| q.retired)
+    }
+
+    /// Runs until the core writes to output `port` or `budget`
+    /// instructions have retired, using both tiers. Identical outcome
+    /// and I/O traffic to [`crate::vm::Picoblaze::run_until_port_write`]
+    /// on the same program and stimulus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`VmError`].
+    pub fn run_until_port_write(
+        &mut self,
+        port: u8,
+        budget: u64,
+        io: &mut dyn PortIo,
+    ) -> Result<RunOutcome, VmError> {
+        let mut remaining = budget;
+        while remaining > 0 {
+            let q = self.quantum(io, Some(port), remaining)?;
+            remaining -= q.retired;
+            if q.watch_hit {
+                return Ok(RunOutcome::PortWritten(budget - remaining));
+            }
+        }
+        Ok(RunOutcome::BudgetExhausted)
+    }
+
+    /// One dispatched instruction (shared by [`Engine::step`] and the
+    /// quantum loop; the caller accounts the census).
+    fn dispatch_step(&mut self, io: &mut dyn PortIo) -> Result<StepEffect, VmError> {
+        let pc = self.state.pc;
+        let op = *self.ops.get(pc as usize).ok_or(VmError::PcOutOfRange {
+            pc,
+            len: self.ops.len(),
+        })?;
+        let effect = match exec_straight(&mut self.state, op, io) {
+            Some(effect) => {
+                self.state.pc = pc.wrapping_add(1);
+                self.state.instret += 1;
+                effect
+            }
+            None => {
+                exec_branch(&mut self.state, op, pc)?;
+                StepEffect::None
+            }
+        };
+        #[cfg(feature = "profile")]
+        {
+            self.opcode_counts[op.family()] += 1;
+        }
+        Ok(effect)
+    }
+
+    /// The tier seam: pick block or dispatch for the current PC.
+    fn quantum(
+        &mut self,
+        io: &mut dyn PortIo,
+        watch: Option<u8>,
+        remaining: u64,
+    ) -> Result<Quantum, VmError> {
+        if let Some(threshold) = self.threshold {
+            let pc = self.state.pc as usize;
+            let slot = self.block_index.get(pc).copied().unwrap_or(0);
+            if slot != 0 {
+                let b = &mut self.blocks[slot as usize - 1];
+                if b.compiled.is_none() {
+                    b.heat += 1;
+                    if b.heat >= threshold {
+                        let body: Box<[MicroOp]> =
+                            self.ops[b.start as usize..(b.start + b.len) as usize].into();
+                        b.compiled = Some(compile_block(b.start, body));
+                        self.census.blocks_compiled += 1;
+                    }
+                }
+                if let Some(run) = b.compiled.as_ref() {
+                    if u64::from(b.len) <= remaining {
+                        let res = run(&mut self.state, io, watch);
+                        self.census.block_entries += 1;
+                        self.census.block_retired += res.retired;
+                        if res.watch_hit && res.retired < u64::from(b.len) {
+                            self.census.side_exits += 1;
+                        }
+                        #[cfg(feature = "profile")]
+                        {
+                            if res.retired == u64::from(b.len) {
+                                for (slot, n) in
+                                    self.opcode_counts.iter_mut().zip(b.families.iter())
+                                {
+                                    *slot += n;
+                                }
+                            } else {
+                                let start = b.start as usize;
+                                for op in &self.ops[start..start + res.retired as usize] {
+                                    self.opcode_counts[op.family()] += 1;
+                                }
+                            }
+                        }
+                        return Ok(Quantum {
+                            retired: res.retired,
+                            watch_hit: res.watch_hit,
+                        });
+                    }
+                    self.census.guard_bails += 1;
+                }
+            }
+        }
+        let effect = self.dispatch_step(io)?;
+        self.census.dispatch_retired += 1;
+        Ok(Quantum {
+            retired: 1,
+            watch_hit: matches!(effect, StepEffect::Output(p) if watch == Some(p)),
+        })
+    }
+}
+
+impl ExecuteCore for Engine {
+    fn snapshot(&self) -> CoreSnapshot {
+        Engine::snapshot(self)
+    }
+
+    fn step(&mut self, io: &mut dyn PortIo) -> Result<(), VmError> {
+        Engine::step(self, io)
+    }
+
+    fn run_until_port_write(
+        &mut self,
+        port: u8,
+        budget: u64,
+        io: &mut dyn PortIo,
+    ) -> Result<RunOutcome, VmError> {
+        Engine::run_until_port_write(self, port, budget, io)
+    }
+
+    fn instret(&self) -> u64 {
+        Engine::instret(self)
+    }
+
+    fn reset(&mut self) {
+        Engine::reset(self);
+    }
+
+    fn set_reg(&mut self, r: Register, value: u8) {
+        Engine::set_reg(self, r, value);
+    }
+
+    fn set_scratch(&mut self, addr: u8, value: u8) {
+        Engine::set_scratch(self, addr, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Address, Condition, Operand};
+    use crate::vm::{Picoblaze, SparseIo};
+    use Instruction::*;
+
+    fn r(i: u8) -> Register {
+        Register::new(i)
+    }
+
+    /// A counting loop with a 4-instruction straight-line body.
+    fn loop_program() -> Vec<Instruction> {
+        vec![
+            Load(r(0), Operand::Imm(0)),         // 0 leader (entry)
+            Add(r(0), Operand::Imm(1)),          // 1 leader (loop head)
+            Store(r(0), Address::Direct(0x10)),  // 2
+            Fetch(r(1), Address::Direct(0x10)),  // 3
+            Compare(r(1), Operand::Imm(200)),    // 4
+            Jump(Condition::NotZero, 1),         // 5
+            Output(r(0), Address::Direct(0xFF)), // 6 leader (fall-through)
+            Jump(Condition::Always, 0),          // 7
+        ]
+    }
+
+    #[test]
+    fn blocks_are_discovered_at_leaders() {
+        let engine = Engine::new(loop_program());
+        // Leaders: 0 (entry), 1 (branch target), 6 (fall-through).
+        // Bodies: [0..1) too short is part of [0..6)? — pc 0 runs to the
+        // branch at 5 (len 5), pc 1 likewise (len 4), pc 6 has len 1
+        // (too short).
+        assert_eq!(engine.block_count(), 2);
+    }
+
+    #[test]
+    fn tiered_and_reference_agree_on_the_loop() {
+        let mut vm = Picoblaze::new(loop_program());
+        let mut engine = Engine::new(loop_program());
+        engine.set_block_threshold(Some(1));
+        let mut vio = SparseIo::new();
+        let mut eio = SparseIo::new();
+        let a = vm.run_until_port_write(0xFF, 5000, &mut vio).expect("vm");
+        let b = engine
+            .run_until_port_write(0xFF, 5000, &mut eio)
+            .expect("engine");
+        assert_eq!(a, b);
+        assert_eq!(vm.instret(), engine.instret());
+        assert_eq!(vio.last_output(0xFF), eio.last_output(0xFF));
+        let census = engine.tier_census();
+        assert!(census.blocks_compiled >= 1, "{census:?}");
+        assert!(census.block_retired > census.dispatch_retired, "{census:?}");
+        assert_eq!(census.retired(), engine.instret());
+    }
+
+    #[test]
+    fn census_retired_always_matches_instret() {
+        let mut engine = Engine::new(loop_program());
+        engine.set_block_threshold(Some(2));
+        let mut io = SparseIo::new();
+        for _ in 0..50 {
+            engine.step_quantum(&mut io).expect("no fault");
+            assert_eq!(engine.tier_census().retired(), engine.instret());
+        }
+    }
+
+    #[test]
+    fn dispatch_only_mode_never_compiles() {
+        let mut engine = Engine::new(loop_program());
+        engine.set_block_threshold(None);
+        let mut io = SparseIo::new();
+        engine
+            .run_until_port_write(0xFF, 5000, &mut io)
+            .expect("runs");
+        let census = engine.tier_census();
+        assert_eq!(census.blocks_compiled, 0);
+        assert_eq!(census.block_retired, 0);
+        assert_eq!(census.dispatch_retired, engine.instret());
+    }
+
+    #[test]
+    fn guard_bail_falls_back_to_dispatch() {
+        // Budget 3 cannot fit the 4-instruction loop body, so every
+        // quantum must come from the dispatch tier even once compiled.
+        let mut engine = Engine::new(loop_program());
+        engine.set_block_threshold(Some(1));
+        let mut io = SparseIo::new();
+        // Heat + compile the loop body with a full-budget scan first.
+        engine
+            .run_until_port_write(0xFF, 5000, &mut io)
+            .expect("warm-up");
+        let before = engine.tier_census();
+        assert!(before.blocks_compiled >= 1);
+        let outcome = engine
+            .run_until_port_write(0xFF, 3, &mut io)
+            .expect("tiny budget");
+        assert_eq!(outcome, RunOutcome::BudgetExhausted);
+        let after = engine.tier_census();
+        assert!(after.guard_bails > before.guard_bails, "{after:?}");
+        assert_eq!(after.block_entries, before.block_entries);
+        assert_eq!(after.dispatch_retired, before.dispatch_retired + 3);
+    }
+
+    #[test]
+    fn watch_hit_mid_block_commits_the_prefix() {
+        // Body: two outputs then more straight-line work; watching the
+        // first output's port must stop exactly after it.
+        let prog = vec![
+            Load(r(0), Operand::Imm(7)),         // 0
+            Output(r(0), Address::Direct(0x30)), // 1
+            Output(r(0), Address::Direct(0x31)), // 2
+            Add(r(0), Operand::Imm(1)),          // 3
+            Jump(Condition::Always, 0),          // 4
+        ];
+        let mut engine = Engine::new(prog.clone());
+        engine.set_block_threshold(Some(1));
+        let mut io = SparseIo::new();
+        let outcome = engine
+            .run_until_port_write(0x30, 100, &mut io)
+            .expect("no fault");
+        assert_eq!(outcome, RunOutcome::PortWritten(2));
+        assert_eq!(engine.pc(), 2, "stopped after the watched write");
+        assert_eq!(io.output_history(0x31), &[] as &[u8], "suffix not run");
+        let census = engine.tier_census();
+        assert_eq!(census.side_exits, 1, "{census:?}");
+        // The reference VM stops at the same instruction.
+        let mut vm = Picoblaze::new(prog);
+        let mut vio = SparseIo::new();
+        assert_eq!(
+            vm.run_until_port_write(0x30, 100, &mut vio).expect("vm"),
+            RunOutcome::PortWritten(2)
+        );
+        assert_eq!(vm.pc(), engine.pc());
+    }
+
+    #[test]
+    fn faults_match_the_reference() {
+        let prog = vec![Load(r(0), Operand::Imm(1)), Return(Condition::Always)];
+        let mut engine = Engine::new(prog.clone());
+        let mut vm = Picoblaze::new(prog);
+        let mut io = SparseIo::new();
+        assert_eq!(
+            engine.run_until_port_write(0xFF, 10, &mut io),
+            vm.run_until_port_write(0xFF, 10, &mut SparseIo::new())
+        );
+        assert_eq!(engine.pc(), vm.pc());
+        assert_eq!(engine.instret(), vm.instret());
+    }
+
+    #[test]
+    fn reset_keeps_compiled_blocks_but_clears_census() {
+        let mut engine = Engine::new(loop_program());
+        engine.set_block_threshold(Some(1));
+        let mut io = SparseIo::new();
+        engine
+            .run_until_port_write(0xFF, 5000, &mut io)
+            .expect("runs");
+        assert!(engine.tier_census().blocks_compiled >= 1);
+        engine.reset();
+        assert_eq!(engine.instret(), 0);
+        assert_eq!(engine.tier_census(), TierCensus::default());
+        // Compiled blocks persist: the first pass after reset enters the
+        // block tier immediately (no re-heating), with identical results.
+        let mut io2 = SparseIo::new();
+        let outcome = engine
+            .run_until_port_write(0xFF, 5000, &mut io2)
+            .expect("runs");
+        assert!(matches!(outcome, RunOutcome::PortWritten(_)));
+        let census = engine.tier_census();
+        assert_eq!(census.blocks_compiled, 0, "no recompilation");
+        assert!(census.block_retired > 0, "blocks still used: {census:?}");
+    }
+
+    #[cfg(feature = "profile")]
+    #[test]
+    fn profile_histogram_matches_reference_across_tiers() {
+        let mut vm = Picoblaze::new(loop_program());
+        let mut engine = Engine::new(loop_program());
+        engine.set_block_threshold(Some(1));
+        let mut vio = SparseIo::new();
+        let mut eio = SparseIo::new();
+        vm.run_until_port_write(0xFF, 5000, &mut vio).expect("vm");
+        engine
+            .run_until_port_write(0xFF, 5000, &mut eio)
+            .expect("engine");
+        assert_eq!(vm.opcode_counts(), engine.opcode_counts());
+        assert_eq!(engine.opcode_counts().iter().sum::<u64>(), engine.instret());
+    }
+}

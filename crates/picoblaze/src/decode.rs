@@ -1,0 +1,606 @@
+//! Pre-decode pass: lowers [`Instruction`]s into a dense micro-op form
+//! and provides the single-op executor both engine tiers are built from.
+//!
+//! The lowering resolves every operand shape at decode time — register
+//! vs immediate ALU operands, direct vs indirect addresses, and branch
+//! conditions are all split into distinct [`MicroOp`] variants — so the
+//! hot dispatch loop in [`crate::block::Engine`] is one dense match over
+//! a 4-byte `Copy` enum with no nested `match` on operand kinds. This is
+//! the software analogue of a threaded-dispatch interpreter: rustc
+//! compiles the dense match into a single indirect jump through a table.
+//!
+//! Execution semantics are defined once, here, and shared by the
+//! dispatch tier and the compiled-block tier, which is the heart of the
+//! determinism argument in `docs/firmware-engine.md`: a basic block
+//! executes exactly the same `exec_straight` calls in exactly the same
+//! order whether it runs instruction-at-a-time or as a compiled unit.
+
+use crate::isa::{Address, Condition, Instruction, Operand, ShiftOp};
+use crate::vm::{PortIo, VmError, SCRATCHPAD_LEN, STACK_DEPTH};
+
+/// The architectural state of a PicoBlaze core, shared by both engine
+/// tiers: 16 registers, scratchpad, call stack, PC and the two flags.
+///
+/// Field-for-field identical to what [`crate::vm::Picoblaze`] holds; the
+/// lockstep rig compares the two through [`crate::vm::CoreSnapshot`].
+#[derive(Debug, Clone)]
+pub struct CoreState {
+    /// The sixteen 8-bit registers `s0`–`sF`.
+    pub regs: [u8; 16],
+    /// 256-byte scratchpad RAM.
+    pub scratch: [u8; SCRATCHPAD_LEN],
+    /// Call stack (hardware depth [`STACK_DEPTH`]).
+    pub stack: Vec<u16>,
+    /// Program counter.
+    pub pc: u16,
+    /// Zero flag.
+    pub zero: bool,
+    /// Carry flag.
+    pub carry: bool,
+    /// Instructions retired since construction/reset.
+    pub instret: u64,
+}
+
+impl CoreState {
+    /// All-zero power-on state.
+    pub fn new() -> Self {
+        Self {
+            regs: [0; 16],
+            scratch: [0; SCRATCHPAD_LEN],
+            stack: Vec::with_capacity(STACK_DEPTH),
+            pc: 0,
+            zero: false,
+            carry: false,
+            instret: 0,
+        }
+    }
+
+    /// Resets to power-on state.
+    pub fn reset(&mut self) {
+        self.regs = [0; 16];
+        self.scratch = [0; SCRATCHPAD_LEN];
+        self.stack.clear();
+        self.pc = 0;
+        self.zero = false;
+        self.carry = false;
+        self.instret = 0;
+    }
+}
+
+impl Default for CoreState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A pre-decoded micro-op: one [`Instruction`] with its operand shape
+/// and branch condition resolved into the variant itself.
+///
+/// Register operands are stored as raw indices (`< 16`, guaranteed by
+/// [`crate::isa::Register`] at construction). The enum is 4 bytes and
+/// `Copy`, so a decoded program is a dense array the dispatch loop
+/// walks with no pointer chasing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variant names mirror `Instruction` one-for-one
+pub enum MicroOp {
+    LoadReg(u8, u8),
+    LoadImm(u8, u8),
+    AndReg(u8, u8),
+    AndImm(u8, u8),
+    OrReg(u8, u8),
+    OrImm(u8, u8),
+    XorReg(u8, u8),
+    XorImm(u8, u8),
+    AddReg(u8, u8),
+    AddImm(u8, u8),
+    AddCyReg(u8, u8),
+    AddCyImm(u8, u8),
+    SubReg(u8, u8),
+    SubImm(u8, u8),
+    SubCyReg(u8, u8),
+    SubCyImm(u8, u8),
+    CompareReg(u8, u8),
+    CompareImm(u8, u8),
+    TestReg(u8, u8),
+    TestImm(u8, u8),
+    Shift(ShiftOp, u8),
+    StoreDirect(u8, u8),
+    StoreIndirect(u8, u8),
+    FetchDirect(u8, u8),
+    FetchIndirect(u8, u8),
+    InputDirect(u8, u8),
+    InputIndirect(u8, u8),
+    OutputDirect(u8, u8),
+    OutputIndirect(u8, u8),
+    Jump(u16),
+    JumpZero(u16),
+    JumpNotZero(u16),
+    JumpCarry(u16),
+    JumpNotCarry(u16),
+    Call(u16),
+    CallZero(u16),
+    CallNotZero(u16),
+    CallCarry(u16),
+    CallNotCarry(u16),
+    Return,
+    ReturnZero,
+    ReturnNotZero,
+    ReturnCarry,
+    ReturnNotCarry,
+}
+
+impl MicroOp {
+    /// `true` for micro-ops that can change control flow — exactly the
+    /// ops [`Instruction::is_branch`] flags before lowering.
+    pub fn is_branch(self) -> bool {
+        matches!(
+            self,
+            MicroOp::Jump(_)
+                | MicroOp::JumpZero(_)
+                | MicroOp::JumpNotZero(_)
+                | MicroOp::JumpCarry(_)
+                | MicroOp::JumpNotCarry(_)
+                | MicroOp::Call(_)
+                | MicroOp::CallZero(_)
+                | MicroOp::CallNotZero(_)
+                | MicroOp::CallCarry(_)
+                | MicroOp::CallNotCarry(_)
+                | MicroOp::Return
+                | MicroOp::ReturnZero
+                | MicroOp::ReturnNotZero
+                | MicroOp::ReturnCarry
+                | MicroOp::ReturnNotCarry
+        )
+    }
+
+    /// Opcode-family index of the instruction this op was lowered from
+    /// ([`Instruction::opcode_index`] order); keeps the `profile`
+    /// feature's histogram comparable across engines.
+    pub fn family(self) -> usize {
+        use MicroOp::*;
+        match self {
+            LoadReg(..) | LoadImm(..) => 0,
+            AndReg(..) | AndImm(..) => 1,
+            OrReg(..) | OrImm(..) => 2,
+            XorReg(..) | XorImm(..) => 3,
+            AddReg(..) | AddImm(..) => 4,
+            AddCyReg(..) | AddCyImm(..) => 5,
+            SubReg(..) | SubImm(..) => 6,
+            SubCyReg(..) | SubCyImm(..) => 7,
+            CompareReg(..) | CompareImm(..) => 8,
+            TestReg(..) | TestImm(..) => 9,
+            Shift(..) => 10,
+            StoreDirect(..) | StoreIndirect(..) => 11,
+            FetchDirect(..) | FetchIndirect(..) => 12,
+            InputDirect(..) | InputIndirect(..) => 13,
+            OutputDirect(..) | OutputIndirect(..) => 14,
+            Jump(_) | JumpZero(_) | JumpNotZero(_) | JumpCarry(_) | JumpNotCarry(_) => 15,
+            Call(_) | CallZero(_) | CallNotZero(_) | CallCarry(_) | CallNotCarry(_) => 16,
+            Return | ReturnZero | ReturnNotZero | ReturnCarry | ReturnNotCarry => 17,
+        }
+    }
+}
+
+/// Lowers one instruction.
+pub fn lower(instr: Instruction) -> MicroOp {
+    use Instruction as I;
+    use MicroOp as M;
+    let alu = |reg: fn(u8, u8) -> MicroOp, imm: fn(u8, u8) -> MicroOp, x: u8, op: Operand| match op
+    {
+        Operand::Reg(y) => reg(x, y.raw()),
+        Operand::Imm(k) => imm(x, k),
+    };
+    let mem = |dir: fn(u8, u8) -> MicroOp, ind: fn(u8, u8) -> MicroOp, x: u8, a: Address| match a {
+        Address::Direct(k) => dir(x, k),
+        Address::Indirect(y) => ind(x, y.raw()),
+    };
+    match instr {
+        I::Load(x, op) => alu(M::LoadReg, M::LoadImm, x.raw(), op),
+        I::And(x, op) => alu(M::AndReg, M::AndImm, x.raw(), op),
+        I::Or(x, op) => alu(M::OrReg, M::OrImm, x.raw(), op),
+        I::Xor(x, op) => alu(M::XorReg, M::XorImm, x.raw(), op),
+        I::Add(x, op) => alu(M::AddReg, M::AddImm, x.raw(), op),
+        I::AddCy(x, op) => alu(M::AddCyReg, M::AddCyImm, x.raw(), op),
+        I::Sub(x, op) => alu(M::SubReg, M::SubImm, x.raw(), op),
+        I::SubCy(x, op) => alu(M::SubCyReg, M::SubCyImm, x.raw(), op),
+        I::Compare(x, op) => alu(M::CompareReg, M::CompareImm, x.raw(), op),
+        I::Test(x, op) => alu(M::TestReg, M::TestImm, x.raw(), op),
+        I::Shift(op, x) => M::Shift(op, x.raw()),
+        I::Store(x, a) => mem(M::StoreDirect, M::StoreIndirect, x.raw(), a),
+        I::Fetch(x, a) => mem(M::FetchDirect, M::FetchIndirect, x.raw(), a),
+        I::Input(x, a) => mem(M::InputDirect, M::InputIndirect, x.raw(), a),
+        I::Output(x, a) => mem(M::OutputDirect, M::OutputIndirect, x.raw(), a),
+        I::Jump(c, t) => match c {
+            Condition::Always => M::Jump(t),
+            Condition::Zero => M::JumpZero(t),
+            Condition::NotZero => M::JumpNotZero(t),
+            Condition::Carry => M::JumpCarry(t),
+            Condition::NotCarry => M::JumpNotCarry(t),
+        },
+        I::Call(c, t) => match c {
+            Condition::Always => M::Call(t),
+            Condition::Zero => M::CallZero(t),
+            Condition::NotZero => M::CallNotZero(t),
+            Condition::Carry => M::CallCarry(t),
+            Condition::NotCarry => M::CallNotCarry(t),
+        },
+        I::Return(c) => match c {
+            Condition::Always => M::Return,
+            Condition::Zero => M::ReturnZero,
+            Condition::NotZero => M::ReturnNotZero,
+            Condition::Carry => M::ReturnCarry,
+            Condition::NotCarry => M::ReturnNotCarry,
+        },
+    }
+}
+
+/// Lowers a whole program into the dense micro-op array the engine
+/// dispatches over. `ops[pc]` corresponds to `program[pc]` one-for-one,
+/// so branch targets and the PC need no translation.
+pub fn predecode(program: &[Instruction]) -> Vec<MicroOp> {
+    program.iter().map(|&i| lower(i)).collect()
+}
+
+/// What a retired instruction did to the outside world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEffect {
+    /// No port output.
+    None,
+    /// Wrote this output port (the value is already delivered to the
+    /// [`PortIo`]); the engine's scan loop watches this for the AIM's
+    /// end-of-scan sync convention.
+    Output(u8),
+}
+
+/// Executes one *non-branch* micro-op against `st`, leaving `pc` and
+/// `instret` untouched (the caller owns instruction accounting).
+///
+/// Returns `None` for branch micro-ops without executing them — the
+/// dispatch loop handles those via [`exec_branch`], and compiled block
+/// bodies exclude them by construction. Non-branch ops cannot fault:
+/// scratchpad and register indices are 8-bit into full-size arrays, so
+/// this function is total.
+#[inline(always)]
+pub fn exec_straight(st: &mut CoreState, op: MicroOp, io: &mut dyn PortIo) -> Option<StepEffect> {
+    use MicroOp::*;
+    match op {
+        LoadReg(x, y) => st.regs[x as usize] = st.regs[y as usize],
+        LoadImm(x, k) => st.regs[x as usize] = k,
+        AndReg(x, y) => logic(st, x, st.regs[y as usize], |a, b| a & b),
+        AndImm(x, k) => logic(st, x, k, |a, b| a & b),
+        OrReg(x, y) => logic(st, x, st.regs[y as usize], |a, b| a | b),
+        OrImm(x, k) => logic(st, x, k, |a, b| a | b),
+        XorReg(x, y) => logic(st, x, st.regs[y as usize], |a, b| a ^ b),
+        XorImm(x, k) => logic(st, x, k, |a, b| a ^ b),
+        AddReg(x, y) => add(st, x, st.regs[y as usize]),
+        AddImm(x, k) => add(st, x, k),
+        AddCyReg(x, y) => addcy(st, x, st.regs[y as usize]),
+        AddCyImm(x, k) => addcy(st, x, k),
+        SubReg(x, y) => sub(st, x, st.regs[y as usize]),
+        SubImm(x, k) => sub(st, x, k),
+        SubCyReg(x, y) => subcy(st, x, st.regs[y as usize]),
+        SubCyImm(x, k) => subcy(st, x, k),
+        CompareReg(x, y) => compare(st, x, st.regs[y as usize]),
+        CompareImm(x, k) => compare(st, x, k),
+        TestReg(x, y) => test(st, x, st.regs[y as usize]),
+        TestImm(x, k) => test(st, x, k),
+        Shift(op, x) => shift(st, op, x),
+        StoreDirect(x, a) => st.scratch[a as usize] = st.regs[x as usize],
+        StoreIndirect(x, y) => st.scratch[st.regs[y as usize] as usize] = st.regs[x as usize],
+        FetchDirect(x, a) => st.regs[x as usize] = st.scratch[a as usize],
+        FetchIndirect(x, y) => st.regs[x as usize] = st.scratch[st.regs[y as usize] as usize],
+        InputDirect(x, p) => st.regs[x as usize] = io.input(p),
+        InputIndirect(x, y) => {
+            let p = st.regs[y as usize];
+            st.regs[x as usize] = io.input(p);
+        }
+        OutputDirect(x, p) => {
+            io.output(p, st.regs[x as usize]);
+            return Some(StepEffect::Output(p));
+        }
+        OutputIndirect(x, y) => {
+            let p = st.regs[y as usize];
+            io.output(p, st.regs[x as usize]);
+            return Some(StepEffect::Output(p));
+        }
+        Jump(_) | JumpZero(_) | JumpNotZero(_) | JumpCarry(_) | JumpNotCarry(_) | Call(_)
+        | CallZero(_) | CallNotZero(_) | CallCarry(_) | CallNotCarry(_) | Return | ReturnZero
+        | ReturnNotZero | ReturnCarry | ReturnNotCarry => return None,
+    }
+    Some(StepEffect::None)
+}
+
+/// Executes one *branch* micro-op at program counter `pc`, updating
+/// `st.pc` and `st.instret`. Faults ([`VmError`]) leave the state
+/// exactly as it was before the instruction, matching
+/// [`crate::vm::Picoblaze::step`].
+#[inline(always)]
+pub fn exec_branch(st: &mut CoreState, op: MicroOp, pc: u16) -> Result<(), VmError> {
+    use MicroOp::*;
+    let mut next_pc = pc.wrapping_add(1);
+    match op {
+        Jump(t) => next_pc = t,
+        JumpZero(t) => {
+            if st.zero {
+                next_pc = t;
+            }
+        }
+        JumpNotZero(t) => {
+            if !st.zero {
+                next_pc = t;
+            }
+        }
+        JumpCarry(t) => {
+            if st.carry {
+                next_pc = t;
+            }
+        }
+        JumpNotCarry(t) => {
+            if !st.carry {
+                next_pc = t;
+            }
+        }
+        Call(t) => next_pc = call(st, pc, t)?,
+        CallZero(t) => {
+            if st.zero {
+                next_pc = call(st, pc, t)?;
+            }
+        }
+        CallNotZero(t) => {
+            if !st.zero {
+                next_pc = call(st, pc, t)?;
+            }
+        }
+        CallCarry(t) => {
+            if st.carry {
+                next_pc = call(st, pc, t)?;
+            }
+        }
+        CallNotCarry(t) => {
+            if !st.carry {
+                next_pc = call(st, pc, t)?;
+            }
+        }
+        Return => next_pc = ret(st, pc)?,
+        ReturnZero => {
+            if st.zero {
+                next_pc = ret(st, pc)?;
+            }
+        }
+        ReturnNotZero => {
+            if !st.zero {
+                next_pc = ret(st, pc)?;
+            }
+        }
+        ReturnCarry => {
+            if st.carry {
+                next_pc = ret(st, pc)?;
+            }
+        }
+        ReturnNotCarry => {
+            if !st.carry {
+                next_pc = ret(st, pc)?;
+            }
+        }
+        // Non-branch ops never reach here: the dispatch loop routes them
+        // through `exec_straight` first.
+        _ => debug_assert!(false, "exec_branch on non-branch op"),
+    }
+    st.pc = next_pc;
+    st.instret += 1;
+    Ok(())
+}
+
+#[inline(always)]
+fn logic(st: &mut CoreState, x: u8, b: u8, f: impl Fn(u8, u8) -> u8) {
+    let r = f(st.regs[x as usize], b);
+    st.regs[x as usize] = r;
+    st.zero = r == 0;
+    st.carry = false;
+}
+
+#[inline(always)]
+fn add(st: &mut CoreState, x: u8, b: u8) {
+    let (r, c) = st.regs[x as usize].overflowing_add(b);
+    st.regs[x as usize] = r;
+    st.zero = r == 0;
+    st.carry = c;
+}
+
+#[inline(always)]
+fn addcy(st: &mut CoreState, x: u8, b: u8) {
+    let sum = st.regs[x as usize] as u16 + b as u16 + st.carry as u16;
+    let r = (sum & 0xFF) as u8;
+    st.regs[x as usize] = r;
+    // Z chains across multi-byte adds, per KCPSM6.
+    st.zero = st.zero && r == 0;
+    st.carry = sum > 0xFF;
+}
+
+#[inline(always)]
+fn sub(st: &mut CoreState, x: u8, b: u8) {
+    let (r, borrow) = st.regs[x as usize].overflowing_sub(b);
+    st.regs[x as usize] = r;
+    st.zero = r == 0;
+    st.carry = borrow;
+}
+
+#[inline(always)]
+fn subcy(st: &mut CoreState, x: u8, b: u8) {
+    let diff = st.regs[x as usize] as i16 - b as i16 - st.carry as i16;
+    let r = (diff & 0xFF) as u8;
+    st.regs[x as usize] = r;
+    st.zero = st.zero && r == 0;
+    st.carry = diff < 0;
+}
+
+#[inline(always)]
+fn compare(st: &mut CoreState, x: u8, b: u8) {
+    let (r, borrow) = st.regs[x as usize].overflowing_sub(b);
+    st.zero = r == 0;
+    st.carry = borrow;
+}
+
+#[inline(always)]
+fn test(st: &mut CoreState, x: u8, b: u8) {
+    let r = st.regs[x as usize] & b;
+    st.zero = r == 0;
+    st.carry = r.count_ones() % 2 == 1;
+}
+
+#[inline(always)]
+fn shift(st: &mut CoreState, op: ShiftOp, x: u8) {
+    let v = st.regs[x as usize];
+    let (r, out_bit) = match op {
+        ShiftOp::Sl0 => (v << 1, v & 0x80 != 0),
+        ShiftOp::Sl1 => ((v << 1) | 1, v & 0x80 != 0),
+        ShiftOp::Slx => ((v << 1) | (v & 1), v & 0x80 != 0),
+        ShiftOp::Sla => ((v << 1) | st.carry as u8, v & 0x80 != 0),
+        ShiftOp::Rl => (v.rotate_left(1), v & 0x80 != 0),
+        ShiftOp::Sr0 => (v >> 1, v & 1 != 0),
+        ShiftOp::Sr1 => ((v >> 1) | 0x80, v & 1 != 0),
+        ShiftOp::Srx => ((v >> 1) | (v & 0x80), v & 1 != 0),
+        ShiftOp::Sra => ((v >> 1) | ((st.carry as u8) << 7), v & 1 != 0),
+        ShiftOp::Rr => (v.rotate_right(1), v & 1 != 0),
+    };
+    st.regs[x as usize] = r;
+    st.zero = r == 0;
+    st.carry = out_bit;
+}
+
+#[inline(always)]
+fn call(st: &mut CoreState, pc: u16, target: u16) -> Result<u16, VmError> {
+    if st.stack.len() >= STACK_DEPTH {
+        return Err(VmError::StackOverflow { pc });
+    }
+    st.stack.push(pc.wrapping_add(1));
+    Ok(target)
+}
+
+#[inline(always)]
+fn ret(st: &mut CoreState, pc: u16) -> Result<u16, VmError> {
+    st.stack.pop().ok_or(VmError::StackUnderflow { pc })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Register;
+
+    fn r(i: u8) -> Register {
+        Register::new(i)
+    }
+
+    #[test]
+    fn lowering_resolves_operand_shapes() {
+        assert_eq!(
+            lower(Instruction::Add(r(3), Operand::Imm(7))),
+            MicroOp::AddImm(3, 7)
+        );
+        assert_eq!(
+            lower(Instruction::Add(r(3), Operand::Reg(r(9)))),
+            MicroOp::AddReg(3, 9)
+        );
+        assert_eq!(
+            lower(Instruction::Fetch(r(1), Address::Indirect(r(2)))),
+            MicroOp::FetchIndirect(1, 2)
+        );
+        assert_eq!(
+            lower(Instruction::Jump(Condition::NotCarry, 0x123)),
+            MicroOp::JumpNotCarry(0x123)
+        );
+        assert_eq!(
+            lower(Instruction::Return(Condition::Zero)),
+            MicroOp::ReturnZero
+        );
+    }
+
+    #[test]
+    fn branch_classification_survives_lowering() {
+        let cases = [
+            Instruction::Jump(Condition::Always, 0),
+            Instruction::Call(Condition::Carry, 5),
+            Instruction::Return(Condition::NotZero),
+            Instruction::Load(r(0), Operand::Imm(1)),
+            Instruction::Output(r(0), Address::Direct(0xFF)),
+        ];
+        for instr in cases {
+            assert_eq!(lower(instr).is_branch(), instr.is_branch(), "{instr:?}");
+        }
+    }
+
+    #[test]
+    fn family_matches_opcode_index() {
+        let cases = [
+            Instruction::Load(r(0), Operand::Imm(1)),
+            Instruction::AddCy(r(0), Operand::Reg(r(1))),
+            Instruction::Shift(ShiftOp::Rr, r(2)),
+            Instruction::Store(r(0), Address::Indirect(r(1))),
+            Instruction::Input(r(0), Address::Direct(3)),
+            Instruction::Jump(Condition::Zero, 9),
+            Instruction::Call(Condition::Always, 9),
+            Instruction::Return(Condition::NotCarry),
+        ];
+        for instr in cases {
+            assert_eq!(lower(instr).family(), instr.opcode_index(), "{instr:?}");
+        }
+    }
+
+    #[test]
+    fn micro_op_is_dense() {
+        // The whole point of pre-decoding: the dispatch loop walks an
+        // array of 4-byte cells.
+        assert_eq!(std::mem::size_of::<MicroOp>(), 4);
+    }
+
+    #[test]
+    fn exec_straight_declines_branches() {
+        let mut st = CoreState::new();
+        let mut io = crate::vm::SparseIo::new();
+        assert_eq!(exec_straight(&mut st, MicroOp::Jump(3), &mut io), None);
+        assert_eq!(
+            exec_straight(&mut st, MicroOp::LoadImm(0, 42), &mut io),
+            Some(StepEffect::None)
+        );
+        assert_eq!(st.regs[0], 42);
+    }
+
+    #[test]
+    fn output_reports_the_port() {
+        let mut st = CoreState::new();
+        st.regs[2] = 0x55;
+        st.regs[3] = 0xFE;
+        let mut io = crate::vm::SparseIo::new();
+        assert_eq!(
+            exec_straight(&mut st, MicroOp::OutputDirect(2, 0xFF), &mut io),
+            Some(StepEffect::Output(0xFF))
+        );
+        assert_eq!(
+            exec_straight(&mut st, MicroOp::OutputIndirect(2, 3), &mut io),
+            Some(StepEffect::Output(0xFE))
+        );
+        assert_eq!(io.last_output(0xFF), Some(0x55));
+        assert_eq!(io.last_output(0xFE), Some(0x55));
+    }
+
+    #[test]
+    fn branch_faults_leave_state_untouched() {
+        let mut st = CoreState::new();
+        let err = exec_branch(&mut st, MicroOp::Return, 7);
+        assert_eq!(err, Err(VmError::StackUnderflow { pc: 7 }));
+        assert_eq!(st.pc, 0);
+        assert_eq!(st.instret, 0);
+        for _ in 0..STACK_DEPTH {
+            let pc = st.pc;
+            exec_branch(&mut st, MicroOp::Call(0), pc).expect("within depth");
+        }
+        let pc = st.pc;
+        let instret = st.instret;
+        assert_eq!(
+            exec_branch(&mut st, MicroOp::Call(0), pc),
+            Err(VmError::StackOverflow { pc })
+        );
+        assert_eq!(st.stack.len(), STACK_DEPTH);
+        assert_eq!((st.pc, st.instret), (pc, instret));
+    }
+}

@@ -7,7 +7,14 @@
 //!
 //! * [`isa`] — the instruction set (a KCPSM6-flavoured subset),
 //! * [`encode`] — a stable 18-bit binary encoding,
-//! * [`vm`] — a deterministic interpreter ([`vm::Picoblaze`]),
+//! * [`vm`] — the reference interpreter ([`vm::Picoblaze`]) and the
+//!   execute seam ([`vm::ExecuteCore`]) every backend honours,
+//! * [`decode`] — the pre-decode pass lowering instructions into dense
+//!   micro-ops,
+//! * [`block`] — the tiered engine ([`block::Engine`]): pre-decoded
+//!   dispatch plus profile-guided compiled basic blocks,
+//! * [`lockstep`] — the differential rig proving backend equivalence
+//!   instruction by instruction,
 //! * [`asm`] — a two-pass assembler for `.psm`-style sources,
 //! * [`disasm`] — a disassembler (via [`std::fmt::Display`] on
 //!   instructions).
@@ -37,11 +44,15 @@
 //! ```
 
 pub mod asm;
+pub mod block;
+pub mod decode;
 pub mod disasm;
 pub mod encode;
 pub mod isa;
+pub mod lockstep;
 pub mod vm;
 
 pub use asm::{assemble, AsmError};
+pub use block::{Engine, TierCensus};
 pub use isa::{Condition, Instruction, Register, ShiftOp};
-pub use vm::{Picoblaze, PortIo, SparseIo, VmError};
+pub use vm::{CoreSnapshot, ExecuteCore, Picoblaze, PortIo, SparseIo, VmError};

@@ -1,0 +1,363 @@
+//! Lockstep differential rig: drives the reference interpreter and the
+//! tiered engine over the same program and stimulus, diffing the *full*
+//! architectural state and the complete I/O port traffic at every
+//! engine quantum — not just end state.
+//!
+//! With the block tier disabled a quantum is one instruction, so the
+//! rig is a true instruction-by-instruction lockstep. With the block
+//! tier on, a quantum is a whole compiled block; the reference core is
+//! single-stepped until it has retired the same count and the states
+//! are compared at the block boundary, which is the finest granularity
+//! at which the block tier commits state.
+//!
+//! Stimulus comes from [`ScriptedIo`]: a splitmix-style deterministic
+//! function of `(seed, read index, port)`, so input values cover the
+//! hostile full `0..=255` range while both cores observe byte-identical
+//! streams — unless their *input sequences* diverge, which the recorded
+//! event traces catch immediately.
+
+use std::fmt;
+
+use crate::block::Engine;
+use crate::isa::Instruction;
+use crate::vm::{CoreSnapshot, ExecuteCore, Picoblaze, PortIo};
+
+/// One recorded I/O port access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoEvent {
+    /// The core read `port` and observed `value`.
+    Input {
+        /// Port number.
+        port: u8,
+        /// Value returned to the core.
+        value: u8,
+    },
+    /// The core wrote `value` to `port`.
+    Output {
+        /// Port number.
+        port: u8,
+        /// Value written.
+        value: u8,
+    },
+}
+
+impl fmt::Display for IoEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoEvent::Input { port, value } => write!(f, "in[0x{port:02X}] -> 0x{value:02X}"),
+            IoEvent::Output { port, value } => write!(f, "out[0x{port:02X}] <- 0x{value:02X}"),
+        }
+    }
+}
+
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The splitmix64 finaliser: a deterministic 64-bit mix.
+fn splitmix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic hostile stimulus plus a full I/O event recorder.
+///
+/// Every input read returns `splitmix64(seed + reads·φ + port)` truncated
+/// to a byte — a fixed pure function, so two cores making the same reads
+/// in the same order see identical bytes. All traffic (reads with their
+/// observed values, and writes) is recorded in order for trace diffing.
+#[derive(Debug, Clone)]
+pub struct ScriptedIo {
+    seed: u64,
+    reads: u64,
+    /// Complete port traffic in program order.
+    pub events: Vec<IoEvent>,
+}
+
+impl ScriptedIo {
+    /// Creates a stimulus stream for `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            reads: 0,
+            events: Vec::new(),
+        }
+    }
+}
+
+impl PortIo for ScriptedIo {
+    fn input(&mut self, port: u8) -> u8 {
+        let value =
+            splitmix64(self.seed ^ self.reads.wrapping_mul(GOLDEN) ^ ((port as u64) << 56)) as u8;
+        self.reads += 1;
+        self.events.push(IoEvent::Input { port, value });
+        value
+    }
+
+    fn output(&mut self, port: u8, value: u8) {
+        self.events.push(IoEvent::Output { port, value });
+    }
+}
+
+/// A detected divergence between the reference core and the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Engine quanta completed when the mismatch was found.
+    pub quantum: u64,
+    /// Engine `instret` at the mismatch.
+    pub instret: u64,
+    /// First differing field or event, human-readable.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "divergence at quantum {} (instret {}): {}",
+            self.quantum, self.instret, self.detail
+        )
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+/// Describes the first difference between two snapshots, if any.
+pub fn diff_snapshots(reference: &CoreSnapshot, engine: &CoreSnapshot) -> Option<String> {
+    if reference.instret != engine.instret {
+        return Some(format!(
+            "instret: reference {} vs engine {}",
+            reference.instret, engine.instret
+        ));
+    }
+    if reference.pc != engine.pc {
+        return Some(format!(
+            "pc: reference 0x{:03X} vs engine 0x{:03X}",
+            reference.pc, engine.pc
+        ));
+    }
+    if (reference.zero, reference.carry) != (engine.zero, engine.carry) {
+        return Some(format!(
+            "flags (Z,C): reference {:?} vs engine {:?}",
+            (reference.zero, reference.carry),
+            (engine.zero, engine.carry)
+        ));
+    }
+    for i in 0..16 {
+        if reference.regs[i] != engine.regs[i] {
+            return Some(format!(
+                "s{i:X}: reference 0x{:02X} vs engine 0x{:02X}",
+                reference.regs[i], engine.regs[i]
+            ));
+        }
+    }
+    if reference.stack != engine.stack {
+        return Some(format!(
+            "stack: reference {:?} vs engine {:?}",
+            reference.stack, engine.stack
+        ));
+    }
+    for i in 0..reference.scratch.len() {
+        if reference.scratch[i] != engine.scratch[i] {
+            return Some(format!(
+                "scratch[0x{i:02X}]: reference 0x{:02X} vs engine 0x{:02X}",
+                reference.scratch[i], engine.scratch[i]
+            ));
+        }
+    }
+    None
+}
+
+/// Describes the first difference between two I/O traces, if any.
+pub fn diff_events(reference: &[IoEvent], engine: &[IoEvent]) -> Option<String> {
+    let n = reference.len().min(engine.len());
+    for i in 0..n {
+        if reference[i] != engine[i] {
+            return Some(format!(
+                "io[{i}]: reference `{}` vs engine `{}`",
+                reference[i], engine[i]
+            ));
+        }
+    }
+    if reference.len() != engine.len() {
+        return Some(format!(
+            "io trace length: reference {} vs engine {} (first extra: `{}`)",
+            reference.len(),
+            engine.len(),
+            if reference.len() > engine.len() {
+                reference[n]
+            } else {
+                engine[n]
+            }
+        ));
+    }
+    None
+}
+
+/// Runs `engine` for up to `quanta` quanta against the reference
+/// interpreter in lockstep, diffing full state and I/O traffic at every
+/// quantum boundary. Faults must also match: if the engine faults, the
+/// reference must fault identically at the same instruction (the rig
+/// then stops and reports success).
+///
+/// Returns the number of instructions verified.
+///
+/// # Errors
+///
+/// The first [`Divergence`] found, boxed (it carries the full detail
+/// string).
+pub fn run_lockstep(
+    reference: &mut Picoblaze,
+    engine: &mut Engine,
+    seed: u64,
+    quanta: u64,
+) -> Result<u64, Box<Divergence>> {
+    let mut rio = ScriptedIo::new(seed);
+    let mut eio = ScriptedIo::new(seed);
+    let diverged = |q: u64, instret: u64, detail: String| {
+        Err(Box::new(Divergence {
+            quantum: q,
+            instret,
+            detail,
+        }))
+    };
+    for q in 0..quanta {
+        let engine_fault = match engine.step_quantum(&mut eio) {
+            Ok(retired) => {
+                let mut reference_fault = None;
+                for _ in 0..retired {
+                    if let Err(e) = ExecuteCore::step(reference, &mut rio) {
+                        reference_fault = Some(e);
+                        break;
+                    }
+                }
+                if let Some(e) = reference_fault {
+                    return diverged(
+                        q,
+                        engine.instret(),
+                        format!("reference faulted ({e}) inside a quantum the engine retired"),
+                    );
+                }
+                None
+            }
+            Err(e) => Some(e),
+        };
+        if let Some(e) = engine_fault {
+            // The reference must fault the same way on its next step.
+            match ExecuteCore::step(reference, &mut rio) {
+                Err(re) if re == e => {}
+                other => {
+                    return diverged(
+                        q,
+                        engine.instret(),
+                        format!("engine faulted ({e}) but reference stepped to {other:?}"),
+                    );
+                }
+            }
+        }
+        if let Some(detail) = diff_snapshots(&reference.snapshot(), &engine.snapshot()) {
+            return diverged(q, engine.instret(), detail);
+        }
+        if let Some(detail) = diff_events(&rio.events, &eio.events) {
+            return diverged(q, engine.instret(), detail);
+        }
+        if engine_fault.is_some() {
+            break; // both cores are wedged on the same fault
+        }
+    }
+    Ok(engine.instret())
+}
+
+/// Convenience wrapper: builds both cores from `program`, applies the
+/// engine's block `threshold` (`None` = dispatch only, i.e. true
+/// per-instruction lockstep) and runs [`run_lockstep`].
+///
+/// # Errors
+///
+/// The first [`Divergence`] found.
+pub fn lockstep_program(
+    program: &[Instruction],
+    threshold: Option<u32>,
+    seed: u64,
+    quanta: u64,
+) -> Result<u64, Box<Divergence>> {
+    let mut reference = Picoblaze::new(program.to_vec());
+    let mut engine = Engine::new(program.to_vec());
+    engine.set_block_threshold(threshold);
+    run_lockstep(&mut reference, &mut engine, seed, quanta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Address, Condition, Operand, Register};
+    use Instruction::*;
+
+    fn r(i: u8) -> Register {
+        Register::new(i)
+    }
+
+    fn io_loop() -> Vec<Instruction> {
+        vec![
+            Input(r(0), Address::Direct(0x05)),
+            Add(r(0), Operand::Imm(3)),
+            Store(r(0), Address::Direct(0x40)),
+            Output(r(0), Address::Direct(0xFF)),
+            Jump(Condition::Always, 0),
+        ]
+    }
+
+    #[test]
+    fn scripted_io_is_deterministic() {
+        let mut a = ScriptedIo::new(7);
+        let mut b = ScriptedIo::new(7);
+        let mut c = ScriptedIo::new(8);
+        let va: Vec<u8> = (0..32).map(|i| a.input(i)).collect();
+        let vb: Vec<u8> = (0..32).map(|i| b.input(i)).collect();
+        let vc: Vec<u8> = (0..32).map(|i| c.input(i)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc, "different seeds give different stimulus");
+        assert_eq!(a.events.len(), 32);
+    }
+
+    #[test]
+    fn lockstep_clean_on_equivalent_cores() {
+        let verified = lockstep_program(&io_loop(), Some(1), 0xC0FFEE, 500).expect("no divergence");
+        assert!(verified >= 500, "block quanta retire > 1 instruction");
+    }
+
+    #[test]
+    fn lockstep_detects_a_seeded_state_divergence() {
+        let program = io_loop();
+        let mut reference = Picoblaze::new(program.clone());
+        let mut engine = Engine::new(program);
+        engine.set_reg(r(7), 0xEE); // deliberate seeded mismatch
+        let err = run_lockstep(&mut reference, &mut engine, 1, 10)
+            .expect_err("must detect the planted divergence");
+        assert!(err.detail.contains("s7"), "{err}");
+    }
+
+    #[test]
+    fn lockstep_reports_matching_faults_as_success() {
+        let program = vec![Load(r(0), Operand::Imm(1)), Return(Condition::Always)];
+        let verified = lockstep_program(&program, Some(1), 3, 10).expect("matching faults agree");
+        assert_eq!(verified, 1, "one instruction retired before the fault");
+    }
+
+    #[test]
+    fn snapshot_diff_pinpoints_scratch() {
+        let a = Picoblaze::new(io_loop()).snapshot();
+        let mut cpu = Picoblaze::new(io_loop());
+        cpu.set_scratch(0x23, 9);
+        let detail = diff_snapshots(&a, &cpu.snapshot()).expect("differs");
+        assert!(detail.contains("scratch[0x23]"), "{detail}");
+    }
+
+    #[test]
+    fn event_diff_pinpoints_length_and_value() {
+        let a = vec![IoEvent::Output { port: 1, value: 2 }];
+        let b = vec![IoEvent::Output { port: 1, value: 3 }];
+        assert!(diff_events(&a, &b).expect("differs").contains("io[0]"));
+        assert!(diff_events(&a, &[]).expect("differs").contains("length"));
+        assert_eq!(diff_events(&a, &a), None);
+    }
+}

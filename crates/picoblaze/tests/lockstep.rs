@@ -1,0 +1,172 @@
+//! Lockstep differential tests over the shipped AIM firmware: the
+//! reference interpreter and the tiered engine must agree on the full
+//! architectural state and all I/O port traffic at every quantum, for
+//! both bundled `.psm` programs, in every tier configuration.
+//!
+//! The firmware sources are included straight from `crates/core` so the
+//! rig always tests the exact programs the platform runs.
+
+use sirtm_picoblaze::asm;
+use sirtm_picoblaze::block::Engine;
+use sirtm_picoblaze::isa::Instruction;
+use sirtm_picoblaze::lockstep::{lockstep_program, run_lockstep, ScriptedIo};
+use sirtm_picoblaze::vm::{Picoblaze, RunOutcome};
+
+const NI_SOURCE: &str = include_str!("../../core/firmware/ni.psm");
+const FFW_SOURCE: &str = include_str!("../../core/firmware/ffw.psm");
+
+/// End-of-scan sync port (mirrors `sirtm_core::firmware::OUT_SYNC`).
+const OUT_SYNC: u8 = 0xFF;
+
+fn firmware(source: &str) -> Vec<Instruction> {
+    asm::assemble(source).expect("bundled firmware assembles")
+}
+
+/// Per-instruction lockstep (block tier off → every quantum is exactly
+/// one instruction) over hostile stimulus, both firmwares, many seeds.
+#[test]
+fn interpreter_tier_lockstep_over_shipped_firmware() {
+    for (name, source) in [("ni", NI_SOURCE), ("ffw", FFW_SOURCE)] {
+        let program = firmware(source);
+        for seed in 0..8u64 {
+            let verified = lockstep_program(&program, None, seed, 20_000)
+                .unwrap_or_else(|d| panic!("{name} firmware diverged (seed {seed}): {d}"));
+            assert_eq!(verified, 20_000, "{name}: dispatch quanta are single steps");
+        }
+    }
+}
+
+/// Block-tier lockstep: quanta are whole compiled blocks, states diffed
+/// at every block boundary. Threshold 1 compiles every discovered block
+/// on first touch, maximising block-tier coverage.
+#[test]
+fn block_tier_lockstep_over_shipped_firmware() {
+    for (name, source) in [("ni", NI_SOURCE), ("ffw", FFW_SOURCE)] {
+        let program = firmware(source);
+        for seed in 0..8u64 {
+            let mut reference = Picoblaze::new(program.clone());
+            let mut engine = Engine::new(program.clone());
+            engine.set_block_threshold(Some(1));
+            run_lockstep(&mut reference, &mut engine, seed, 20_000)
+                .unwrap_or_else(|d| panic!("{name} firmware diverged (seed {seed}): {d}"));
+            let census = engine.tier_census();
+            assert!(
+                census.block_retired > 0,
+                "{name}: block tier must actually engage: {census:?}"
+            );
+            assert_eq!(census.retired(), engine.instret());
+        }
+    }
+}
+
+/// The default production threshold also stays in lockstep (blocks
+/// compile mid-run, so this covers the heat→compile→enter transition).
+#[test]
+fn default_threshold_lockstep_over_shipped_firmware() {
+    for (name, source) in [("ni", NI_SOURCE), ("ffw", FFW_SOURCE)] {
+        let program = firmware(source);
+        lockstep_program(
+            &program,
+            Some(sirtm_picoblaze::block::DEFAULT_BLOCK_THRESHOLD),
+            0xA1,
+            40_000,
+        )
+        .unwrap_or_else(|d| panic!("{name} firmware diverged: {d}"));
+    }
+}
+
+/// Scan-shaped equivalence: drive both cores through repeated
+/// `run_until_port_write(OUT_SYNC)` scans — exactly how `FirmwareModel`
+/// uses them — and require identical outcomes, state and port traffic.
+#[test]
+fn scan_loop_equivalence_over_shipped_firmware() {
+    for (name, source) in [("ni", NI_SOURCE), ("ffw", FFW_SOURCE)] {
+        let program = firmware(source);
+        let mut reference = Picoblaze::new(program.clone());
+        let mut engine = Engine::new(program);
+        engine.set_block_threshold(Some(2));
+        let mut rio = ScriptedIo::new(0xDEC0DE);
+        let mut eio = ScriptedIo::new(0xDEC0DE);
+        for scan in 0..300 {
+            let a = reference
+                .run_until_port_write(OUT_SYNC, 4096, &mut rio)
+                .expect("reference scan");
+            let b = engine
+                .run_until_port_write(OUT_SYNC, 4096, &mut eio)
+                .expect("engine scan");
+            assert_eq!(a, b, "{name} scan {scan} outcome");
+            assert_eq!(
+                reference.snapshot(),
+                engine.snapshot(),
+                "{name} scan {scan} state"
+            );
+            assert_eq!(rio.events, eio.events, "{name} scan {scan} io trace");
+        }
+        assert!(
+            matches!(
+                reference.run_until_port_write(OUT_SYNC, 4096, &mut rio),
+                Ok(RunOutcome::PortWritten(_))
+            ),
+            "{name}: scans must reach sync within budget"
+        );
+    }
+}
+
+/// Named tier-transition regression: a compiled block is entered, then a
+/// later scan's entry guard fails (budget smaller than the body), the
+/// engine side-exits to the dispatch tier, and execution remains
+/// identical to the reference.
+#[test]
+fn tier_transition_block_entered_guard_fails_side_exit() {
+    let program = firmware(NI_SOURCE);
+    let mut reference = Picoblaze::new(program.clone());
+    let mut engine = Engine::new(program);
+    engine.set_block_threshold(Some(1));
+    let mut rio = ScriptedIo::new(0xBEEF);
+    let mut eio = ScriptedIo::new(0xBEEF);
+    // Full-budget scans: blocks compile and are entered.
+    for _ in 0..8 {
+        let a = reference.run_until_port_write(OUT_SYNC, 4096, &mut rio);
+        let b = engine.run_until_port_write(OUT_SYNC, 4096, &mut eio);
+        assert_eq!(a.expect("reference"), b.expect("engine"));
+    }
+    let warm = engine.tier_census();
+    assert!(warm.blocks_compiled > 0, "{warm:?}");
+    assert!(warm.block_entries > 0, "{warm:?}");
+    // Starved scans: budget 1 is below every block body (blocks are at
+    // least 2 instructions by construction), so the entry guard must
+    // bail and the dispatch tier must carry every instruction — still
+    // in perfect agreement with the reference.
+    for scan in 0..64 {
+        let a = reference.run_until_port_write(OUT_SYNC, 1, &mut rio);
+        let b = engine.run_until_port_write(OUT_SYNC, 1, &mut eio);
+        assert_eq!(a.expect("reference"), b.expect("engine"), "scan {scan}");
+        assert_eq!(reference.snapshot(), engine.snapshot(), "scan {scan}");
+        assert_eq!(rio.events, eio.events, "scan {scan}");
+    }
+    let starved = engine.tier_census();
+    assert!(
+        starved.guard_bails > warm.guard_bails,
+        "guard must have failed: {starved:?}"
+    );
+    assert_eq!(
+        starved.block_entries, warm.block_entries,
+        "no block fits a 1-instruction budget"
+    );
+    assert_eq!(
+        starved.dispatch_retired,
+        warm.dispatch_retired + 64,
+        "every starved instruction came from the dispatch tier"
+    );
+    // Recovery: full budgets re-enter the block tier seamlessly.
+    for _ in 0..4 {
+        let a = reference.run_until_port_write(OUT_SYNC, 4096, &mut rio);
+        let b = engine.run_until_port_write(OUT_SYNC, 4096, &mut eio);
+        assert_eq!(a.expect("reference"), b.expect("engine"));
+        assert_eq!(reference.snapshot(), engine.snapshot());
+    }
+    assert!(
+        engine.tier_census().block_entries > starved.block_entries,
+        "block tier resumes after starvation"
+    );
+}

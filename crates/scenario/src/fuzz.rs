@@ -218,10 +218,7 @@ pub fn score_run(spec: &ScenarioSpec, outcome: &RunOutcome) -> FitnessBreakdown 
     } else {
         let deadline = 0.5 * outcome.pre_rate;
         let dropped = post.iter().filter(|s| s.throughput < deadline).count();
-        let extinct = post
-            .iter()
-            .filter(|s| s.task_counts.contains(&0))
-            .count();
+        let extinct = post.iter().filter(|s| s.task_counts.contains(&0)).count();
         (
             dropped as f64 / post.len() as f64,
             extinct as f64 / post.len() as f64,

@@ -39,6 +39,10 @@ pub struct RunOutcome {
     /// deliberately absent from [`RunSummary`] so it can never reach a
     /// fingerprinted artefact).
     pub sim: SimCounters,
+    /// Aggregate firmware tier-execution census (sidecar material, like
+    /// [`RunOutcome::sim`]). `None` unless the run used firmware models
+    /// on a tiered engine backend.
+    pub fw_census: Option<sirtm_core::TierCensus>,
 }
 
 impl RunOutcome {
@@ -119,12 +123,19 @@ pub fn run_spec(spec: &ScenarioSpec, seed: u64) -> RunOutcome {
     });
     let mut sim = platform.sim_counters();
     sim.thermal_solves += thermal_solves;
+    let fw_census = platform.firmware_tier_census();
     let trace = recorder.into_trace();
-    measure(spec, seed, trace, sim)
+    measure(spec, seed, trace, sim, fw_census)
 }
 
 /// Extracts the paper's measures from a recorded trace.
-fn measure(spec: &ScenarioSpec, seed: u64, trace: RunTrace, sim: SimCounters) -> RunOutcome {
+fn measure(
+    spec: &ScenarioSpec,
+    seed: u64,
+    trace: RunTrace,
+    sim: SimCounters,
+    fw_census: Option<sirtm_core::TierCensus>,
+) -> RunOutcome {
     let cut = spec
         .settle_region_ms
         .map(|ms| (ms / spec.window_ms).round() as usize)
@@ -182,6 +193,7 @@ fn measure(spec: &ScenarioSpec, seed: u64, trace: RunTrace, sim: SimCounters) ->
         recovery_ms,
         final_rate,
         sim,
+        fw_census,
     }
 }
 
